@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// Roaring bitmap operations, MVDCube lattice evaluation, the MMST builder,
+// the reference evaluator (as the non-shared baseline), and the early-stop
+// estimator. Run with --benchmark_filter=... to focus.
+
+#include <benchmark/benchmark.h>
+
+#include "src/bitmap/roaring.h"
+#include "src/core/earlystop.h"
+#include "src/core/mvdcube.h"
+#include "src/core/reference.h"
+#include "src/datagen/synthetic.h"
+#include "src/util/rng.h"
+
+namespace spade {
+namespace {
+
+void BM_RoaringAddSparse(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.Uniform(1u << 28)));
+  }
+  for (auto _ : state) {
+    RoaringBitmap bm;
+    for (uint32_t v : values) bm.Add(v);
+    benchmark::DoNotOptimize(bm.Cardinality());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_RoaringAddSparse);
+
+void BM_RoaringAddDense(benchmark::State& state) {
+  for (auto _ : state) {
+    RoaringBitmap bm;
+    for (uint32_t v = 0; v < 20000; ++v) bm.Add(v);
+    benchmark::DoNotOptimize(bm.Cardinality());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_RoaringAddDense);
+
+void BM_RoaringUnion(benchmark::State& state) {
+  Rng rng(2);
+  RoaringBitmap a, b;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    a.Add(static_cast<uint32_t>(rng.Uniform(1u << 20)));
+    b.Add(static_cast<uint32_t>(rng.Uniform(1u << 20)));
+  }
+  for (auto _ : state) {
+    RoaringBitmap c = a;
+    c.UnionWith(b);
+    benchmark::DoNotOptimize(c.Cardinality());
+  }
+}
+BENCHMARK(BM_RoaringUnion)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RoaringIterate(benchmark::State& state) {
+  Rng rng(3);
+  RoaringBitmap a;
+  for (int i = 0; i < 50000; ++i) {
+    a.Add(static_cast<uint32_t>(rng.Uniform(1u << 22)));
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    a.ForEach([&](uint32_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RoaringIterate);
+
+/// Shared fixture data for the cube kernels.
+struct CubeData {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<CfsIndex> cfs;
+  LatticeSpec spec;
+};
+
+CubeData MakeCubeData(size_t facts, size_t dims, size_t measures) {
+  CubeData out;
+  SyntheticOptions sopts;
+  sopts.num_facts = facts;
+  sopts.dim_cardinality.assign(dims, 20);
+  sopts.num_measures = measures;
+  out.graph = GenerateSynthetic(sopts);
+  out.db = std::make_unique<Database>(out.graph.get());
+  out.db->BuildDirectAttributes();
+  TermId type = out.graph->dict().InternIri(synth::kFactType);
+  out.cfs = std::make_unique<CfsIndex>(out.graph->NodesOfType(type));
+  for (size_t d = 0; d < dims; ++d) {
+    out.spec.dims.push_back(*out.db->FindAttribute("dim" + std::to_string(d)));
+  }
+  std::sort(out.spec.dims.begin(), out.spec.dims.end());
+  out.spec.measures.push_back(MeasureSpec{kInvalidAttr, sparql::AggFunc::kCount});
+  for (size_t m = 0; m < measures; ++m) {
+    AttrId a = *out.db->FindAttribute("measure" + std::to_string(m));
+    out.spec.measures.push_back(MeasureSpec{a, sparql::AggFunc::kSum});
+    out.spec.measures.push_back(MeasureSpec{a, sparql::AggFunc::kAvg});
+  }
+  return out;
+}
+
+void BM_MvdCubeLattice(benchmark::State& state) {
+  CubeData data = MakeCubeData(static_cast<size_t>(state.range(0)), 3, 3);
+  for (auto _ : state) {
+    Arm arm(4);
+    MeasureCache cache;
+    EvaluateLatticeMvd(*data.db, 0, *data.cfs, data.spec, MvdCubeOptions(),
+                       &arm, &cache);
+    benchmark::DoNotOptimize(arm.num_aggregates());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MvdCubeLattice)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_ReferenceLattice(benchmark::State& state) {
+  CubeData data = MakeCubeData(static_cast<size_t>(state.range(0)), 3, 3);
+  for (auto _ : state) {
+    auto results = EvaluateReference(*data.db, 0, *data.cfs, data.spec);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReferenceLattice)->Arg(10000)->Arg(50000);
+
+void BM_MmstBuild(benchmark::State& state) {
+  std::vector<int> extents(static_cast<size_t>(state.range(0)), 101);
+  for (auto _ : state) {
+    Mmst mmst = Mmst::Build(extents, 16);
+    benchmark::DoNotOptimize(mmst.total_memory_cells());
+  }
+}
+BENCHMARK(BM_MmstBuild)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_EstimateScore(benchmark::State& state) {
+  Rng rng(5);
+  size_t groups = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> values(groups);
+  std::vector<double> scales(groups, 1.0);
+  for (auto& v : values) {
+    for (int i = 0; i < 60; ++i) v.push_back(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    ScoreEstimate est =
+        EstimateScore(InterestingnessKind::kVariance, values, scales, 0.05);
+    benchmark::DoNotOptimize(est.upper);
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+}
+BENCHMARK(BM_EstimateScore)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_OnlineMoments(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) values.push_back(rng.NextDouble());
+  for (auto _ : state) {
+    OnlineMoments om;
+    for (double v : values) om.Add(v);
+    benchmark::DoNotOptimize(om.kurtosis());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_OnlineMoments);
+
+}  // namespace
+}  // namespace spade
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// The Airline story end-to-end (Section 6): take a relational CSV table,
+// convert it to RDF ("each tuple becomes a CF with a fixed set of
+// properties"), and let Spade find the interesting aggregates. Demonstrates
+// CsvToRdf + the pipeline + the presentation/export modules working together
+// on data that never was a graph.
+//
+// Usage: csv_analytics [flights.csv]   (generates a synthetic table if absent)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/export.h"
+#include "src/core/present.h"
+#include "src/core/spade.h"
+#include "src/rdf/csv2rdf.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+std::string SyntheticFlightsCsv() {
+  spade::Rng rng(1987);
+  std::ostringstream csv;
+  csv << "carrier,origin,month,dayOfWeek,depDelay,arrDelay,distance\n";
+  const char* carriers[] = {"AA", "DL", "UA", "WN", "B6"};
+  const char* airports[] = {"ATL", "ORD", "DFW", "DEN", "LAX", "JFK"};
+  for (int i = 0; i < 6000; ++i) {
+    size_t carrier = rng.Zipf(5, 1.0);
+    double dep = 12 + 8 * rng.NextGaussian();
+    // One airline melts down in the summer months: the lead to find.
+    int month = static_cast<int>(1 + rng.Uniform(12));
+    if (carrier == 4 && (month == 7 || month == 8)) dep += 95;
+    if (dep < 0) dep = 0;
+    double arr = dep + 5 * rng.NextGaussian();
+    if (arr < 0) arr = 0;
+    csv << carriers[carrier] << "," << airports[rng.Uniform(6)] << "," << month
+        << "," << (1 + rng.Uniform(7)) << "," << spade::FormatDouble(dep, 1)
+        << "," << spade::FormatDouble(arr, 1) << ","
+        << (200 + rng.Uniform(2300)) << "\n";
+  }
+  return csv.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spade::Graph graph;
+  spade::Csv2RdfOptions copt;
+  copt.base_iri = "http://flights/";
+  copt.row_type = "Flight";
+
+  spade::Result<size_t> rows = [&]() -> spade::Result<size_t> {
+    if (argc > 1) {
+      std::ifstream in(argv[1]);
+      if (!in) return spade::Status::NotFound(std::string(argv[1]));
+      return spade::CsvToRdf(in, copt, &graph);
+    }
+    return spade::CsvToRdfString(SyntheticFlightsCsv(), copt, &graph);
+  }();
+  if (!rows.ok()) {
+    std::cerr << "CSV load failed: " << rows.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Converted " << *rows << " rows into " << graph.NumTriples()
+            << " triples.\n\n";
+
+  spade::SpadeOptions options;
+  options.top_k = 4;
+  options.max_stored_groups = 128;
+  options.cfs.min_size = 100;
+  spade::Spade spade(&graph, options);
+  if (!spade.RunOffline().ok()) return 1;
+  auto insights = spade.RunOnline();
+  if (!insights.ok()) {
+    std::cerr << insights.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "Searched " << spade.report().num_candidate_aggregates
+            << " candidate aggregates; note that a flat relational table "
+               "yields no derived properties ("
+            << spade.report().derivations.total() << " derived), matching "
+            << "the paper's Airline observation.\n";
+  spade::RenderOptions render;
+  int rank = 1;
+  for (const auto& insight : *insights) {
+    std::cout << "\n#" << rank++ << "  ";
+    spade::RenderInsight(spade.database(), insight, render, std::cout);
+  }
+
+  std::ostringstream csv_export;
+  spade::ExportInsightsCsv(spade.database(), *insights, csv_export);
+  std::cout << "\nFlattened CSV export of the groups ("
+            << csv_export.str().size() << " bytes) ready for a spreadsheet.\n";
+  return 0;
+}

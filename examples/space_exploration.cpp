@@ -1,0 +1,62 @@
+// NASA-graph exploration (Figures 6b/6c of the paper): path derivations let
+// Spade group launches by spacecraft/agency — a dimension that exists in no
+// single triple — and surface the USSR launch-site concentration and the
+// heavy crewed-mission spacecraft.
+//
+// This example also demonstrates the woD/wD contrast of Experiment 1 on one
+// dataset: run first without derivations, then with them.
+
+#include <iostream>
+
+#include "src/core/spade.h"
+#include "src/datagen/realworld.h"
+
+namespace {
+
+void Run(spade::Graph* graph, bool derivations) {
+  spade::SpadeOptions options;
+  options.top_k = 4;
+  options.enable_derivations = derivations;
+  options.max_stored_groups = 128;
+
+  spade::Spade spade(graph, options);
+  if (!spade.RunOffline().ok()) return;
+  auto insights = spade.RunOnline();
+  if (!insights.ok()) return;
+
+  std::cout << (derivations ? "WITH" : "WITHOUT") << " derived properties: "
+            << spade.report().num_candidate_aggregates
+            << " candidate aggregates";
+  if (derivations) {
+    const auto& d = spade.report().derivations;
+    std::cout << " (" << d.num_path_attrs << " path, " << d.num_count_attrs
+              << " count, " << d.num_keyword_attrs << " keyword, "
+              << d.num_language_attrs << " language derivations)";
+  }
+  std::cout << "\n";
+  int rank = 1;
+  for (const auto& insight : *insights) {
+    std::cout << "  #" << rank++ << " [" << insight.ranked.score << "] "
+              << insight.description << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Exploring the NASA launches graph ===\n\n";
+  {
+    auto graph = spade::GenerateNasa(1969, 1.0);
+    std::cout << "Graph: " << graph->NumTriples() << " triples.\n\n";
+    Run(graph.get(), /*derivations=*/false);
+  }
+  {
+    auto graph = spade::GenerateNasa(1969, 1.0);
+    Run(graph.get(), /*derivations=*/true);
+  }
+  std::cout << "The path-derived dimensions (e.g. spacecraft/agency) only\n"
+               "exist in the second run — they are what surfaces insights\n"
+               "like 'number of launches by launch site and agency'.\n";
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "src/bitmap/roaring.h"
+
+#include <algorithm>
+
+namespace spade {
+
+namespace {
+
+inline uint16_t HighBits(uint32_t v) { return static_cast<uint16_t>(v >> 16); }
+inline uint16_t LowBits(uint32_t v) { return static_cast<uint16_t>(v & 0xffff); }
+
+}  // namespace
+
+RoaringBitmap::Container* RoaringBitmap::FindOrCreate(uint16_t key) {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint16_t k) { return c.key < k; });
+  if (it != containers_.end() && it->key == key) return &*it;
+  Container c;
+  c.key = key;
+  it = containers_.insert(it, std::move(c));
+  return &*it;
+}
+
+const RoaringBitmap::Container* RoaringBitmap::Find(uint16_t key) const {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint16_t k) { return c.key < k; });
+  if (it != containers_.end() && it->key == key) return &*it;
+  return nullptr;
+}
+
+void RoaringBitmap::ToBitset(Container* c) {
+  c->bits.assign(kWordsPerBitset, 0);
+  for (uint16_t low : c->array) c->bits[low >> 6] |= (1ULL << (low & 63));
+  c->bitset_cardinality = static_cast<uint32_t>(c->array.size());
+  c->array.clear();
+  c->array.shrink_to_fit();
+  c->kind = ContainerKind::kBitset;
+}
+
+void RoaringBitmap::Add(uint32_t value) {
+  Container* c = FindOrCreate(HighBits(value));
+  uint16_t low = LowBits(value);
+  if (c->kind == ContainerKind::kArray) {
+    auto it = std::lower_bound(c->array.begin(), c->array.end(), low);
+    if (it != c->array.end() && *it == low) return;
+    c->array.insert(it, low);
+    if (c->array.size() > kArrayToBitsetThreshold) ToBitset(c);
+  } else {
+    uint64_t& word = c->bits[low >> 6];
+    uint64_t mask = 1ULL << (low & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++c->bitset_cardinality;
+    }
+  }
+}
+
+bool RoaringBitmap::Contains(uint32_t value) const {
+  const Container* c = Find(HighBits(value));
+  if (c == nullptr) return false;
+  uint16_t low = LowBits(value);
+  if (c->kind == ContainerKind::kArray) {
+    return std::binary_search(c->array.begin(), c->array.end(), low);
+  }
+  return (c->bits[low >> 6] >> (low & 63)) & 1;
+}
+
+uint64_t RoaringBitmap::ContainerCardinality(const Container& c) {
+  if (c.kind == ContainerKind::kArray) return c.array.size();
+  return c.bitset_cardinality;
+}
+
+uint64_t RoaringBitmap::Cardinality() const {
+  uint64_t total = 0;
+  for (const auto& c : containers_) total += ContainerCardinality(c);
+  return total;
+}
+
+void RoaringBitmap::UnionContainers(Container* dst, const Container& src) {
+  if (dst->kind == ContainerKind::kArray && src.kind == ContainerKind::kArray) {
+    std::vector<uint16_t> merged;
+    merged.reserve(dst->array.size() + src.array.size());
+    std::set_union(dst->array.begin(), dst->array.end(), src.array.begin(),
+                   src.array.end(), std::back_inserter(merged));
+    dst->array = std::move(merged);
+    if (dst->array.size() > kArrayToBitsetThreshold) ToBitset(dst);
+    return;
+  }
+  if (dst->kind == ContainerKind::kArray) ToBitset(dst);
+  if (src.kind == ContainerKind::kArray) {
+    for (uint16_t low : src.array) {
+      uint64_t& word = dst->bits[low >> 6];
+      uint64_t mask = 1ULL << (low & 63);
+      if ((word & mask) == 0) {
+        word |= mask;
+        ++dst->bitset_cardinality;
+      }
+    }
+  } else {
+    uint32_t card = 0;
+    for (size_t w = 0; w < kWordsPerBitset; ++w) {
+      dst->bits[w] |= src.bits[w];
+      card += static_cast<uint32_t>(__builtin_popcountll(dst->bits[w]));
+    }
+    dst->bitset_cardinality = card;
+  }
+}
+
+void RoaringBitmap::UnionWith(const RoaringBitmap& other) {
+  for (const auto& src : other.containers_) {
+    Container* dst = FindOrCreate(src.key);
+    if (dst->kind == ContainerKind::kArray && dst->array.empty() &&
+        src.kind == ContainerKind::kArray) {
+      dst->array = src.array;  // fresh container: plain copy
+      continue;
+    }
+    UnionContainers(dst, src);
+  }
+}
+
+void RoaringBitmap::IntersectContainers(Container* dst, const Container& src) {
+  if (dst->kind == ContainerKind::kArray) {
+    std::vector<uint16_t> kept;
+    kept.reserve(dst->array.size());
+    if (src.kind == ContainerKind::kArray) {
+      std::set_intersection(dst->array.begin(), dst->array.end(),
+                            src.array.begin(), src.array.end(),
+                            std::back_inserter(kept));
+    } else {
+      for (uint16_t low : dst->array) {
+        if ((src.bits[low >> 6] >> (low & 63)) & 1) kept.push_back(low);
+      }
+    }
+    dst->array = std::move(kept);
+    return;
+  }
+  if (src.kind == ContainerKind::kArray) {
+    // Convert dst to an array of the surviving values: intersection with an
+    // array container has at most |array| results.
+    std::vector<uint16_t> kept;
+    kept.reserve(src.array.size());
+    for (uint16_t low : src.array) {
+      if ((dst->bits[low >> 6] >> (low & 63)) & 1) kept.push_back(low);
+    }
+    dst->bits.clear();
+    dst->bits.shrink_to_fit();
+    dst->bitset_cardinality = 0;
+    dst->kind = ContainerKind::kArray;
+    dst->array = std::move(kept);
+    return;
+  }
+  uint32_t card = 0;
+  for (size_t w = 0; w < kWordsPerBitset; ++w) {
+    dst->bits[w] &= src.bits[w];
+    card += static_cast<uint32_t>(__builtin_popcountll(dst->bits[w]));
+  }
+  dst->bitset_cardinality = card;
+}
+
+void RoaringBitmap::IntersectWith(const RoaringBitmap& other) {
+  std::vector<Container> kept;
+  kept.reserve(containers_.size());
+  for (auto& dst : containers_) {
+    const Container* src = other.Find(dst.key);
+    if (src == nullptr) continue;
+    IntersectContainers(&dst, *src);
+    if (ContainerCardinality(dst) > 0) kept.push_back(std::move(dst));
+  }
+  containers_ = std::move(kept);
+}
+
+void RoaringBitmap::Clear() {
+  containers_.clear();
+  containers_.shrink_to_fit();
+}
+
+std::vector<uint32_t> RoaringBitmap::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Cardinality());
+  ForEach([&out](uint32_t v) { out.push_back(v); });
+  return out;
+}
+
+uint64_t RoaringBitmap::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this) + containers_.capacity() * sizeof(Container);
+  for (const auto& c : containers_) {
+    bytes += c.array.capacity() * sizeof(uint16_t);
+    bytes += c.bits.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+bool RoaringBitmap::operator==(const RoaringBitmap& other) const {
+  if (Cardinality() != other.Cardinality()) return false;
+  bool equal = true;
+  ForEach([&](uint32_t v) {
+    if (!other.Contains(v)) equal = false;
+  });
+  return equal;
+}
+
+}  // namespace spade

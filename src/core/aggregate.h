@@ -1,0 +1,88 @@
+#ifndef SPADE_CORE_AGGREGATE_H_
+#define SPADE_CORE_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sparql/ast.h"
+#include "src/store/database.h"
+
+namespace spade {
+
+/// \brief A candidate fact set (Section 2): the RDF nodes an analysis groups
+/// and aggregates. Members are sorted by TermId; dense FactIds used by the
+/// cube algorithms come from CfsIndex over this member list.
+struct CandidateFactSet {
+  enum class Origin : uint8_t { kType, kProperty, kSummary };
+  Origin origin = Origin::kType;
+  std::string name;
+  std::vector<TermId> members;
+  /// For type-based sets: the rdf:type value (SPARQL emission binds it).
+  TermId type = kInvalidTerm;
+};
+
+/// One measure of a lattice: an attribute + aggregate function. The implicit
+/// "count of facts" measure (COUNT(*)) is encoded as attr == kInvalidAttr
+/// with func == kCount.
+struct MeasureSpec {
+  AttrId attr = kInvalidAttr;
+  sparql::AggFunc func = sparql::AggFunc::kCount;
+
+  bool is_count_star() const { return attr == kInvalidAttr; }
+  bool operator==(const MeasureSpec& o) const {
+    return attr == o.attr && func == o.func;
+  }
+  bool operator<(const MeasureSpec& o) const {
+    if (attr != o.attr) return attr < o.attr;
+    return static_cast<int>(func) < static_cast<int>(o.func);
+  }
+};
+
+/// \brief One lattice to evaluate (Section 3, step 3): N dimensions shared by
+/// all 2^N nodes, and the measures computed at every node.
+struct LatticeSpec {
+  std::vector<AttrId> dims;  ///< sorted ascending; size N in [1, 4]
+  std::vector<MeasureSpec> measures;
+};
+
+/// \brief Identity of one MDA: A = (CFS, D, M, f) from Section 2. Used by the
+/// ARM to deduplicate aggregates shared between lattices ("Spade ensures that
+/// the results of evaluated MDAs are reused, not recomputed").
+struct AggregateKey {
+  uint32_t cfs_id = 0;
+  std::vector<AttrId> dims;  ///< sorted ascending
+  MeasureSpec measure;
+
+  bool operator==(const AggregateKey& o) const {
+    return cfs_id == o.cfs_id && dims == o.dims && measure == o.measure;
+  }
+  bool operator<(const AggregateKey& o) const {
+    if (cfs_id != o.cfs_id) return cfs_id < o.cfs_id;
+    if (dims != o.dims) return dims < o.dims;
+    return measure < o.measure;
+  }
+};
+
+/// One tuple of an MDA result: dimension values (aligned with key.dims) and
+/// the aggregated value.
+struct GroupResult {
+  std::vector<TermId> dim_values;
+  double value = 0;
+};
+
+/// A fully evaluated aggregate, as produced by the reference evaluator and
+/// by tests comparing algorithms.
+struct AggregateResult {
+  AggregateKey key;
+  std::vector<GroupResult> groups;  ///< sorted by dim_values for comparison
+};
+
+/// Render an MDA's identity for humans: "sum(netWorth) of type:CEO by
+/// nationality, gender".
+std::string DescribeAggregate(const Database& db, const CandidateFactSet& cfs,
+                              const AggregateKey& key);
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_AGGREGATE_H_

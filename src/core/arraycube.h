@@ -1,0 +1,34 @@
+#ifndef SPADE_CORE_ARRAYCUBE_H_
+#define SPADE_CORE_ARRAYCUBE_H_
+
+#include <vector>
+
+#include "src/core/aggregate.h"
+#include "src/core/lattice.h"
+#include "src/core/mvdcube.h"
+
+namespace spade {
+
+/// \brief Classical ArrayCube (Zhao et al. [49]): the relational one-pass
+/// baseline, reproduced to demonstrate Section 4.2's incorrectness analysis.
+///
+/// The root node is computed exactly (one accumulator update per fact x
+/// dimension-value combination, i.e. per row of the relational join of
+/// Figure 4). Every other node is then computed from its MMST parent's
+/// *aggregated values* — cells hold (count, sum, min, max) accumulators, not
+/// fact sets — so projecting away a multi-valued dimension aggregates the
+/// same fact repeatedly (Lemma 1). count(*), count(M), sum(M) and avg(M) may
+/// be wrong on any node missing a multi-valued dimension; min/max stay
+/// correct (idempotent combine). Theorem 1: exactly the nodes containing all
+/// K multi-valued dimensions — 2^(N-K) of them — are guaranteed correct.
+///
+/// Results are returned per (node, measure) with the same group layout as
+/// the reference evaluator, so tests and the error benches can diff them.
+std::vector<AggregateResult> EvaluateLatticeArrayCube(
+    const Database& db, uint32_t cfs_id, const CfsIndex& cfs,
+    const LatticeSpec& spec, const MvdCubeOptions& options,
+    MeasureCache* measures);
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_ARRAYCUBE_H_

@@ -1,0 +1,35 @@
+#ifndef SPADE_CORE_CFS_H_
+#define SPADE_CORE_CFS_H_
+
+#include <vector>
+
+#include "src/core/aggregate.h"
+#include "src/summary/summary.h"
+
+namespace spade {
+
+/// Options of Candidate Fact Set Selection (Section 3, step 1).
+struct CfsOptions {
+  /// Sets smaller than this are not worth aggregating.
+  size_t min_size = 20;
+  /// Keep at most this many sets (largest first).
+  size_t max_sets = 64;
+  bool type_based = true;
+  bool summary_based = true;
+  /// Property-based selection: each entry is a set of property TermIds; the
+  /// CFS is all nodes having *all* of those outgoing properties.
+  std::vector<std::vector<TermId>> property_sets;
+};
+
+/// Identify candidate fact sets using the three strategies of the paper:
+/// (i) type-based (one CFS per rdf:type value), (ii) property-based (caller
+/// supplied property sets), (iii) summary-based (RDFQuotient weak-equivalence
+/// classes). Duplicated member sets are merged, keeping the first name.
+/// `summary` may be null when summary-based selection is disabled.
+std::vector<CandidateFactSet> SelectCandidateFactSets(
+    const Graph& graph, const StructuralSummary* summary,
+    const CfsOptions& options);
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_CFS_H_

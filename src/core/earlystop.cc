@@ -1,0 +1,362 @@
+#include "src/core/earlystop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "src/util/timer.h"
+
+namespace spade {
+
+ScoreEstimate EstimateScore(InterestingnessKind kind,
+                            const std::vector<std::vector<double>>& group_values,
+                            const std::vector<double>& group_scale, double alpha,
+                            size_t r_limit) {
+  ScoreEstimate est;
+  size_t g = group_values.size();
+  est.num_groups = g;
+  if (g < 2) {
+    // One group (or none): every interestingness function is 0.
+    return est;
+  }
+  std::vector<double> y(g, 0.0);
+  std::vector<double> var_y(g, 0.0);
+  for (size_t i = 0; i < g; ++i) {
+    const std::vector<double>& vals = group_values[i];
+    size_t take = std::min(r_limit, vals.size());
+    double r = static_cast<double>(take);
+    double mean = 0;
+    for (size_t j = 0; j < take; ++j) mean += vals[j];
+    if (r > 0) mean /= r;
+    double s2 = 0;
+    for (size_t j = 0; j < take; ++j) {
+      s2 += (vals[j] - mean) * (vals[j] - mean);
+    }
+    if (r > 1) s2 /= (r - 1);
+    double scale = group_scale[i];
+    y[i] = scale * mean;
+    // Var(scale * mean(X)) = scale^2 * sigma^2 / r.
+    var_y[i] = (r > 0) ? scale * scale * s2 / r : 0.0;
+  }
+  double h = Interestingness(kind, y);
+  std::vector<double> grad = InterestingnessGradient(kind, y);
+  double tau2 = 0;
+  for (size_t i = 0; i < g; ++i) tau2 += var_y[i] * grad[i] * grad[i];
+  double z = NormalQuantile(1.0 - alpha / 2.0);
+  double eps = z * std::sqrt(std::max(0.0, tau2));
+  est.score = h;
+  est.lower = std::max(0.0, h - eps);
+  est.upper = h + eps;
+  return est;
+}
+
+void EarlyStopPlanner::AddLattice(const LatticeSpec& spec,
+                                  const std::vector<DimensionEncoding>& encodings,
+                                  const CubeLayout& layout,
+                                  const Translation& translation,
+                                  MeasureCache* measures) {
+  size_t n = spec.dims.size();
+  size_t num_nodes = size_t{1} << n;
+  const size_t sample_cap = 2 * options_.sample_size + 8;
+
+  // Section 5.3: the sampled facts are propagated from the MMST's root down
+  // the tree — each node's group table is built from a parent's, not from
+  // the raw root cells. Group structure stays exact (est_count sums the
+  // root-exact counts); samples are bounded unions of the parents' samples.
+  // Null-coordinate groups are carried along (descendants need their facts)
+  // but never become estimation candidates. The root itself never gets a
+  // table: MVDCube materializes its cells for propagation regardless, so
+  // pruning its MDAs could not pay for estimating the largest group table.
+  size_t base = group_tables_.size();
+  group_tables_.resize(base + num_nodes);
+  const uint32_t root_mask = static_cast<uint32_t>(num_nodes - 1);
+
+  // Masks by descending popcount (root excluded).
+  std::vector<uint32_t> masks;
+  for (uint32_t mask = 0; mask < num_nodes; ++mask) {
+    if (mask != root_mask) masks.push_back(mask);
+  }
+  std::sort(masks.begin(), masks.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+
+  std::vector<int32_t> coords(n);
+  for (uint32_t mask : masks) {
+    std::vector<Group>& table = group_tables_[base + mask];
+    std::unordered_map<uint64_t, size_t> index;
+
+    auto absorb = [&](const std::vector<int32_t>& src_coords, double count,
+                      const std::vector<FactId>& sample) {
+      uint64_t key = 0;
+      for (size_t d = 0; d < n; ++d) {
+        if (!(mask & (1u << d))) continue;
+        key = key * static_cast<uint64_t>(encodings[d].domain_size()) +
+              static_cast<uint64_t>(src_coords[d]);
+      }
+      auto [it, inserted] = index.try_emplace(key, table.size());
+      if (inserted) {
+        Group grp;
+        grp.coords.assign(n, 0);
+        for (size_t d = 0; d < n; ++d) {
+          if (mask & (1u << d)) {
+            grp.coords[d] = src_coords[d];
+            grp.has_null |= src_coords[d] >= encodings[d].null_code();
+          }
+        }
+        table.push_back(std::move(grp));
+      }
+      Group& dst = table[it->second];
+      dst.est_count += count;
+      if (dst.sample.size() < sample_cap && !sample.empty()) {
+        dst.sample.insert(dst.sample.end(), sample.begin(), sample.end());
+      }
+    };
+
+    if (static_cast<size_t>(__builtin_popcount(mask)) + 1 == n || n == 1) {
+      // Direct child of the root: project the raw translation.
+      static const std::vector<FactId> kNoSample;
+      for (const auto& [cell, count] : translation.root_group_count) {
+        uint64_t c = cell;
+        for (size_t i = n; i-- > 0;) {
+          coords[i] = static_cast<int32_t>(
+              c % static_cast<uint64_t>(layout.extent[i]));
+          c /= static_cast<uint64_t>(layout.extent[i]);
+        }
+        auto rit = translation.reservoirs.find(cell);
+        absorb(coords, count,
+               rit != translation.reservoirs.end() ? rit->second : kNoSample);
+      }
+    } else {
+      // Deeper node: project the smallest already-built parent table.
+      uint32_t best_parent = 0;
+      size_t best_size = static_cast<size_t>(-1);
+      for (size_t d = 0; d < n; ++d) {
+        if (mask & (1u << d)) continue;
+        uint32_t parent = mask | (1u << d);
+        if (parent == root_mask) continue;
+        size_t size = group_tables_[base + parent].size();
+        if (size < best_size) {
+          best_size = size;
+          best_parent = parent;
+        }
+      }
+      for (const Group& src : group_tables_[base + best_parent]) {
+        absorb(src.coords, src.est_count, src.sample);
+      }
+    }
+
+    // Deduplicate samples (a multi-valued fact reaches the same group via
+    // several source groups) and cap at the sample size.
+    for (Group& grp : table) {
+      std::sort(grp.sample.begin(), grp.sample.end());
+      grp.sample.erase(std::unique(grp.sample.begin(), grp.sample.end()),
+                       grp.sample.end());
+      if (grp.sample.size() > options_.sample_size) {
+        grp.sample.resize(options_.sample_size);
+      }
+    }
+  }
+
+  // One candidate per (node, measure); the root's MDAs are always evaluated.
+  for (uint32_t mask = 0; mask < num_nodes; ++mask) {
+    if (mask == root_mask && n > 0) continue;
+    // Sampling only pays when groups are larger than the sample: estimating
+    // a node whose average group is below the sample size costs as much as
+    // evaluating it (every fact is in the "sample"), so such nodes go
+    // straight to MVDCube.
+    {
+      const std::vector<Group>& table = group_tables_[base + mask];
+      double total = 0;
+      size_t live_groups = 0;
+      for (const Group& grp : table) {
+        if (grp.has_null) continue;
+        total += grp.est_count;
+        ++live_groups;
+      }
+      if (live_groups == 0 ||
+          total / static_cast<double>(live_groups) <
+              static_cast<double>(options_.sample_size)) {
+        continue;
+      }
+    }
+    std::vector<AttrId> dims;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) dims.push_back(spec.dims[i]);
+    }
+    for (const auto& m : spec.measures) {
+      Candidate cand;
+      cand.key.cfs_id = cfs_id_;
+      cand.key.dims = dims;
+      cand.key.measure = m;
+      cand.measure = m;
+      cand.group_table = base + mask;
+      if (!m.is_count_star()) {
+        cand.mv = &measures->Get(*db_, *cfs_, m.attr);
+        if (m.attr < offline_->size()) {
+          cand.attr_min = (*offline_)[m.attr].min_value;
+          cand.attr_max = (*offline_)[m.attr].max_value;
+        }
+      }
+      candidates_.push_back(std::move(cand));
+    }
+  }
+}
+
+EarlyStopResult EarlyStopPlanner::Plan(const Arm& arm) {
+  EarlyStopResult result;
+  Timer timer;
+  result.num_candidates = candidates_.size();
+  if (candidates_.empty()) return result;
+
+  using sparql::AggFunc;
+
+  // Extract the per-group sample values of every candidate once; batches
+  // then estimate from growing prefixes of these arrays. The reservoirs hold
+  // facts in arbitrary (random) order, so a prefix is itself a simple random
+  // sample.
+  for (Candidate& cand : candidates_) {
+    const std::vector<Group>& groups = group_tables_[cand.group_table];
+    cand.values.reserve(groups.size());
+    cand.scales.reserve(groups.size());
+    for (const Group& grp : groups) {
+      if (grp.has_null) continue;  // propagation-only group
+      if (cand.measure.is_count_star()) {
+        // count(*): the estimate is the (root-exact) group size itself;
+        // zero sampling variance (Appendix B degenerate case).
+        cand.values.push_back({1.0});
+        cand.scales.push_back(grp.est_count);
+        continue;
+      }
+      std::vector<double> vals;
+      vals.reserve(std::min(grp.sample.size(), options_.sample_size));
+      for (FactId f : grp.sample) {
+        if (cand.mv->count[f] == 0) continue;  // fact lacks the measure
+        switch (cand.measure.func) {
+          case AggFunc::kCount:
+            vals.push_back(static_cast<double>(cand.mv->count[f]));
+            break;
+          case AggFunc::kSum:
+            vals.push_back(cand.mv->sum[f]);
+            break;
+          case AggFunc::kAvg:
+            vals.push_back(cand.mv->sum[f] /
+                           static_cast<double>(cand.mv->count[f]));
+            break;
+          case AggFunc::kMin:
+            vals.push_back(cand.mv->min[f]);
+            break;
+          case AggFunc::kMax:
+            vals.push_back(cand.mv->max[f]);
+            break;
+        }
+      }
+      if (vals.empty()) continue;  // estimated: group lacks the measure
+      double scale = 1.0;
+      if (cand.measure.func == AggFunc::kSum ||
+          cand.measure.func == AggFunc::kCount) {
+        // Appendix B: scale the sample mean by the estimated group size.
+        scale = grp.est_count;
+      }
+      cand.values.push_back(std::move(vals));
+      cand.scales.push_back(scale);
+    }
+  }
+
+  for (size_t batch = 1; batch <= options_.num_batches; ++batch) {
+    size_t r_b =
+        std::max<size_t>(1, options_.sample_size * batch / options_.num_batches);
+
+    // Refresh estimates of the surviving candidates.
+    for (Candidate& cand : candidates_) {
+      if (!cand.alive) continue;
+      bool minmax = !cand.measure.is_count_star() &&
+                    (cand.measure.func == AggFunc::kMin ||
+                     cand.measure.func == AggFunc::kMax);
+      if (cand.measure.is_count_star() && batch > 1) {
+        continue;  // root-exact: the estimate cannot change across batches
+      }
+
+      std::vector<double> minmax_estimates;
+      if (minmax) {
+        minmax_estimates.reserve(cand.values.size());
+        for (const std::vector<double>& full : cand.values) {
+          size_t take = std::min(r_b, full.size());
+          if (take == 0) continue;
+          double m = full[0];
+          for (size_t i = 0; i < take; ++i) {
+            m = (cand.measure.func == AggFunc::kMin) ? std::min(m, full[i])
+                                                     : std::max(m, full[i]);
+          }
+          minmax_estimates.push_back(m);
+        }
+      }
+
+      if (minmax) {
+        // Appendix C: point estimate from sample extrema; variance bounded by
+        // Popoviciu's inequality over the attribute's global range (upper)
+        // and Szőkefalvi-Nagy's inequality over the estimated extrema
+        // (lower). Only defined for h = variance; other h never prune.
+        cand.estimate.num_groups = minmax_estimates.size();
+        cand.estimate.score =
+            Interestingness(options_.kind, minmax_estimates);
+        if (options_.kind == InterestingnessKind::kVariance &&
+            minmax_estimates.size() >= 2) {
+          double range = cand.attr_max - cand.attr_min;
+          double est_min = *std::min_element(minmax_estimates.begin(),
+                                             minmax_estimates.end());
+          double est_max = *std::max_element(minmax_estimates.begin(),
+                                             minmax_estimates.end());
+          double g = static_cast<double>(minmax_estimates.size());
+          cand.estimate.upper = 0.25 * range * range;
+          cand.estimate.lower =
+              (est_max - est_min) * (est_max - est_min) / (2.0 * g);
+        } else {
+          cand.estimate.lower = 0;
+          cand.estimate.upper = std::numeric_limits<double>::infinity();
+        }
+      } else {
+        cand.estimate =
+            EstimateScore(options_.kind, cand.values, cand.scales,
+                          options_.alpha, r_b);
+      }
+    }
+
+    // Threshold: the k-th best lower bound among surviving candidates and
+    // already-evaluated aggregates (their exact score is its own bound).
+    std::vector<double> lower_bounds;
+    for (const Candidate& cand : candidates_) {
+      if (cand.alive) lower_bounds.push_back(cand.estimate.lower);
+    }
+    for (size_t h = 0; h < arm.num_aggregates(); ++h) {
+      if (arm.moments(h).count() >= 2) {
+        lower_bounds.push_back(arm.Score(h, options_.kind));
+      }
+    }
+    if (lower_bounds.size() <= options_.top_k) break;  // nothing to prune
+    std::nth_element(lower_bounds.begin(),
+                     lower_bounds.begin() + static_cast<long>(options_.top_k - 1),
+                     lower_bounds.end(), std::greater<double>());
+    double threshold = lower_bounds[options_.top_k - 1];
+
+    size_t pruned_this_batch = 0;
+    for (Candidate& cand : candidates_) {
+      if (!cand.alive) continue;
+      if (cand.estimate.upper < threshold) {
+        cand.alive = false;
+        result.pruned.insert(cand.key);
+        ++pruned_this_batch;
+      }
+    }
+    // "Terminates once the sample is exhausted or no aggregates have been
+    // pruned in a given number of batches."
+    if (pruned_this_batch == 0) break;
+  }
+
+  result.time_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace spade

@@ -1,0 +1,114 @@
+#ifndef SPADE_CORE_EARLYSTOP_H_
+#define SPADE_CORE_EARLYSTOP_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/arm.h"
+#include "src/core/lattice.h"
+#include "src/core/mvdcube.h"
+#include "src/stats/attr_stats.h"
+
+namespace spade {
+
+/// Early-stop configuration (Section 5; defaults are the paper's empirical
+/// choice: "a sample size of 60 with 2 batches").
+struct EarlyStopOptions {
+  size_t sample_size = 60;  ///< reservoir capacity per aggregate group
+  size_t num_batches = 2;
+  double alpha = 0.05;  ///< CI level 1 - alpha
+  size_t top_k = 10;
+  InterestingnessKind kind = InterestingnessKind::kVariance;
+};
+
+/// A point estimate of an MDA's interestingness with its large-sample CI.
+struct ScoreEstimate {
+  double score = 0;
+  double lower = 0;
+  double upper = 0;
+  size_t num_groups = 0;
+};
+
+/// Outcome of the pruning pass over one CFS's lattices.
+struct EarlyStopResult {
+  std::set<AggregateKey> pruned;
+  size_t num_candidates = 0;
+  double time_ms = 0;
+};
+
+/// Estimate the interestingness CI from per-group samples (exposed for the
+/// statistical tests). `group_values[g]` holds the sampled per-fact measure
+/// values of group g, `group_scale[g]` the factor applied to the group's
+/// sample mean (1 for avg, the estimated group size c_g for sum/count —
+/// Appendix B). The CI is the Delta-method interval
+///   epsilon = z_{1-alpha/2} * sqrt( sum_g Var(Y_g) * (dh/dy_g)^2 ),
+/// with Var(Y_g) = scale_g^2 * sigma_g^2 / r_g (Section 5.2 / Theorem 2).
+/// `r_limit` restricts each group to its first r_limit sampled values (the
+/// batched refinement of Section 5.1 without copying the sample arrays).
+ScoreEstimate EstimateScore(InterestingnessKind kind,
+                            const std::vector<std::vector<double>>& group_values,
+                            const std::vector<double>& group_scale, double alpha,
+                            size_t r_limit = static_cast<size_t>(-1));
+
+/// \brief The early-stop planner: consumes the stratified reservoir samples
+/// produced during Data Translation (Section 5.3), propagates them down each
+/// lattice, estimates every candidate MDA's interestingness in batches, and
+/// prunes the MDAs whose CI upper bound falls below the running k-th best
+/// lower bound.
+class EarlyStopPlanner {
+ public:
+  EarlyStopPlanner(const Database* db, uint32_t cfs_id, const CfsIndex* cfs,
+                   const std::vector<AttrStats>* offline,
+                   const EarlyStopOptions& options)
+      : db_(db), cfs_id_(cfs_id), cfs_(cfs), offline_(offline), options_(options) {}
+
+  /// Register one lattice, with the translation that already carries its
+  /// reservoirs (TranslationOptions::sample_capacity must have been set).
+  void AddLattice(const LatticeSpec& spec,
+                  const std::vector<DimensionEncoding>& encodings,
+                  const CubeLayout& layout, const Translation& translation,
+                  MeasureCache* measures);
+
+  /// Run the batched pruning. `arm` supplies already-evaluated aggregates
+  /// whose exact scores tighten the k-th best threshold.
+  EarlyStopResult Plan(const Arm& arm);
+
+ private:
+  struct Group {
+    double est_count = 0;          ///< c_g (root-exact, overestimated below root)
+    std::vector<FactId> sample;    ///< deduplicated union of root reservoirs
+    /// Dimension value codes on the node's own dims (null codes included);
+    /// used to project the group into the child tables.
+    std::vector<int32_t> coords;
+    /// Groups with a null coordinate feed descendants but are not estimated
+    /// (reported MDA results never contain null groups).
+    bool has_null = false;
+  };
+  struct Candidate {
+    AggregateKey key;
+    MeasureSpec measure;
+    const MeasureVector* mv = nullptr;  ///< null for count(*)
+    double attr_min = 0, attr_max = 0;  ///< offline bounds (min/max CIs)
+    size_t group_table = 0;             ///< index into group_tables_
+    bool alive = true;
+    ScoreEstimate estimate;
+    /// Per-group sampled values (full sample; batches take prefixes) and the
+    /// group scale factors, extracted once in Plan().
+    std::vector<std::vector<double>> values;
+    std::vector<double> scales;
+  };
+
+  const Database* db_;
+  uint32_t cfs_id_;
+  const CfsIndex* cfs_;
+  const std::vector<AttrStats>* offline_;
+  EarlyStopOptions options_;
+  /// One group table per (lattice, node mask): the node's groups.
+  std::vector<std::vector<Group>> group_tables_;
+  std::vector<Candidate> candidates_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_EARLYSTOP_H_

@@ -1,0 +1,134 @@
+#include "src/core/export.h"
+
+#include <cstdio>
+
+#include "src/core/present.h"
+#include "src/util/string_util.h"
+
+namespace spade {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string CsvEscape(const std::string& s) {
+  bool needs_quotes = s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+std::string JsonNumber(double v) {
+  // JSON has no NaN/Inf; clamp to null-like zero (cannot occur in practice:
+  // scores and aggregates are finite by construction).
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "0";
+  return FormatDouble(v, 9);
+}
+
+}  // namespace
+
+void ExportInsightsJson(const Database& db, const std::vector<Insight>& insights,
+                        InterestingnessKind kind, std::ostream& os) {
+  os << "{\n  \"interestingness\": \"" << InterestingnessName(kind)
+     << "\",\n  \"insights\": [";
+  for (size_t i = 0; i < insights.size(); ++i) {
+    const Insight& insight = insights[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"rank\": " << (i + 1) << ",\n";
+    os << "      \"score\": " << JsonNumber(insight.ranked.score) << ",\n";
+    os << "      \"cfs\": \"" << JsonEscape(insight.cfs_name) << "\",\n";
+    os << "      \"description\": \"" << JsonEscape(insight.description)
+       << "\",\n";
+    os << "      \"visualization\": \""
+       << VisualizationKindName(RecommendVisualization(insight.ranked.key))
+       << "\",\n";
+    os << "      \"dimensions\": [";
+    for (size_t d = 0; d < insight.ranked.key.dims.size(); ++d) {
+      os << (d == 0 ? "" : ", ") << "\""
+         << JsonEscape(db.attribute(insight.ranked.key.dims[d]).name) << "\"";
+    }
+    os << "],\n";
+    if (insight.ranked.key.measure.is_count_star()) {
+      os << "      \"measure\": \"count(*)\",\n";
+    } else {
+      os << "      \"measure\": \""
+         << sparql::AggFuncName(insight.ranked.key.measure.func) << "("
+         << JsonEscape(db.attribute(insight.ranked.key.measure.attr).name)
+         << ")\",\n";
+    }
+    os << "      \"num_groups\": " << insight.ranked.num_groups << ",\n";
+    os << "      \"sparql\": \"" << JsonEscape(insight.sparql) << "\",\n";
+    os << "      \"groups\": [";
+    for (size_t g = 0; g < insight.ranked.groups.size(); ++g) {
+      const GroupResult& group = insight.ranked.groups[g];
+      os << (g == 0 ? "\n" : ",\n") << "        {\"key\": [";
+      for (size_t d = 0; d < group.dim_values.size(); ++d) {
+        os << (d == 0 ? "" : ", ") << "\""
+           << JsonEscape(ValueLabel(db, group.dim_values[d])) << "\"";
+      }
+      os << "], \"value\": " << JsonNumber(group.value) << "}";
+    }
+    if (!insight.ranked.groups.empty()) os << "\n      ";
+    os << "]\n    }";
+  }
+  if (!insights.empty()) os << "\n  ";
+  os << "]\n}\n";
+}
+
+void ExportInsightsCsv(const Database& db, const std::vector<Insight>& insights,
+                       std::ostream& os) {
+  os << "rank,score,cfs,description,group,value\n";
+  for (size_t i = 0; i < insights.size(); ++i) {
+    const Insight& insight = insights[i];
+    for (const GroupResult& group : insight.ranked.groups) {
+      std::string key;
+      for (size_t d = 0; d < group.dim_values.size(); ++d) {
+        if (d > 0) key += " / ";
+        key += ValueLabel(db, group.dim_values[d]);
+      }
+      os << (i + 1) << "," << FormatDouble(insight.ranked.score, 6) << ","
+         << CsvEscape(insight.cfs_name) << ","
+         << CsvEscape(insight.description) << "," << CsvEscape(key) << ","
+         << FormatDouble(group.value, 6) << "\n";
+    }
+  }
+}
+
+}  // namespace spade

@@ -1,0 +1,34 @@
+#ifndef SPADE_CORE_EXPORT_H_
+#define SPADE_CORE_EXPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "src/core/spade.h"
+
+namespace spade {
+
+/// \brief Machine-readable export of discovered insights.
+///
+/// A downstream consumer (notebook, dashboard, the paper's CLF application)
+/// gets, per insight: rank, score, the MDA identity (CFS / dimensions /
+/// measure / function), the recommended visualization, the SPARQL text, and
+/// the stored group tuples. Dimension values are exported as their labels
+/// plus the raw lexical form.
+void ExportInsightsJson(const Database& db, const std::vector<Insight>& insights,
+                        InterestingnessKind kind, std::ostream& os);
+
+/// One-insight-per-line CSV (rank, score, groups, cfs, description) with the
+/// group tuples flattened out — convenient for spreadsheets.
+void ExportInsightsCsv(const Database& db, const std::vector<Insight>& insights,
+                       std::ostream& os);
+
+/// Escape a string for inclusion in a JSON document (exposed for tests).
+std::string JsonEscape(const std::string& s);
+
+/// Escape a CSV field per RFC 4180 (exposed for tests).
+std::string CsvEscape(const std::string& s);
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_EXPORT_H_

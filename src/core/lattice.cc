@@ -1,0 +1,302 @@
+#include "src/core/lattice.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spade {
+
+DimensionEncoding BuildDimensionEncoding(const Database& db, const CfsIndex& cfs,
+                                         AttrId attr) {
+  const AttributeTable& table = db.attribute(attr);
+  DimensionEncoding enc;
+  enc.attr = attr;
+  enc.fact_codes.resize(cfs.size());
+
+  // Pass 1: distinct values among CFS facts.
+  const auto& members = cfs.members();
+  size_t mi = 0;
+  std::vector<TermId> values;
+  for (const auto& [s, o] : table.rows) {
+    while (mi < members.size() && members[mi] < s) ++mi;
+    if (mi == members.size()) break;
+    if (members[mi] != s) continue;
+    values.push_back(o);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  enc.values = std::move(values);
+
+  // Pass 2: per-fact code lists.
+  mi = 0;
+  for (const auto& [s, o] : table.rows) {
+    while (mi < members.size() && members[mi] < s) ++mi;
+    if (mi == members.size()) break;
+    if (members[mi] != s) continue;
+    auto it = std::lower_bound(enc.values.begin(), enc.values.end(), o);
+    enc.fact_codes[mi].push_back(
+        static_cast<int32_t>(it - enc.values.begin()));
+  }
+  for (auto& codes : enc.fact_codes) {
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    if (codes.size() >= 2) ++enc.num_multi_facts;
+  }
+  return enc;
+}
+
+uint64_t CubeLayout::EncodePartition(const std::vector<int>& chunk_coords) const {
+  uint64_t p = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    int d = order[k];
+    p = p * static_cast<uint64_t>(num_chunks[d]) +
+        static_cast<uint64_t>(chunk_coords[d]);
+  }
+  return p;
+}
+
+std::vector<int> CubeLayout::DecodePartition(uint64_t p) const {
+  std::vector<int> cc(order.size(), 0);
+  for (size_t k = order.size(); k-- > 0;) {
+    int d = order[k];
+    cc[d] = static_cast<int>(p % static_cast<uint64_t>(num_chunks[d]));
+    p /= static_cast<uint64_t>(num_chunks[d]);
+  }
+  return cc;
+}
+
+uint64_t CubeLayout::PackCell(const std::vector<int32_t>& coords) const {
+  uint64_t cell = 0;
+  for (size_t i = 0; i < extent.size(); ++i) {
+    cell = cell * static_cast<uint64_t>(extent[i]) +
+           static_cast<uint64_t>(coords[i]);
+  }
+  return cell;
+}
+
+std::vector<int32_t> CubeLayout::UnpackCell(uint64_t cell) const {
+  std::vector<int32_t> coords(extent.size());
+  for (size_t i = extent.size(); i-- > 0;) {
+    coords[i] = static_cast<int32_t>(cell % static_cast<uint64_t>(extent[i]));
+    cell /= static_cast<uint64_t>(extent[i]);
+  }
+  return coords;
+}
+
+namespace {
+
+/// Memory cells of node `mask` under dimension order `pos` (pos[d] =
+/// position, 0 slowest): a dim needs its full extent iff a missing dim with
+/// more than one chunk varies slower than it; otherwise one chunk suffices.
+uint64_t NodeMemory(uint32_t mask, const std::vector<int>& pos,
+                    const std::vector<int>& extent, const std::vector<int>& chunk,
+                    const std::vector<int>& num_chunks, uint32_t* full_mask_out) {
+  size_t n = extent.size();
+  uint64_t cells = 1;
+  uint32_t full_mask = 0;
+  for (size_t d = 0; d < n; ++d) {
+    if (!(mask & (1u << d))) continue;
+    bool full = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (mask & (1u << j)) continue;  // j present: not a missing dim
+      if (num_chunks[j] <= 1) continue;
+      if (pos[j] < pos[d]) {
+        full = true;
+        break;
+      }
+    }
+    if (full) full_mask |= (1u << d);
+    cells *= static_cast<uint64_t>(full ? extent[d] : chunk[d]);
+  }
+  if (full_mask_out != nullptr) *full_mask_out = full_mask;
+  return cells;
+}
+
+}  // namespace
+
+Mmst Mmst::Build(const std::vector<int>& extents, int target_chunk) {
+  Mmst mmst;
+  size_t n = extents.size();
+  CubeLayout& layout = mmst.layout_;
+  layout.extent = extents;
+  layout.chunk.resize(n);
+  layout.num_chunks.resize(n);
+  for (size_t d = 0; d < n; ++d) {
+    layout.chunk[d] = std::max(1, std::min(target_chunk, extents[d]));
+    layout.num_chunks[d] =
+        (extents[d] + layout.chunk[d] - 1) / layout.chunk[d];
+  }
+
+  // Exact search over dimension orders (N <= 4 in the pipeline; guard larger
+  // N by falling back to the descending-extent heuristic order).
+  std::vector<int> best_order(n);
+  std::iota(best_order.begin(), best_order.end(), 0);
+  if (n <= 6) {
+    std::vector<int> perm(best_order);
+    std::sort(perm.begin(), perm.end());
+    uint64_t best_total = ~0ULL;
+    do {
+      std::vector<int> pos(n);
+      for (size_t k = 0; k < n; ++k) pos[perm[k]] = static_cast<int>(k);
+      uint64_t total = 0;
+      for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+        total += NodeMemory(mask, pos, layout.extent, layout.chunk,
+                            layout.num_chunks, nullptr);
+      }
+      if (total < best_total) {
+        best_total = total;
+        best_order = perm;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  } else {
+    std::sort(best_order.begin(), best_order.end(),
+              [&](int a, int b) { return extents[a] > extents[b]; });
+  }
+  layout.order = best_order;
+  layout.pos.resize(n);
+  for (size_t k = 0; k < n; ++k) layout.pos[layout.order[k]] = static_cast<int>(k);
+  layout.num_partitions = 1;
+  for (size_t d = 0; d < n; ++d) {
+    layout.num_partitions *= static_cast<uint64_t>(layout.num_chunks[d]);
+  }
+
+  // Materialize the 2^N nodes.
+  mmst.nodes_.resize(1u << n);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    MmstNode& node = mmst.nodes_[mask];
+    node.mask = mask;
+    for (size_t d = 0; d < n; ++d) {
+      if (mask & (1u << d)) node.dims.push_back(static_cast<int>(d));
+    }
+    node.memory_cells = NodeMemory(mask, layout.pos, layout.extent, layout.chunk,
+                                   layout.num_chunks, &node.full_mask);
+    node.local_extent.resize(node.dims.size());
+    node.stride.resize(node.dims.size());
+    for (size_t k = 0; k < node.dims.size(); ++k) {
+      int d = node.dims[k];
+      node.local_extent[k] =
+          (node.full_mask & (1u << d)) ? layout.extent[d] : layout.chunk[d];
+    }
+    uint64_t stride = 1;
+    for (size_t k = node.dims.size(); k-- > 0;) {
+      node.stride[k] = stride;
+      stride *= static_cast<uint64_t>(node.local_extent[k]);
+    }
+  }
+
+  // Parent choice: among the |missing dims| candidate parents, pick the one
+  // whose in-memory array is smallest — propagation scans the parent array.
+  uint32_t root_mask = (n == 0) ? 0 : ((1u << n) - 1);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (mask == root_mask) continue;
+    MmstNode& node = mmst.nodes_[mask];
+    uint64_t best_mem = ~0ULL;
+    for (size_t d = 0; d < n; ++d) {
+      if (mask & (1u << d)) continue;
+      uint32_t parent_mask = mask | (1u << d);
+      uint64_t mem = mmst.nodes_[parent_mask].memory_cells;
+      if (mem < best_mem) {
+        best_mem = mem;
+        node.parent = static_cast<int>(parent_mask);
+        node.dropped_dim = static_cast<int>(d);
+      }
+    }
+    mmst.nodes_[node.parent].children.push_back(static_cast<int>(mask));
+  }
+  return mmst;
+}
+
+uint64_t Mmst::total_memory_cells() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node.memory_cells;
+  return total;
+}
+
+std::vector<int> Mmst::TopologicalOrder() const {
+  std::vector<int> order(nodes_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    int pa = __builtin_popcount(nodes_[a].mask);
+    int pb = __builtin_popcount(nodes_[b].mask);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  return order;
+}
+
+Translation TranslateData(const std::vector<DimensionEncoding>& dims,
+                          const CubeLayout& layout,
+                          const TranslationOptions& options) {
+  Translation out;
+  size_t n = dims.size();
+  out.partitions.resize(layout.num_partitions);
+  size_t num_facts = n == 0 ? 0 : dims[0].fact_codes.size();
+
+  std::vector<const std::vector<int32_t>*> lists(n);
+  std::vector<int32_t> null_list_storage;
+  std::vector<size_t> odo(n);
+  std::vector<int32_t> coords(n);
+  std::vector<int> chunk_coords(n);
+
+  for (FactId fact = 0; fact < num_facts; ++fact) {
+    bool any_value = false;
+    size_t combos = 1;
+    static const std::vector<int32_t> kEmpty;
+    std::vector<std::vector<int32_t>> null_lists(n);
+    for (size_t d = 0; d < n; ++d) {
+      const std::vector<int32_t>& codes = dims[d].fact_codes[fact];
+      if (codes.empty()) {
+        null_lists[d] = {dims[d].null_code()};
+        lists[d] = &null_lists[d];
+      } else {
+        lists[d] = &codes;
+        any_value = true;
+      }
+      combos *= lists[d]->size();
+    }
+    if (!any_value) continue;  // Section 4.3: facts need >= 1 dimension value
+    ++out.num_facts_translated;
+    if (combos > options.max_combos_per_fact) {
+      out.num_dropped_combos += combos;
+      continue;
+    }
+
+    // Odometer over the cross-product of value code lists.
+    std::fill(odo.begin(), odo.end(), 0);
+    while (true) {
+      for (size_t d = 0; d < n; ++d) {
+        coords[d] = (*lists[d])[odo[d]];
+        chunk_coords[d] = coords[d] / layout.chunk[d];
+      }
+      uint64_t cell = layout.PackCell(coords);
+      uint64_t p = layout.EncodePartition(chunk_coords);
+      out.partitions[p].emplace_back(cell, fact);
+
+      uint32_t& count = out.root_group_count[cell];
+      ++count;
+      if (options.sample_capacity > 0) {
+        // Reservoir sampling (Vitter's algorithm R) per root group.
+        std::vector<FactId>& reservoir = out.reservoirs[cell];
+        if (reservoir.size() < options.sample_capacity) {
+          reservoir.push_back(fact);
+        } else {
+          uint64_t j = options.rng->Uniform(count);
+          if (j < options.sample_capacity) reservoir[j] = fact;
+        }
+      }
+
+      // Advance odometer.
+      size_t d = n;
+      while (d-- > 0) {
+        if (++odo[d] < lists[d]->size()) break;
+        odo[d] = 0;
+        if (d == 0) goto fact_done;
+      }
+      if (n == 0) break;
+    }
+  fact_done:;
+  }
+  (void)null_list_storage;
+  return out;
+}
+
+}  // namespace spade

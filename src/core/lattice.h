@@ -1,0 +1,363 @@
+#ifndef SPADE_CORE_LATTICE_H_
+#define SPADE_CORE_LATTICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/aggregate.h"
+#include "src/store/database.h"
+#include "src/util/rng.h"
+
+namespace spade {
+
+/// \brief Value encoding of one dimension over one CFS.
+///
+/// The distinct values a dimension takes among the CFS facts are sorted and
+/// coded 0..V-1; code V is the implicit `null` added to every dimension's
+/// domain for facts missing it (Section 4.3, Data Translation). Each fact
+/// maps to its sorted list of value codes — possibly several (multi-valued
+/// dimension), possibly none (missing).
+struct DimensionEncoding {
+  AttrId attr = kInvalidAttr;
+  std::vector<TermId> values;                    ///< code -> term
+  std::vector<std::vector<int32_t>> fact_codes;  ///< FactId -> sorted codes
+  size_t num_multi_facts = 0;                    ///< facts with >= 2 values
+
+  int32_t null_code() const { return static_cast<int32_t>(values.size()); }
+  int domain_size() const { return static_cast<int>(values.size()) + 1; }
+  bool multi_valued() const { return num_multi_facts > 0; }
+};
+
+/// Build the encoding of `attr` over `cfs`.
+DimensionEncoding BuildDimensionEncoding(const Database& db, const CfsIndex& cfs,
+                                         AttrId attr);
+
+/// \brief Physical layout of the multidimensional space: a dimension order
+/// (position 0 varies slowest across partitions) and per-dimension chunking.
+/// A partition is one combination of chunk coordinates, holding
+/// chunk[0] x ... x chunk[N-1] cells (Section 4.1's "partitions").
+struct CubeLayout {
+  std::vector<int> order;       ///< order[k] = dim index at position k
+  std::vector<int> pos;         ///< pos[dim] = position in `order`
+  std::vector<int> extent;      ///< per dim: domain size incl. null
+  std::vector<int> chunk;       ///< per dim: chunk size (<= extent)
+  std::vector<int> num_chunks;  ///< per dim: ceil(extent / chunk)
+  uint64_t num_partitions = 1;
+
+  size_t num_dims() const { return extent.size(); }
+
+  /// Partition id of the given per-dim chunk coordinates.
+  uint64_t EncodePartition(const std::vector<int>& chunk_coords) const;
+  /// Per-dim chunk coordinates of partition `p`.
+  std::vector<int> DecodePartition(uint64_t p) const;
+  /// Pack per-dim value coordinates into a cell id (radix = extents, in dim
+  /// index order — independent of `order`).
+  uint64_t PackCell(const std::vector<int32_t>& coords) const;
+  std::vector<int32_t> UnpackCell(uint64_t cell) const;
+};
+
+/// \brief One node of the lattice in the Minimum-Memory Spanning Tree.
+struct MmstNode {
+  uint32_t mask = 0;        ///< subset of lattice dims (bit i = dim i)
+  int parent = -1;          ///< node index of the MMST parent (-1 for root)
+  int dropped_dim = -1;     ///< dim index dropped going parent -> this
+  std::vector<int> children;
+  /// Dims (ascending) present in `mask`.
+  std::vector<int> dims;
+  /// Bit i set => dim i is held at FULL extent in this node's memory; clear
+  /// (and in mask) => held at chunk granularity. A dim needs full extent iff
+  /// some missing dim with more than one chunk varies slower than it — its
+  /// region would otherwise be revisited (Section 4.1 memory model).
+  uint32_t full_mask = 0;
+  /// Per `dims` position: local array extent and stride.
+  std::vector<int> local_extent;
+  std::vector<uint64_t> stride;
+  uint64_t memory_cells = 1;
+};
+
+/// \brief The lattice of 2^N nodes plus its Minimum-Memory Spanning Tree.
+///
+/// ArrayCube [49] picks, per node, the parent minimizing the memory needed to
+/// evaluate all aggregates in one pass; the memory depends on the dimension
+/// order. With N <= 4 we search all N! orders exactly and keep the cheapest
+/// (sum of per-node array sizes). Parents are then chosen to minimize the
+/// size of the array each child must scan during propagation.
+class Mmst {
+ public:
+  /// `extents`: per-dim domain sizes (incl. null); `target_chunk`: desired
+  /// distinct values per dimension per partition.
+  static Mmst Build(const std::vector<int>& extents, int target_chunk);
+
+  const CubeLayout& layout() const { return layout_; }
+  const std::vector<MmstNode>& nodes() const { return nodes_; }
+  /// Node index for a dim subset; nodes are indexed by mask.
+  const MmstNode& node(uint32_t mask) const { return nodes_[mask]; }
+  size_t num_dims() const { return layout_.num_dims(); }
+  int root() const { return static_cast<int>(nodes_.size()) - 1; }
+
+  /// Sum of memory_cells over all nodes (the minimized objective).
+  uint64_t total_memory_cells() const;
+
+  /// Node indexes in topological order: parents before children.
+  std::vector<int> TopologicalOrder() const;
+
+ private:
+  CubeLayout layout_;
+  std::vector<MmstNode> nodes_;  // indexed by mask; root = (1<<N)-1
+};
+
+/// \brief Result of Data Translation (Section 4.3): the partitioned array
+/// representation, plus the exact per-root-group fact counts and the
+/// stratified reservoir sample that early-stop consumes.
+struct Translation {
+  /// partitions[p] = (packed cell id, fact) pairs, facts of partition p.
+  std::vector<std::vector<std::pair<uint64_t, FactId>>> partitions;
+  /// Exact fact count per root cell (group sizes; Appendix B).
+  std::unordered_map<uint64_t, uint32_t> root_group_count;
+  /// Reservoir sample per root cell (present only when sampling enabled).
+  std::unordered_map<uint64_t, std::vector<FactId>> reservoirs;
+  /// Facts contributing to at least one cell.
+  size_t num_facts_translated = 0;
+  /// Combination explosion guard: combos dropped by the per-fact cap. Zero in
+  /// every experiment of the paper's scale; reported, never silent.
+  size_t num_dropped_combos = 0;
+};
+
+struct TranslationOptions {
+  /// Cap on cells one fact may occupy (cross-product of its multi-values).
+  size_t max_combos_per_fact = 4096;
+  /// Reservoir capacity per root group; 0 disables sampling.
+  size_t sample_capacity = 0;
+  Rng* rng = nullptr;  ///< required when sample_capacity > 0
+};
+
+/// Translate the CFS facts into the partitioned array representation. A fact
+/// with no value on any dimension is skipped; missing dimensions map to the
+/// null code.
+Translation TranslateData(const std::vector<DimensionEncoding>& dims,
+                          const CubeLayout& layout,
+                          const TranslationOptions& options);
+
+/// \brief Generic one-pass lattice evaluation engine.
+///
+/// Shared by MVDCube (cells = Roaring bitmaps of facts) and by the ArrayCube
+/// baseline (cells = aggregate-value accumulators): the partition loop, the
+/// region bookkeeping, the parent->child propagation cascade, and the flush
+/// discipline are identical; only the cell payload and the merge/emit
+/// operations differ.
+///
+/// Protocol per partition (in layout order):
+///   1. the root's cells are loaded via `load(cell, fact)`;
+///   2. Flush(root): for every child whose region completed, recursively
+///      flush it, then merge the parent's cells down via `merge(dst, src)`;
+///      finally `emit(node_mask, coords, cell)` is called for every non-empty
+///      cell of the flushed node — exactly once per group over the whole run.
+///
+/// `emit` receives global value coordinates (length N, null codes included);
+/// the caller decides what to do with null groups (MVDCube reports only
+/// null-free groups but propagates everything, Section 4.3).
+template <typename Cell>
+class CubeScaffold {
+ public:
+  using LoadFn = std::function<void(Cell*, FactId)>;
+  using MergeFn = std::function<void(Cell*, const Cell&)>;
+  using EmitFn =
+      std::function<void(uint32_t, const std::vector<int32_t>&, const Cell&)>;
+
+  explicit CubeScaffold(const Mmst* mmst) : mmst_(mmst) {
+    states_.resize(mmst_->nodes().size());
+    subtree_needed_.assign(states_.size(), true);
+  }
+
+  /// Restrict work to the nodes whose results are consumed: a node is
+  /// processed iff it, or some descendant in the MMST, has `wanted` set.
+  /// Early-stop-pruned and ARM-reused nodes still propagate when a live
+  /// descendant needs their cells, but nodes whose whole subtree is dead are
+  /// skipped entirely.
+  void SetWantedNodes(const std::vector<bool>& wanted) {
+    subtree_needed_ = wanted;
+    subtree_needed_.resize(states_.size(), true);
+    // Children have fewer mask bits than parents; iterate masks ascending so
+    // every child is final before its parents aggregate it.
+    for (int idx : ReverseTopological()) {
+      for (int child : mmst_->nodes()[idx].children) {
+        if (subtree_needed_[child]) subtree_needed_[idx] = true;
+      }
+    }
+  }
+
+  /// Peak cells resident after Run() (ablation / memory accounting).
+  uint64_t allocated_cells() const {
+    uint64_t total = 0;
+    for (const auto& st : states_) total += st.cells.size();
+    return total;
+  }
+
+  void Run(const Translation& data, const LoadFn& load, const MergeFn& merge,
+           const EmitFn& emit) {
+    const CubeLayout& layout = mmst_->layout();
+    size_t n = layout.num_dims();
+    if (!subtree_needed_[mmst_->root()]) return;  // nothing to compute at all
+    for (uint64_t p = 0; p < layout.num_partitions; ++p) {
+      if (p < data.partitions.size() && data.partitions[p].empty()) continue;
+      std::vector<int> pc = layout.DecodePartition(p);
+      // Load the partition into the root.
+      int root_idx = mmst_->root();
+      NodeState& root = states_[root_idx];
+      SetRegion(root_idx, pc);
+      if (p < data.partitions.size()) {
+        std::vector<int32_t> coords(n);
+        for (const auto& [cell_id, fact] : data.partitions[p]) {
+          UnpackInto(layout, cell_id, &coords);
+          uint64_t off = LocalOffset(root_idx, coords);
+          if (root.cells[off].Empty()) root.occupied.push_back(off);
+          load(&root.cells[off], fact);
+        }
+      }
+      Flush(root_idx, merge, emit);
+    }
+    // Final cascade: parents before children so every node drains downward.
+    for (int idx : mmst_->TopologicalOrder()) {
+      if (idx == mmst_->root()) continue;  // root flushed per partition
+      if (states_[idx].has_region) Flush(idx, merge, emit);
+    }
+  }
+
+ private:
+  struct NodeState {
+    std::vector<Cell> cells;          ///< allocated once, reused per region
+    std::vector<uint64_t> occupied;   ///< offsets of non-empty cells
+    std::vector<int> region;          ///< per-dim chunk coords (-1 on full dims)
+    bool has_region = false;
+  };
+
+  std::vector<int> ReverseTopological() const {
+    std::vector<int> order = mmst_->TopologicalOrder();
+    std::reverse(order.begin(), order.end());
+    return order;
+  }
+
+  void SetRegion(int idx, const std::vector<int>& pc) {
+    const MmstNode& node = mmst_->nodes()[idx];
+    NodeState& st = states_[idx];
+    if (!st.has_region) {
+      if (st.cells.size() != node.memory_cells) {
+        st.cells.assign(node.memory_cells, Cell());
+      }
+      st.region.assign(mmst_->layout().num_dims(), -1);
+      st.has_region = true;
+    }
+    for (int d : node.dims) {
+      if (!(node.full_mask & (1u << d))) st.region[d] = pc[d];
+    }
+  }
+
+  /// Target region of node `idx` induced by parent region `parent_region`;
+  /// true if it differs from the node's current region.
+  bool RegionChanged(int idx, const std::vector<int>& parent_region) const {
+    const MmstNode& node = mmst_->nodes()[idx];
+    const NodeState& st = states_[idx];
+    if (!st.has_region) return false;
+    for (int d : node.dims) {
+      if (node.full_mask & (1u << d)) continue;
+      if (st.region[d] != parent_region[d]) return true;
+    }
+    return false;
+  }
+
+  uint64_t LocalOffset(int idx, const std::vector<int32_t>& coords) const {
+    const MmstNode& node = mmst_->nodes()[idx];
+    const NodeState& st = states_[idx];
+    const CubeLayout& layout = mmst_->layout();
+    uint64_t offset = 0;
+    for (size_t k = 0; k < node.dims.size(); ++k) {
+      int d = node.dims[k];
+      int32_t comp = coords[d];
+      if (!(node.full_mask & (1u << d))) {
+        comp -= st.region[d] * layout.chunk[d];
+      }
+      offset += static_cast<uint64_t>(comp) * node.stride[k];
+    }
+    return offset;
+  }
+
+  /// Global coords of a local cell offset (nulls where dims are absent —
+  /// absent dims are reported as null only conceptually; for emission the
+  /// caller receives coords of *present* dims and null_code elsewhere).
+  std::vector<int32_t> GlobalCoords(int idx, uint64_t offset) const {
+    const MmstNode& node = mmst_->nodes()[idx];
+    const NodeState& st = states_[idx];
+    const CubeLayout& layout = mmst_->layout();
+    std::vector<int32_t> coords(layout.num_dims(), -1);
+    for (size_t k = 0; k < node.dims.size(); ++k) {
+      int d = node.dims[k];
+      int32_t comp = static_cast<int32_t>((offset / node.stride[k]) %
+                                          static_cast<uint64_t>(node.local_extent[k]));
+      if (!(node.full_mask & (1u << d))) {
+        comp += st.region[d] * layout.chunk[d];
+      }
+      coords[d] = comp;
+    }
+    return coords;
+  }
+
+  void Flush(int idx, const MergeFn& merge, const EmitFn& emit) {
+    const MmstNode& node = mmst_->nodes()[idx];
+    NodeState& st = states_[idx];
+    if (!st.has_region) return;
+
+    // Decode each occupied cell's coordinates once.
+    std::vector<std::vector<int32_t>> coords_of;
+    coords_of.reserve(st.occupied.size());
+    for (uint64_t off : st.occupied) coords_of.push_back(GlobalCoords(idx, off));
+
+    // Propagate to children first (their regions derive from ours).
+    for (int child_idx : node.children) {
+      if (!subtree_needed_[child_idx]) continue;
+      if (RegionChanged(child_idx, st.region)) {
+        Flush(child_idx, merge, emit);
+      }
+      std::vector<int> pc(st.region);
+      for (size_t i = 0; i < pc.size(); ++i) {
+        if (pc[i] < 0) pc[i] = 0;
+      }
+      SetRegion(child_idx, pc);
+      // Merge every non-empty cell downward.
+      NodeState& child = states_[child_idx];
+      for (size_t i = 0; i < st.occupied.size(); ++i) {
+        uint64_t child_off = LocalOffset(child_idx, coords_of[i]);
+        if (child.cells[child_off].Empty()) child.occupied.push_back(child_off);
+        merge(&child.cells[child_off], st.cells[st.occupied[i]]);
+      }
+    }
+
+    // Emit completed cells.
+    for (size_t i = 0; i < st.occupied.size(); ++i) {
+      emit(node.mask, coords_of[i], st.cells[st.occupied[i]]);
+    }
+
+    // Clear only the touched cells; keep the array allocated for reuse.
+    for (uint64_t off : st.occupied) st.cells[off] = Cell();
+    st.occupied.clear();
+    st.has_region = false;
+  }
+
+  const Mmst* mmst_;
+  std::vector<NodeState> states_;
+  std::vector<bool> subtree_needed_;
+
+  static void UnpackInto(const CubeLayout& layout, uint64_t cell,
+                         std::vector<int32_t>* coords) {
+    for (size_t i = layout.num_dims(); i-- > 0;) {
+      (*coords)[i] = static_cast<int32_t>(cell % layout.extent[i]);
+      cell /= layout.extent[i];
+    }
+  }
+};
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_LATTICE_H_

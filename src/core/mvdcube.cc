@@ -1,0 +1,221 @@
+#include "src/core/mvdcube.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/bitmap/roaring.h"
+#include "src/util/timer.h"
+
+namespace spade {
+
+const MeasureVector& MeasureCache::Get(const Database& db, const CfsIndex& cfs,
+                                       AttrId attr) {
+  auto it = cache_.find(attr);
+  if (it != cache_.end()) return it->second;
+  auto [ins, _] = cache_.emplace(attr, BuildMeasureVector(db, cfs, attr));
+  return ins->second;
+}
+
+Mmst BuildMmstForSpec(const Database& db, const CfsIndex& cfs,
+                      const LatticeSpec& spec,
+                      std::vector<DimensionEncoding>* encodings,
+                      int partition_chunk) {
+  encodings->clear();
+  encodings->reserve(spec.dims.size());
+  std::vector<int> extents;
+  for (AttrId d : spec.dims) {
+    encodings->push_back(BuildDimensionEncoding(db, cfs, d));
+    extents.push_back(encodings->back().domain_size());
+  }
+  return Mmst::Build(extents, partition_chunk);
+}
+
+namespace {
+
+/// Bitmap cell for the scaffold.
+struct BitmapCell {
+  RoaringBitmap facts;
+  bool Empty() const { return facts.Empty(); }
+};
+
+/// One MDA to evaluate at a lattice node.
+struct NodeMda {
+  size_t measure_index;  ///< into the lattice's measure list
+  Arm::Handle handle;
+};
+
+}  // namespace
+
+MvdCubeStats EvaluateLatticeMvd(const Database& db, uint32_t cfs_id,
+                                const CfsIndex& cfs, const LatticeSpec& spec,
+                                const MvdCubeOptions& options, Arm* arm,
+                                MeasureCache* measures,
+                                const std::set<AggregateKey>* pruned,
+                                const Translation* pre_translated,
+                                const Mmst* pre_built,
+                                const std::vector<DimensionEncoding>*
+                                    pre_encodings) {
+  MvdCubeStats stats;
+  Timer timer;
+  size_t n = spec.dims.size();
+
+  // --- Build MMST (dimension encodings + layout).
+  std::vector<DimensionEncoding> local_encodings;
+  Mmst local_mmst;
+  const Mmst* mmst = pre_built;
+  if (mmst == nullptr) {
+    local_mmst =
+        BuildMmstForSpec(db, cfs, spec, &local_encodings, options.partition_chunk);
+    mmst = &local_mmst;
+  } else if (pre_encodings == nullptr) {
+    // Encodings still needed for value decoding.
+    for (AttrId d : spec.dims) {
+      local_encodings.push_back(BuildDimensionEncoding(db, cfs, d));
+    }
+  }
+  const std::vector<DimensionEncoding>& encodings =
+      pre_encodings != nullptr ? *pre_encodings : local_encodings;
+  stats.num_nodes = mmst->nodes().size();
+  stats.mmst_memory_cells = mmst->total_memory_cells();
+
+  // --- Data Translation.
+  Translation local_translation;
+  const Translation* translation = pre_translated;
+  if (translation == nullptr) {
+    TranslationOptions topt;
+    topt.max_combos_per_fact = options.max_combos_per_fact;
+    local_translation = TranslateData(encodings, mmst->layout(), topt);
+    translation = &local_translation;
+  }
+  for (const auto& p : translation->partitions) {
+    stats.translation_cells += p.size();
+  }
+  stats.translate_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  // --- Measure Loading (shared across lattices via the cache).
+  std::vector<const MeasureVector*> loaded(spec.measures.size(), nullptr);
+  for (size_t m = 0; m < spec.measures.size(); ++m) {
+    if (!spec.measures[m].is_count_star()) {
+      loaded[m] = &measures->Get(db, cfs, spec.measures[m].attr);
+    }
+  }
+  stats.measure_load_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  // --- Register MDAs per node; skip already-evaluated and pruned keys.
+  size_t num_nodes = size_t{1} << n;
+  std::vector<std::vector<NodeMda>> node_mdas(num_nodes);
+  for (uint32_t mask = 0; mask < num_nodes; ++mask) {
+    std::vector<AttrId> dims;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) dims.push_back(spec.dims[i]);
+    }
+    for (size_t m = 0; m < spec.measures.size(); ++m) {
+      AggregateKey key;
+      key.cfs_id = cfs_id;
+      key.dims = dims;
+      key.measure = spec.measures[m];
+      if (pruned != nullptr && pruned->count(key)) {
+        ++stats.num_mdas_pruned;
+        continue;
+      }
+      if (arm->IsEvaluated(key)) {
+        ++stats.num_mdas_reused;
+        continue;
+      }
+      Arm::Handle handle = arm->Register(key);
+      node_mdas[mask].push_back(NodeMda{m, handle});
+      ++stats.num_mdas_evaluated;
+    }
+  }
+
+  // --- Lattice Computation.
+  CubeScaffold<BitmapCell> scaffold(mmst);
+  {
+    // Skip MMST subtrees with no live MDA anywhere below them.
+    std::vector<bool> wanted(num_nodes, false);
+    for (uint32_t mask = 0; mask < num_nodes; ++mask) {
+      wanted[mask] = !node_mdas[mask].empty();
+    }
+    scaffold.SetWantedNodes(wanted);
+  }
+  auto load = [](BitmapCell* cell, FactId fact) { cell->facts.Add(fact); };
+  auto merge = [](BitmapCell* dst, const BitmapCell& src) {
+    dst->facts.UnionWith(src.facts);
+  };
+  auto emit = [&](uint32_t mask, const std::vector<int32_t>& coords,
+                  const BitmapCell& cell) {
+    const std::vector<NodeMda>& mdas = node_mdas[mask];
+    if (mdas.empty()) return;
+    // Null-coordinate groups exist only to feed descendants.
+    std::vector<TermId> dim_values;
+    for (size_t d = 0; d < n; ++d) {
+      if (!(mask & (1u << d))) continue;
+      if (coords[d] >= encodings[d].null_code()) return;
+      dim_values.push_back(encodings[d].values[coords[d]]);
+    }
+    // Measure computation (the ⊗ of Figure 5): one scan of the bitmap
+    // updates the accumulators of every MDA of this node simultaneously.
+    struct Acc {
+      double count = 0, sum = 0;
+      double min = std::numeric_limits<double>::infinity();
+      double max = -std::numeric_limits<double>::infinity();
+    };
+    std::vector<Acc> accs(spec.measures.size());
+    double count_star = static_cast<double>(cell.facts.Cardinality());
+    bool need_measures = false;
+    for (const NodeMda& mda : mdas) {
+      need_measures |= !spec.measures[mda.measure_index].is_count_star();
+    }
+    if (need_measures) {
+      cell.facts.ForEach([&](uint32_t fact) {
+        for (const NodeMda& mda : mdas) {
+          size_t m = mda.measure_index;
+          if (spec.measures[m].is_count_star()) continue;
+          const MeasureVector& mv = *loaded[m];
+          if (mv.count[fact] == 0) continue;
+          Acc& acc = accs[m];
+          acc.count += mv.count[fact];
+          acc.sum += mv.sum[fact];
+          acc.min = std::min(acc.min, mv.min[fact]);
+          acc.max = std::max(acc.max, mv.max[fact]);
+        }
+      });
+    }
+    for (const NodeMda& mda : mdas) {
+      const MeasureSpec& m = spec.measures[mda.measure_index];
+      double value = 0;
+      if (m.is_count_star()) {
+        value = count_star;
+      } else {
+        const Acc& acc = accs[mda.measure_index];
+        if (acc.count == 0) continue;  // no fact in the group has the measure
+        switch (m.func) {
+          case sparql::AggFunc::kCount:
+            value = acc.count;
+            break;
+          case sparql::AggFunc::kSum:
+            value = acc.sum;
+            break;
+          case sparql::AggFunc::kAvg:
+            value = acc.sum / acc.count;
+            break;
+          case sparql::AggFunc::kMin:
+            value = acc.min;
+            break;
+          case sparql::AggFunc::kMax:
+            value = acc.max;
+            break;
+        }
+      }
+      arm->AddGroup(mda.handle, dim_values, value);
+      ++stats.num_groups_emitted;
+    }
+  };
+  scaffold.Run(*translation, load, merge, emit);
+  stats.compute_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+}  // namespace spade

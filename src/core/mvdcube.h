@@ -1,0 +1,87 @@
+#ifndef SPADE_CORE_MVDCUBE_H_
+#define SPADE_CORE_MVDCUBE_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/arm.h"
+#include "src/core/lattice.h"
+#include "src/store/preagg.h"
+#include "src/util/rng.h"
+
+namespace spade {
+
+/// Per-CFS cache of measure vectors: MVDCube shares loaded measures across
+/// every lattice of a CFS (Section 4.3, Measure Loading), one of its two
+/// structural advantages over PGCube (the other being single evaluation of
+/// nodes shared between lattices, enforced via the ARM).
+class MeasureCache {
+ public:
+  const MeasureVector& Get(const Database& db, const CfsIndex& cfs, AttrId attr);
+  size_t num_loads() const { return cache_.size(); }
+
+ private:
+  std::map<AttrId, MeasureVector> cache_;
+};
+
+/// Tuning knobs of the MVDCube evaluator.
+struct MvdCubeOptions {
+  /// Distinct values per dimension per partition (ArrayCube's chunk size).
+  int partition_chunk = 16;
+  /// Cap on cells a single fact may occupy (multi-value cross product).
+  size_t max_combos_per_fact = 4096;
+};
+
+/// Statistics of one lattice evaluation, reported by benches and tests.
+struct MvdCubeStats {
+  size_t num_nodes = 0;
+  size_t num_mdas_evaluated = 0;  ///< MDA keys newly evaluated
+  size_t num_mdas_reused = 0;     ///< keys already in the ARM (shared nodes)
+  size_t num_mdas_pruned = 0;     ///< keys skipped by early-stop
+  size_t num_groups_emitted = 0;
+  uint64_t translation_cells = 0;
+  uint64_t mmst_memory_cells = 0;
+  double translate_ms = 0;
+  double measure_load_ms = 0;
+  double compute_ms = 0;
+};
+
+/// \brief MVDCube (Section 4.3): correct one-pass lattice evaluation.
+///
+/// Pipeline per lattice: Data Translation lays the facts into the
+/// partitioned array (cells addressed by dimension value codes, multi-valued
+/// facts in several cells, missing values on the added null coordinate);
+/// Measure Loading fetches the per-fact pre-aggregated measures (shared via
+/// MeasureCache); Lattice Computation streams partitions through the MMST,
+/// cells carrying Roaring bitmaps of fact ids. Bitmaps are ORed downward as
+/// dimensions are projected away, so a fact that occupies several parent
+/// cells (multi-valued dimension) is consolidated — counted once — in the
+/// child cell. When a node's region completes, its cells are scanned once:
+/// the bitmap is intersected against the measure arrays (both ordered by
+/// fact id) and every (measure, function) MDA of the node is computed
+/// simultaneously; null-coordinate groups are propagated but not reported.
+///
+/// `pruned` contains MDA keys early-stop decided to skip (their nodes still
+/// propagate). Results stream into `arm`; keys already evaluated there are
+/// reused, not recomputed.
+MvdCubeStats EvaluateLatticeMvd(const Database& db, uint32_t cfs_id,
+                                const CfsIndex& cfs, const LatticeSpec& spec,
+                                const MvdCubeOptions& options, Arm* arm,
+                                MeasureCache* measures,
+                                const std::set<AggregateKey>* pruned = nullptr,
+                                const Translation* pre_translated = nullptr,
+                                const Mmst* pre_built = nullptr,
+                                const std::vector<DimensionEncoding>*
+                                    pre_encodings = nullptr);
+
+/// Build the MMST for a lattice spec (exposed so early-stop and benches can
+/// share one instance with the evaluation).
+Mmst BuildMmstForSpec(const Database& db, const CfsIndex& cfs,
+                      const LatticeSpec& spec,
+                      std::vector<DimensionEncoding>* encodings,
+                      int partition_chunk);
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_MVDCUBE_H_

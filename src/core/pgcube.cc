@@ -1,0 +1,216 @@
+#include "src/core/pgcube.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/store/preagg.h"
+#include "src/util/timer.h"
+
+namespace spade {
+
+namespace {
+
+struct PgAcc {
+  double count_star = 0;
+  std::unordered_set<FactId> distinct_facts;  // kDistinct variant only
+  struct MeasureAcc {
+    double count = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::vector<MeasureAcc> measures;
+};
+
+}  // namespace
+
+std::vector<AggregateResult> EvaluateLatticePgCube(const Database& db,
+                                                   uint32_t cfs_id,
+                                                   const CfsIndex& cfs,
+                                                   const LatticeSpec& spec,
+                                                   PgCubeVariant variant,
+                                                   Arm* arm,
+                                                   PgCubeStats* stats) {
+  Timer timer;
+  size_t n = spec.dims.size();
+
+  // --- The "join": dimension encodings (value tables) and measures, loaded
+  // afresh for this lattice (PGCube shares nothing across lattices).
+  std::vector<DimensionEncoding> encodings;
+  encodings.reserve(n);
+  for (AttrId d : spec.dims) encodings.push_back(BuildDimensionEncoding(db, cfs, d));
+
+  std::vector<AttrId> measure_attrs;
+  for (const auto& m : spec.measures) {
+    if (!m.is_count_star()) measure_attrs.push_back(m.attr);
+  }
+  std::sort(measure_attrs.begin(), measure_attrs.end());
+  measure_attrs.erase(std::unique(measure_attrs.begin(), measure_attrs.end()),
+                      measure_attrs.end());
+  std::vector<MeasureVector> loaded;
+  loaded.reserve(measure_attrs.size());
+  for (AttrId a : measure_attrs) loaded.push_back(BuildMeasureVector(db, cfs, a));
+  auto attr_slot = [&](AttrId a) {
+    return static_cast<size_t>(
+        std::lower_bound(measure_attrs.begin(), measure_attrs.end(), a) -
+        measure_attrs.begin());
+  };
+  if (stats != nullptr) stats->join_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  // --- One pass: every joined row updates all 2^N grouping sets.
+  // Group keys pack the projected value codes (radix = domain size + 1).
+  size_t num_sets = size_t{1} << n;
+  std::vector<std::unordered_map<uint64_t, PgAcc>> sets(num_sets);
+
+  std::vector<size_t> odo(n);
+  std::vector<int32_t> coords(n);
+  size_t joined_rows = 0;
+  for (FactId fact = 0; fact < cfs.size(); ++fact) {
+    bool any_value = false;
+    std::vector<const std::vector<int32_t>*> lists(n);
+    std::vector<std::vector<int32_t>> null_lists(n);
+    for (size_t d = 0; d < n; ++d) {
+      const auto& codes = encodings[d].fact_codes[fact];
+      if (codes.empty()) {
+        null_lists[d] = {encodings[d].null_code()};
+        lists[d] = &null_lists[d];
+      } else {
+        lists[d] = &codes;
+        any_value = true;
+      }
+    }
+    if (!any_value) continue;
+
+    std::fill(odo.begin(), odo.end(), 0);
+    while (true) {
+      for (size_t d = 0; d < n; ++d) coords[d] = (*lists[d])[odo[d]];
+      ++joined_rows;
+      // Update every grouping set with this row.
+      for (uint32_t mask = 0; mask < num_sets; ++mask) {
+        uint64_t key = 0;
+        for (size_t d = 0; d < n; ++d) {
+          if (!(mask & (1u << d))) continue;
+          key = key * static_cast<uint64_t>(encodings[d].domain_size()) +
+                static_cast<uint64_t>(coords[d]);
+        }
+        PgAcc& acc = sets[mask][key];
+        if (acc.measures.empty()) acc.measures.resize(measure_attrs.size());
+        acc.count_star += 1;
+        if (variant == PgCubeVariant::kDistinct) acc.distinct_facts.insert(fact);
+        for (size_t a = 0; a < measure_attrs.size(); ++a) {
+          const MeasureVector& mv = loaded[a];
+          if (mv.count[fact] == 0) continue;
+          PgAcc::MeasureAcc& ma = acc.measures[a];
+          ma.count += mv.count[fact];
+          ma.sum += mv.sum[fact];
+          ma.min = std::min(ma.min, mv.min[fact]);
+          ma.max = std::max(ma.max, mv.max[fact]);
+        }
+      }
+      size_t d = n;
+      bool done = (n == 0);
+      while (d-- > 0) {
+        if (++odo[d] < lists[d]->size()) break;
+        odo[d] = 0;
+        if (d == 0) done = true;
+      }
+      if (done) break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->num_joined_rows = joined_rows;
+    stats->aggregate_ms = timer.ElapsedMillis();
+  }
+
+  // --- Lay out results per (node, measure); skip null-coordinate groups.
+  std::vector<AggregateResult> out;
+  for (uint32_t mask = 0; mask < num_sets; ++mask) {
+    std::vector<AttrId> dims;
+    std::vector<size_t> dim_idx;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        dims.push_back(spec.dims[i]);
+        dim_idx.push_back(i);
+      }
+    }
+    // Decode group keys once per node.
+    std::vector<std::pair<std::vector<TermId>, const PgAcc*>> groups;
+    for (const auto& [key, acc] : sets[mask]) {
+      uint64_t k = key;
+      std::vector<int32_t> vals(dim_idx.size());
+      for (size_t j = dim_idx.size(); j-- > 0;) {
+        size_t d = dim_idx[j];
+        vals[j] = static_cast<int32_t>(
+            k % static_cast<uint64_t>(encodings[d].domain_size()));
+        k /= static_cast<uint64_t>(encodings[d].domain_size());
+      }
+      bool has_null = false;
+      std::vector<TermId> terms(dim_idx.size());
+      for (size_t j = 0; j < dim_idx.size(); ++j) {
+        size_t d = dim_idx[j];
+        if (vals[j] >= encodings[d].null_code()) {
+          has_null = true;
+          break;
+        }
+        terms[j] = encodings[d].values[vals[j]];
+      }
+      if (has_null) continue;
+      groups.emplace_back(std::move(terms), &acc);
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    for (const auto& m : spec.measures) {
+      AggregateResult result;
+      result.key.cfs_id = cfs_id;
+      result.key.dims = dims;
+      result.key.measure = m;
+      for (const auto& [terms, acc] : groups) {
+        double value = 0;
+        if (m.is_count_star()) {
+          value = (variant == PgCubeVariant::kDistinct)
+                      ? static_cast<double>(acc->distinct_facts.size())
+                      : acc->count_star;
+        } else {
+          const PgAcc::MeasureAcc& ma = acc->measures[attr_slot(m.attr)];
+          if (ma.count == 0) continue;
+          switch (m.func) {
+            case sparql::AggFunc::kCount:
+              value = ma.count;
+              break;
+            case sparql::AggFunc::kSum:
+              value = ma.sum;
+              break;
+            case sparql::AggFunc::kAvg:
+              value = ma.sum / ma.count;
+              break;
+            case sparql::AggFunc::kMin:
+              value = ma.min;
+              break;
+            case sparql::AggFunc::kMax:
+              value = ma.max;
+              break;
+          }
+        }
+        result.groups.push_back(GroupResult{terms, value});
+      }
+      if (stats != nullptr) {
+        ++stats->num_mdas_evaluated;
+        stats->num_groups_emitted += result.groups.size();
+      }
+      if (arm != nullptr && !arm->IsEvaluated(result.key)) {
+        Arm::Handle handle = arm->Register(result.key);
+        for (const auto& g : result.groups) {
+          arm->AddGroup(handle, g.dim_values, g.value);
+        }
+      }
+      out.push_back(std::move(result));
+    }
+  }
+  return out;
+}
+
+}  // namespace spade

@@ -1,0 +1,52 @@
+#ifndef SPADE_CORE_PRESENT_H_
+#define SPADE_CORE_PRESENT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/core/spade.h"
+
+namespace spade {
+
+/// How an insight should be shown (Section 1: "(i) histograms (if
+/// one-dimensional), (ii) heat maps (if two-dimensional), or (iii) tables
+/// (for high-dimensional aggregates)").
+enum class VisualizationKind : uint8_t {
+  kHistogram = 0,  ///< 1 dimension
+  kHeatMap,        ///< 2 dimensions
+  kTable,          ///< 3+ dimensions (or none)
+};
+
+const char* VisualizationKindName(VisualizationKind kind);
+
+/// Pick the visualization for an MDA by its dimensionality.
+VisualizationKind RecommendVisualization(const AggregateKey& key);
+
+/// Rendering knobs.
+struct RenderOptions {
+  size_t max_rows = 16;     ///< histogram bars / table rows shown
+  size_t max_columns = 10;  ///< heat-map columns shown
+  size_t bar_width = 40;    ///< histogram bar length at the maximum value
+  size_t label_width = 28;
+};
+
+/// Render one insight as text: histogram, heat map (value-shaded grid), or
+/// table, per RecommendVisualization. `db` resolves dimension value terms to
+/// labels. Groups beyond the caps are summarized, never silently dropped.
+void RenderInsight(const Database& db, const Insight& insight,
+                   const RenderOptions& options, std::ostream& os);
+
+/// Individual renderers (exposed for tests).
+void RenderHistogram(const Database& db, const Insight& insight,
+                     const RenderOptions& options, std::ostream& os);
+void RenderHeatMap(const Database& db, const Insight& insight,
+                   const RenderOptions& options, std::ostream& os);
+void RenderTable(const Database& db, const Insight& insight,
+                 const RenderOptions& options, std::ostream& os);
+
+/// Human-readable label of a dimension value term.
+std::string ValueLabel(const Database& db, TermId term);
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_PRESENT_H_

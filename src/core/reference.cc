@@ -1,0 +1,158 @@
+#include "src/core/reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "src/core/lattice.h"
+
+namespace spade {
+
+namespace {
+
+struct Acc {
+  double count_star = 0;  ///< distinct facts
+  double count = 0;       ///< measure values
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+double Finish(const Acc& acc, const MeasureSpec& m) {
+  using sparql::AggFunc;
+  if (m.is_count_star()) return acc.count_star;
+  switch (m.func) {
+    case AggFunc::kCount:
+      return acc.count;
+    case AggFunc::kSum:
+      return acc.sum;
+    case AggFunc::kAvg:
+      return acc.count > 0 ? acc.sum / acc.count : 0;
+    case AggFunc::kMin:
+      return acc.count > 0 ? acc.min : 0;
+    case AggFunc::kMax:
+      return acc.count > 0 ? acc.max : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void SortGroups(AggregateResult* result) {
+  std::sort(result->groups.begin(), result->groups.end(),
+            [](const GroupResult& a, const GroupResult& b) {
+              return a.dim_values < b.dim_values;
+            });
+}
+
+std::vector<AggregateResult> EvaluateReference(const Database& db,
+                                               uint32_t cfs_id,
+                                               const CfsIndex& cfs,
+                                               const LatticeSpec& spec) {
+  std::vector<AggregateResult> out;
+  size_t n = spec.dims.size();
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<AttrId> dims;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) dims.push_back(spec.dims[i]);
+    }
+    for (const auto& measure : spec.measures) {
+      out.push_back(EvaluateReferenceNode(db, cfs_id, cfs, spec, dims, measure));
+    }
+  }
+  return out;
+}
+
+AggregateResult EvaluateReferenceNode(const Database& db, uint32_t cfs_id,
+                                      const CfsIndex& cfs,
+                                      const LatticeSpec& spec,
+                                      const std::vector<AttrId>& dims,
+                                      const MeasureSpec& measure) {
+  AggregateResult result;
+  result.key.cfs_id = cfs_id;
+  result.key.dims = dims;
+  result.key.measure = measure;
+
+  // Per-fact dimension values, for the node's own dims (not the lattice's).
+  std::vector<DimensionEncoding> encodings;
+  encodings.reserve(dims.size());
+  for (AttrId d : dims) encodings.push_back(BuildDimensionEncoding(db, cfs, d));
+  // Lattice dims (for the `all`-node population rule).
+  std::vector<DimensionEncoding> lattice_encodings;
+  if (dims.empty()) {
+    for (AttrId d : spec.dims) {
+      lattice_encodings.push_back(BuildDimensionEncoding(db, cfs, d));
+    }
+  }
+
+  MeasureVector mv;
+  if (!measure.is_count_star()) {
+    mv = BuildMeasureVector(db, cfs, measure.attr);
+  }
+
+  std::map<std::vector<TermId>, Acc> groups;
+  std::vector<size_t> odo(dims.size());
+  for (FactId fact = 0; fact < cfs.size(); ++fact) {
+    // Facts must have every node dimension.
+    bool has_all = true;
+    for (const auto& enc : encodings) has_all &= !enc.fact_codes[fact].empty();
+    if (!has_all) continue;
+    if (dims.empty()) {
+      bool any = false;
+      for (const auto& enc : lattice_encodings) {
+        any |= !enc.fact_codes[fact].empty();
+      }
+      if (!any) continue;
+    }
+    // Measure contribution of this fact (once per group).
+    double f_count = 0, f_sum = 0, f_min = 0, f_max = 0;
+    if (measure.is_count_star()) {
+      // nothing to fetch
+    } else {
+      f_count = mv.count[fact];
+      f_sum = mv.sum[fact];
+      f_min = mv.min[fact];
+      f_max = mv.max[fact];
+      if (f_count == 0) {
+        // A fact with dimensions but no measure values contributes nothing
+        // (Example 2: n1 misses `age` and is absent from the result). This
+        // matches the SPARQL semantics, where the measure triple pattern
+        // would not bind.
+        continue;
+      }
+    }
+
+    std::fill(odo.begin(), odo.end(), 0);
+    while (true) {
+      std::vector<TermId> key(dims.size());
+      for (size_t d = 0; d < dims.size(); ++d) {
+        key[d] = encodings[d].values[encodings[d].fact_codes[fact][odo[d]]];
+      }
+      Acc& acc = groups[key];
+      acc.count_star += 1;
+      acc.count += f_count;
+      acc.sum += f_sum;
+      if (f_count > 0) {
+        acc.min = std::min(acc.min, f_min);
+        acc.max = std::max(acc.max, f_max);
+      }
+      // Advance odometer.
+      size_t d = dims.size();
+      bool done = dims.empty();
+      while (d-- > 0) {
+        if (++odo[d] < encodings[d].fact_codes[fact].size()) break;
+        odo[d] = 0;
+        if (d == 0) done = true;
+      }
+      if (done) break;
+    }
+  }
+
+  for (const auto& [key, acc] : groups) {
+    result.groups.push_back(GroupResult{key, Finish(acc, measure)});
+  }
+  SortGroups(&result);
+  return result;
+}
+
+}  // namespace spade

@@ -1,0 +1,46 @@
+#ifndef SPADE_CORE_REFERENCE_H_
+#define SPADE_CORE_REFERENCE_H_
+
+#include <vector>
+
+#include "src/core/aggregate.h"
+#include "src/store/preagg.h"
+
+namespace spade {
+
+/// \brief Direct (per-node) MDA evaluation with the paper's Section 2
+/// semantics — the correctness oracle.
+///
+/// For every lattice node, each fact that has at least one value on *every*
+/// node dimension contributes its pre-aggregated measure values exactly once
+/// to each group formed by the cross-product of its dimension values. Facts
+/// missing any node dimension do not contribute to that node. No node is
+/// computed from another, so multi-valued dimensions cannot corrupt results;
+/// the cost is re-scanning the facts for each of the 2^N nodes, which is
+/// exactly what one-pass algorithms avoid.
+///
+/// The empty dimension set (the lattice's `all` node) aggregates the facts
+/// having at least one value on some lattice dimension — the same fact
+/// population the one-pass algorithms translate (Section 4.3).
+///
+/// Results are returned per node mask (bit i = spec.dims[i]) and measure, as
+/// sorted group lists so that algorithm outputs can be compared exactly.
+std::vector<AggregateResult> EvaluateReference(const Database& db,
+                                               uint32_t cfs_id,
+                                               const CfsIndex& cfs,
+                                               const LatticeSpec& spec);
+
+/// Evaluate a single node (dims must be a subset of spec.dims).
+AggregateResult EvaluateReferenceNode(const Database& db, uint32_t cfs_id,
+                                      const CfsIndex& cfs,
+                                      const LatticeSpec& spec,
+                                      const std::vector<AttrId>& dims,
+                                      const MeasureSpec& measure);
+
+/// Canonicalize group ordering (sort by dimension value terms) so results
+/// from different algorithms compare with ==.
+void SortGroups(AggregateResult* result);
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_REFERENCE_H_

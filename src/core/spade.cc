@@ -1,0 +1,260 @@
+#include "src/core/spade.h"
+
+#include <algorithm>
+
+#include "src/util/timer.h"
+
+namespace spade {
+
+const char* EvalAlgorithmName(EvalAlgorithm algo) {
+  switch (algo) {
+    case EvalAlgorithm::kMvdCube:
+      return "MVDCube";
+    case EvalAlgorithm::kPgCubeStar:
+      return "PGCube*";
+    case EvalAlgorithm::kPgCubeDistinct:
+      return "PGCube_d";
+  }
+  return "?";
+}
+
+Spade::Spade(Graph* graph, SpadeOptions options)
+    : graph_(graph), options_(std::move(options)) {
+  arm_ = std::make_unique<Arm>(options_.max_stored_groups);
+}
+
+Status Spade::RunOffline() {
+  Timer timer;
+  if (options_.saturate) {
+    Saturate(graph_);
+    report_.timings.saturation_ms = timer.ElapsedMillis();
+    timer.Restart();
+  }
+  report_.num_triples = graph_->NumTriples();
+
+  summary_ = StructuralSummary::Build(*graph_);
+  report_.timings.summary_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  db_ = std::make_unique<Database>(graph_);
+  db_->BuildDirectAttributes();
+  report_.num_direct_properties = db_->num_attributes();
+  report_.timings.attribute_tables_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  offline_stats_.clear();
+  for (AttrId a = 0; a < db_->num_attributes(); ++a) {
+    offline_stats_.push_back(ComputeAttrStats(*db_, a));
+  }
+  report_.timings.offline_stats_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  if (options_.enable_derivations) {
+    report_.derivations = DeriveAll(db_.get(), offline_stats_, options_.derivation);
+    // Analyze the derived attributes as well: the pipeline needs their kinds
+    // and bounds (enumeration, early-stop min/max CIs).
+    for (AttrId a = static_cast<AttrId>(offline_stats_.size());
+         a < db_->num_attributes(); ++a) {
+      offline_stats_.push_back(ComputeAttrStats(*db_, a));
+    }
+  }
+  report_.timings.derivation_ms = timer.ElapsedMillis();
+
+  offline_done_ = true;
+  return Status::OK();
+}
+
+void Spade::EvaluateCfs(uint32_t cfs_id, const CfsIndex& index,
+                        const std::vector<LatticeSpec>& lattices) {
+  if (options_.algorithm == EvalAlgorithm::kPgCubeStar ||
+      options_.algorithm == EvalAlgorithm::kPgCubeDistinct) {
+    PgCubeVariant variant = options_.algorithm == EvalAlgorithm::kPgCubeStar
+                                ? PgCubeVariant::kStar
+                                : PgCubeVariant::kDistinct;
+    for (const auto& spec : lattices) {
+      PgCubeStats stats;
+      EvaluateLatticePgCube(*db_, cfs_id, index, spec, variant, arm_.get(),
+                            &stats);
+      report_.num_evaluated_aggregates += stats.num_mdas_evaluated;
+    }
+    return;
+  }
+
+  // MVDCube path, optionally with early-stop.
+  MeasureCache measures;
+  std::set<AggregateKey> pruned;
+  std::vector<std::vector<DimensionEncoding>> encodings(lattices.size());
+  std::vector<Mmst> mmsts(lattices.size());
+  std::vector<Translation> translations(lattices.size());
+  bool pre_built = false;
+
+  if (options_.enable_earlystop) {
+    Timer es_timer;
+    Rng rng(options_.seed ^ (0x9e3779b97f4a7c15ULL * (cfs_id + 1)));
+    EarlyStopOptions es_options = options_.earlystop;
+    es_options.kind = options_.interestingness;
+    es_options.top_k = std::max(es_options.top_k, options_.top_k);
+    EarlyStopPlanner planner(db_.get(), cfs_id, &index, &offline_stats_,
+                             es_options);
+    for (size_t li = 0; li < lattices.size(); ++li) {
+      mmsts[li] = BuildMmstForSpec(*db_, index, lattices[li], &encodings[li],
+                                   options_.mvd.partition_chunk);
+      TranslationOptions topt;
+      topt.max_combos_per_fact = options_.mvd.max_combos_per_fact;
+      topt.sample_capacity = es_options.sample_size;
+      topt.rng = &rng;
+      translations[li] =
+          TranslateData(encodings[li], mmsts[li].layout(), topt);
+      planner.AddLattice(lattices[li], encodings[li], mmsts[li].layout(),
+                         translations[li], &measures);
+    }
+    EarlyStopResult es = planner.Plan(*arm_);
+    pruned = std::move(es.pruned);
+    pre_built = true;
+    // Unique pruned MDA keys (a shared node would otherwise be counted once
+    // per lattice below).
+    report_.num_pruned_aggregates += pruned.size();
+    report_.timings.earlystop_ms += es_timer.ElapsedMillis();
+  }
+
+  for (size_t li = 0; li < lattices.size(); ++li) {
+    MvdCubeStats stats = EvaluateLatticeMvd(
+        *db_, cfs_id, index, lattices[li], options_.mvd, arm_.get(), &measures,
+        pruned.empty() ? nullptr : &pruned,
+        pre_built ? &translations[li] : nullptr,
+        pre_built ? &mmsts[li] : nullptr,
+        pre_built ? &encodings[li] : nullptr);
+    report_.num_evaluated_aggregates += stats.num_mdas_evaluated;
+    report_.num_reused_aggregates += stats.num_mdas_reused;
+  }
+}
+
+Result<std::vector<Insight>> Spade::RunOnline() {
+  if (!offline_done_) {
+    return Status::Internal("RunOffline() must complete before RunOnline()");
+  }
+  Timer timer;
+
+  // Step 1: Candidate Fact Set Selection.
+  fact_sets_ = SelectCandidateFactSets(*graph_, &summary_, options_.cfs);
+  report_.num_cfs = fact_sets_.size();
+  report_.timings.cfs_selection_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  // Steps 2-4 per CFS.
+  for (uint32_t cfs_id = 0; cfs_id < fact_sets_.size(); ++cfs_id) {
+    CfsIndex index(fact_sets_[cfs_id].members);
+
+    // Step 2: Online Attribute Analysis.
+    Timer step;
+    CfsAnalysis analysis =
+        AnalyzeAttributes(*db_, index, offline_stats_, options_.enumeration);
+    report_.timings.attribute_analysis_ms += step.ElapsedMillis();
+    step.Restart();
+
+    // Step 3: Aggregate Enumeration.
+    std::vector<LatticeSpec> lattices = EnumerateLattices(
+        *db_, index, analysis, offline_stats_, options_.enumeration);
+    report_.num_lattices += lattices.size();
+    report_.num_candidate_aggregates +=
+        CountCandidateAggregates(cfs_id, lattices);
+    report_.timings.enumeration_ms += step.ElapsedMillis();
+    step.Restart();
+
+    // Step 4: Aggregate Evaluation.
+    EvaluateCfs(cfs_id, index, lattices);
+    report_.timings.evaluation_ms += step.ElapsedMillis();
+  }
+  // Early-stop time is inside evaluation wall-clock; report it separately.
+  report_.timings.evaluation_ms -= report_.timings.earlystop_ms;
+  timer.Restart();
+
+  // Step 5: Top-k Computation.
+  std::vector<Arm::Ranked> ranked =
+      arm_->TopK(options_.top_k, options_.interestingness);
+  std::vector<Insight> insights;
+  insights.reserve(ranked.size());
+  for (auto& r : ranked) {
+    Insight insight;
+    insight.cfs_name = fact_sets_[r.key.cfs_id].name;
+    insight.description =
+        DescribeAggregate(*db_, fact_sets_[r.key.cfs_id], r.key);
+    insight.sparql = MdaToSparql(r.key);
+    insight.ranked = std::move(r);
+    insights.push_back(std::move(insight));
+  }
+  report_.timings.topk_ms = timer.ElapsedMillis();
+  return insights;
+}
+
+std::string Spade::MdaToSparql(const AggregateKey& key) const {
+  const CandidateFactSet& cfs = fact_sets_[key.cfs_id];
+  std::string head = "SELECT";
+  std::string body;
+  std::string comments;
+
+  // CFS membership pattern.
+  if (cfs.origin == CandidateFactSet::Origin::kType &&
+      cfs.type != kInvalidTerm) {
+    body += "  ?cf a <" + graph_->dict().Get(cfs.type).lexical + "> .\n";
+  } else {
+    comments += "# facts: " + cfs.name + " (" +
+                (cfs.origin == CandidateFactSet::Origin::kSummary
+                     ? "structural-summary equivalence class"
+                     : "property-based selection") +
+                ")\n";
+  }
+
+  auto attr_pattern = [&](AttrId attr, const std::string& var) -> std::string {
+    const AttributeTable& table = db_->attribute(attr);
+    switch (table.origin) {
+      case AttrOrigin::kDirect:
+        return "  ?cf <" + graph_->dict().Get(table.property).lexical + "> " +
+               var + " .\n";
+      case AttrOrigin::kPath: {
+        // Recover the two hops from the derived-from chain: the table name
+        // is "p/q"; derived_from points at p.
+        const AttributeTable& first = db_->attribute(table.derived_from);
+        std::string second = table.name.substr(first.name.size() + 1);
+        auto second_id = db_->FindAttribute(second);
+        std::string p1 = "<" + graph_->dict().Get(first.property).lexical + ">";
+        std::string p2 =
+            second_id.has_value() &&
+                    db_->attribute(*second_id).property != kInvalidTerm
+                ? "<" + graph_->dict().Get(db_->attribute(*second_id).property)
+                            .lexical +
+                      ">"
+                : second;
+        return "  ?cf " + p1 + "/" + p2 + " " + var + " .\n";
+      }
+      case AttrOrigin::kCount:
+      case AttrOrigin::kKeyword:
+      case AttrOrigin::kLanguage:
+        comments += "# " + var + " = " + table.name +
+                    " (derived property; materialized by Spade)\n";
+        return "  ?cf <spade:derived/" + table.name + "> " + var + " .\n";
+    }
+    return "";
+  };
+
+  std::string group_by;
+  for (size_t i = 0; i < key.dims.size(); ++i) {
+    std::string var = "?d" + std::to_string(i + 1);
+    head += " " + var;
+    group_by += (i == 0 ? "" : " ") + var;
+    body += attr_pattern(key.dims[i], var);
+  }
+  if (key.measure.is_count_star()) {
+    head += " (COUNT(*) AS ?v)";
+  } else {
+    head += " (" + std::string(sparql::AggFuncName(key.measure.func)) +
+            "(?m) AS ?v)";
+    body += attr_pattern(key.measure.attr, "?m");
+  }
+
+  std::string query = comments + head + "\nWHERE {\n" + body + "}";
+  if (!key.dims.empty()) query += "\nGROUP BY " + group_by;
+  return query;
+}
+
+}  // namespace spade

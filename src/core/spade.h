@@ -1,0 +1,141 @@
+#ifndef SPADE_CORE_SPADE_H_
+#define SPADE_CORE_SPADE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/arm.h"
+#include "src/core/cfs.h"
+#include "src/core/earlystop.h"
+#include "src/core/enumeration.h"
+#include "src/core/mvdcube.h"
+#include "src/core/pgcube.h"
+#include "src/derive/derivations.h"
+#include "src/rdf/ontology.h"
+#include "src/summary/summary.h"
+#include "src/util/status.h"
+
+namespace spade {
+
+/// Which Aggregate Evaluation module the online pipeline uses (Section 6
+/// compares them; MVDCube is the system default).
+enum class EvalAlgorithm : uint8_t {
+  kMvdCube = 0,
+  kPgCubeStar,      ///< PostgreSQL-style cube, count(*)
+  kPgCubeDistinct,  ///< PostgreSQL-style cube, count(distinct)
+};
+
+const char* EvalAlgorithmName(EvalAlgorithm algo);
+
+/// All knobs of the end-to-end pipeline.
+struct SpadeOptions {
+  CfsOptions cfs;
+  EnumerationOptions enumeration;
+  DerivationOptions derivation;
+  MvdCubeOptions mvd;
+  EarlyStopOptions earlystop;
+
+  bool saturate = false;            ///< RDFS saturation before analysis
+  bool enable_derivations = true;   ///< Section 6.2 woD/wD switch
+  bool enable_earlystop = false;
+  EvalAlgorithm algorithm = EvalAlgorithm::kMvdCube;
+  InterestingnessKind interestingness = InterestingnessKind::kVariance;
+  size_t top_k = 10;
+  uint64_t seed = 42;
+  /// Group tuples retained per MDA for presentation.
+  size_t max_stored_groups = 64;
+};
+
+/// Wall-clock per pipeline step (Figure 11's stacked bars).
+struct SpadeTimings {
+  // Offline.
+  double saturation_ms = 0;
+  double summary_ms = 0;
+  double attribute_tables_ms = 0;
+  double offline_stats_ms = 0;
+  double derivation_ms = 0;
+  // Online.
+  double cfs_selection_ms = 0;
+  double attribute_analysis_ms = 0;
+  double enumeration_ms = 0;
+  double earlystop_ms = 0;
+  double evaluation_ms = 0;
+  double topk_ms = 0;
+
+  double OfflineTotal() const {
+    return saturation_ms + summary_ms + attribute_tables_ms + offline_stats_ms +
+           derivation_ms;
+  }
+  double OnlineTotal() const {
+    return cfs_selection_ms + attribute_analysis_ms + enumeration_ms +
+           earlystop_ms + evaluation_ms + topk_ms;
+  }
+};
+
+/// Dataset / run profile, the source of Table 2 and the R-observations.
+struct SpadeReport {
+  size_t num_triples = 0;
+  size_t num_cfs = 0;
+  size_t num_direct_properties = 0;  ///< #P
+  DerivationReport derivations;      ///< #DP by kind
+  size_t num_lattices = 0;
+  size_t num_candidate_aggregates = 0;  ///< #A
+  size_t num_evaluated_aggregates = 0;
+  size_t num_reused_aggregates = 0;
+  size_t num_pruned_aggregates = 0;
+  SpadeTimings timings;
+};
+
+/// One returned insight: a top-k aggregate with its provenance.
+struct Insight {
+  Arm::Ranked ranked;
+  std::string cfs_name;
+  std::string description;  ///< human-readable MDA identity
+  std::string sparql;       ///< SPARQL 1.1 rendering (Section 2 semantics)
+};
+
+/// \brief The Spade pipeline (Figure 2): offline graph preparation + online
+/// top-k interesting-aggregate discovery.
+class Spade {
+ public:
+  Spade(Graph* graph, SpadeOptions options);
+
+  /// Offline Processing: optional saturation, structural summary, attribute
+  /// tables, offline statistics, derived property enumeration.
+  Status RunOffline();
+
+  /// Online Processing, steps 1-5. Requires RunOffline() first.
+  Result<std::vector<Insight>> RunOnline();
+
+  const SpadeReport& report() const { return report_; }
+  const Database& database() const { return *db_; }
+  Database* mutable_database() { return db_.get(); }
+  const std::vector<CandidateFactSet>& fact_sets() const { return fact_sets_; }
+  const Arm& arm() const { return *arm_; }
+  const std::vector<AttrStats>& offline_stats() const { return offline_stats_; }
+  const StructuralSummary& summary() const { return summary_; }
+
+  /// Render an MDA as a SPARQL 1.1 aggregate query over the original graph.
+  /// Derived dimensions that SPARQL cannot express as a property path
+  /// (count / keyword / language) are annotated as comments.
+  std::string MdaToSparql(const AggregateKey& key) const;
+
+ private:
+  void EvaluateCfs(uint32_t cfs_id, const CfsIndex& index,
+                   const std::vector<LatticeSpec>& lattices);
+
+  Graph* graph_;
+  SpadeOptions options_;
+  std::unique_ptr<Database> db_;
+  StructuralSummary summary_;
+  std::vector<AttrStats> offline_stats_;
+  std::vector<CandidateFactSet> fact_sets_;
+  std::unique_ptr<Arm> arm_;
+  SpadeReport report_;
+  bool offline_done_ = false;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_CORE_SPADE_H_

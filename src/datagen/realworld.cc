@@ -1,0 +1,559 @@
+#include "src/datagen/realworld.h"
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace spade {
+
+namespace {
+
+constexpr const char* kNs = "http://data.spade/";
+
+// Small vocabulary pools used across generators.
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> v = {
+      "Angola",  "Brazil", "France",  "Lebanon", "Nigeria", "Germany",
+      "Japan",   "USA",    "UK",      "Italy",   "Spain",   "India",
+      "China",   "Russia", "Canada",  "Mexico",  "Egypt",   "Kenya",
+      "Sweden",  "Norway", "Poland",  "Greece",  "Chile",   "Peru",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Areas() {
+  static const std::vector<std::string> v = {
+      "Automotive", "Diamond",   "Manufacturer", "NaturalGas", "Banking",
+      "Software",   "Retail",    "Telecom",      "Energy",     "Airline",
+      "Media",      "Chemicals", "Pharma",       "Insurance",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Words() {
+  static const std::vector<std::string> v = {
+      "petroleum", "production", "global",   "holding",  "diversified",
+      "pipeline",  "investment", "mining",   "renewable", "logistics",
+      "satellite", "research",   "medical",  "consumer",  "electronics",
+      "precision", "industrial", "maritime", "security",  "financial",
+  };
+  return v;
+}
+
+std::string Iri(const std::string& tail) { return std::string(kNs) + tail; }
+
+// Build a pseudo-sentence of `n` words from the pool, optionally salted with
+// French/Spanish stop words so language detection has work to do.
+std::string MakeText(Rng* rng, size_t n, int lang /*0=en,1=fr,2=es*/) {
+  static const std::vector<std::string> en = {"the", "of", "and", "is", "in"};
+  static const std::vector<std::string> fr = {"le", "la", "des", "est", "dans"};
+  static const std::vector<std::string> es = {"el", "la", "los", "es", "en"};
+  const std::vector<std::string>& glue = lang == 1 ? fr : lang == 2 ? es : en;
+  std::string text;
+  for (size_t i = 0; i < n; ++i) {
+    if (!text.empty()) text += " ";
+    if (i % 2 == 1) {
+      text += glue[rng->Uniform(glue.size())];
+    } else {
+      text += Words()[rng->Uniform(Words().size())];
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+const char* RealDatasetName(RealDataset dataset) {
+  switch (dataset) {
+    case RealDataset::kAirline:
+      return "Airline";
+    case RealDataset::kCeos:
+      return "CEOs";
+    case RealDataset::kDblp:
+      return "DBLP";
+    case RealDataset::kFoodista:
+      return "Foodista";
+    case RealDataset::kNasa:
+      return "NASA";
+    case RealDataset::kNobel:
+      return "Nobel";
+  }
+  return "?";
+}
+
+std::vector<RealDataset> AllRealDatasets() {
+  return {RealDataset::kAirline, RealDataset::kCeos,  RealDataset::kDblp,
+          RealDataset::kFoodista, RealDataset::kNasa, RealDataset::kNobel};
+}
+
+std::unique_ptr<Graph> GenerateRealDataset(RealDataset dataset, uint64_t seed,
+                                           double scale) {
+  switch (dataset) {
+    case RealDataset::kAirline:
+      return GenerateAirline(seed, scale);
+    case RealDataset::kCeos:
+      return GenerateCeos(seed, scale);
+    case RealDataset::kDblp:
+      return GenerateDblp(seed, scale);
+    case RealDataset::kFoodista:
+      return GenerateFoodista(seed, scale);
+    case RealDataset::kNasa:
+      return GenerateNasa(seed, scale);
+    case RealDataset::kNobel:
+      return GenerateNobel(seed, scale);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Graph> GenerateAirline(uint64_t seed, double scale) {
+  // Originally a relational flight-delay table: one CF per tuple, a fixed
+  // set of single-valued mostly-numeric properties, no inter-tuple links.
+  auto graph = std::make_unique<Graph>();
+  Dictionary& dict = graph->dict();
+  Rng rng(seed);
+  size_t n = static_cast<size_t>(8000 * scale);
+
+  TermId type = dict.InternIri(Iri("airline/Flight"));
+  const std::vector<std::string> carriers = {"AA", "DL", "UA", "WN", "B6",
+                                             "AS", "NK", "F9", "HA", "G4"};
+  const std::vector<std::string> airports = {"ATL", "LAX", "ORD", "DFW", "DEN",
+                                             "JFK", "SFO", "SEA", "MIA", "BOS",
+                                             "PHX", "IAH", "MSP", "DTW", "CLT"};
+  std::vector<TermId> props;
+  const std::vector<std::string> numeric_props = {
+      "depDelay",  "arrDelay",     "carrierDelay", "weatherDelay",
+      "nasDelay",  "lateAircraft", "taxiIn",       "taxiOut",
+      "airTime",   "distance",     "actualElapsed", "crsElapsed"};
+  for (size_t f = 0; f < n; ++f) {
+    std::string id = "airline/flight/" + std::to_string(f);
+    TermId fact = dict.InternIri(Iri(id));
+    graph->Add(fact, graph->rdf_type(), type);
+    auto addp = [&](const std::string& p, TermId o) {
+      graph->Add(fact, dict.InternIri(Iri("airline/" + p)), o);
+    };
+    addp("carrier", dict.InternString(carriers[rng.Zipf(carriers.size(), 1.0)]));
+    addp("origin", dict.InternString(airports[rng.Zipf(airports.size(), 0.8)]));
+    addp("dest", dict.InternString(airports[rng.Zipf(airports.size(), 0.8)]));
+    addp("month", dict.InternInteger(static_cast<int64_t>(rng.Uniform(12) + 1)));
+    addp("dayOfWeek", dict.InternInteger(static_cast<int64_t>(rng.Uniform(7) + 1)));
+    addp("cancelled", dict.InternInteger(rng.Bernoulli(0.02) ? 1 : 0));
+    for (const auto& p : numeric_props) {
+      double base = 20.0 + 15.0 * rng.NextGaussian();
+      if (rng.Bernoulli(0.03)) base += 180.0;  // big-delay outliers
+      addp(p, dict.InternDouble(base < 0 ? 0 : base));
+    }
+  }
+  graph->Freeze();
+  return graph;
+}
+
+std::unique_ptr<Graph> GenerateCeos(uint64_t seed, double scale) {
+  // WikiData 2-hop neighbourhood of CEOs: heterogeneous, many types, heavy
+  // multi-valued properties (nationality, occupation, company), links that
+  // feed path derivations, money/age measures (Figures 1 and 6a).
+  auto graph = std::make_unique<Graph>();
+  Dictionary& dict = graph->dict();
+  Rng rng(seed);
+
+  size_t num_ceos = static_cast<size_t>(900 * scale);
+  size_t num_companies = static_cast<size_t>(1600 * scale);
+  size_t num_politicians = static_cast<size_t>(450 * scale);
+
+  TermId t_ceo = dict.InternIri(Iri("ceos/CEO"));
+  TermId t_company = dict.InternIri(Iri("ceos/Company"));
+  TermId t_politician = dict.InternIri(Iri("ceos/Politician"));
+  TermId t_person = dict.InternIri(Iri("ceos/Person"));
+  TermId t_country = dict.InternIri(Iri("ceos/Country"));
+  TermId t_city = dict.InternIri(Iri("ceos/City"));
+
+  auto prop = [&](const std::string& p) { return dict.InternIri(Iri("ceos/" + p)); };
+  TermId p_nationality = prop("nationality");
+  TermId p_gender = prop("gender");
+  TermId p_age = prop("age");
+  TermId p_networth = prop("netWorth");
+  TermId p_company = prop("company");
+  TermId p_occupation = prop("occupation");
+  TermId p_polconn = prop("politicalConnection");
+  TermId p_country_of_origin = prop("countryOfOrigin");
+  TermId p_area = prop("area");
+  TermId p_hq = prop("headquarters");
+  TermId p_desc = prop("description");
+  TermId p_role = prop("role");
+  TermId p_name = prop("name");
+  TermId p_revenue = prop("revenue");
+  TermId p_employees = prop("employees");
+  TermId p_located_in = prop("locatedIn");
+  TermId p_population = prop("population");
+
+  const std::vector<std::string> occupations = {
+      "Entrepreneur", "Philanthropist", "Shareholder", "Investor",
+      "Engineer",     "Economist",      "Lawyer",      "Banker"};
+  const std::vector<std::string> roles = {"President", "Minister", "Senator",
+                                          "Governor", "Mayor"};
+
+  // Countries and cities (2-hop leaf entities, each typed).
+  std::vector<TermId> countries, cities;
+  for (size_t i = 0; i < Countries().size(); ++i) {
+    TermId c = dict.InternIri(Iri("ceos/country/" + Countries()[i]));
+    graph->Add(c, graph->rdf_type(), t_country);
+    graph->Add(c, p_name, dict.InternString(Countries()[i]));
+    graph->Add(c, p_population,
+               dict.InternInteger(static_cast<int64_t>(1e6 + rng.Uniform(2e8))));
+    countries.push_back(c);
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    TermId c = dict.InternIri(Iri("ceos/city/" + std::to_string(i)));
+    graph->Add(c, graph->rdf_type(), t_city);
+    graph->Add(c, p_name, dict.InternString("City" + std::to_string(i)));
+    graph->Add(c, p_located_in, countries[rng.Uniform(countries.size())]);
+    cities.push_back(c);
+  }
+
+  // Companies.
+  std::vector<TermId> companies;
+  for (size_t i = 0; i < num_companies; ++i) {
+    TermId c = dict.InternIri(Iri("ceos/company/" + std::to_string(i)));
+    graph->Add(c, graph->rdf_type(), t_company);
+    graph->Add(c, p_name, dict.InternString("Company" + std::to_string(i)));
+    // Multi-valued area (1-3 values, Zipf-skewed).
+    size_t num_areas = 1 + rng.Uniform(3);
+    for (size_t a = 0; a < num_areas; ++a) {
+      graph->Add(c, p_area,
+                 dict.InternString(Areas()[rng.Zipf(Areas().size(), 1.1)]));
+    }
+    graph->Add(c, p_hq, cities[rng.Uniform(cities.size())]);
+    if (rng.Bernoulli(0.7)) {
+      graph->Add(c, p_desc,
+                 dict.Intern(Term::Literal(MakeText(&rng, 8, 0))));
+    }
+    if (rng.Bernoulli(0.8)) {
+      graph->Add(c, p_revenue,
+                 dict.InternDouble(1e6 * (1.0 + rng.Uniform(5000))));
+    }
+    if (rng.Bernoulli(0.8)) {
+      graph->Add(c, p_employees,
+                 dict.InternInteger(static_cast<int64_t>(10 + rng.Uniform(200000))));
+    }
+    companies.push_back(c);
+  }
+
+  // Politicians.
+  std::vector<TermId> politicians;
+  for (size_t i = 0; i < num_politicians; ++i) {
+    TermId pol = dict.InternIri(Iri("ceos/politician/" + std::to_string(i)));
+    graph->Add(pol, graph->rdf_type(), t_politician);
+    graph->Add(pol, graph->rdf_type(), t_person);
+    graph->Add(pol, p_name, dict.InternString("Politician" + std::to_string(i)));
+    graph->Add(pol, p_role, dict.InternString(roles[rng.Zipf(roles.size(), 1.0)]));
+    graph->Add(pol, p_nationality, countries[rng.Zipf(countries.size(), 0.9)]);
+    politicians.push_back(pol);
+  }
+
+  // CEOs: the headline fact set.
+  for (size_t i = 0; i < num_ceos; ++i) {
+    TermId ceo = dict.InternIri(Iri("ceos/ceo/" + std::to_string(i)));
+    graph->Add(ceo, graph->rdf_type(), t_ceo);
+    graph->Add(ceo, graph->rdf_type(), t_person);
+    graph->Add(ceo, p_name, dict.InternString("Ceo" + std::to_string(i)));
+    // Multi-valued nationality (Ghosn has four).
+    size_t num_nat = rng.Bernoulli(0.25) ? 1 + rng.Uniform(3) : 1;
+    for (size_t k = 0; k < num_nat; ++k) {
+      graph->Add(ceo, p_nationality,
+                 countries[rng.Zipf(countries.size(), 0.8)]);
+    }
+    if (rng.Bernoulli(0.85)) {  // some CEOs miss gender (Figure 4)
+      graph->Add(ceo, p_gender,
+                 dict.InternString(rng.Bernoulli(0.23) ? "Female" : "Male"));
+    }
+    if (rng.Bernoulli(0.8)) {
+      graph->Add(ceo, p_age,
+                 dict.InternInteger(static_cast<int64_t>(
+                     35 + rng.Uniform(45))));
+    }
+    if (rng.Bernoulli(0.7)) {
+      double nw = 1e7 * (1 + rng.Uniform(500));
+      if (rng.Bernoulli(0.02)) nw *= 40;  // dos Santos-like outliers
+      graph->Add(ceo, p_networth, dict.InternDouble(nw));
+    }
+    if (rng.Bernoulli(0.5)) {
+      graph->Add(ceo, p_country_of_origin,
+                 countries[rng.Zipf(countries.size(), 0.8)]);
+    }
+    size_t num_occ = 1 + rng.Uniform(3);
+    for (size_t k = 0; k < num_occ; ++k) {
+      graph->Add(ceo, p_occupation,
+                 dict.InternString(occupations[rng.Zipf(occupations.size(), 1.0)]));
+    }
+    size_t num_comp = 1 + rng.Uniform(3);  // multi-valued company links
+    for (size_t k = 0; k < num_comp; ++k) {
+      graph->Add(ceo, p_company, companies[rng.Uniform(companies.size())]);
+    }
+    if (rng.Bernoulli(0.35)) {
+      graph->Add(ceo, p_polconn, politicians[rng.Uniform(politicians.size())]);
+    }
+  }
+  graph->Freeze();
+  return graph;
+}
+
+std::unique_ptr<Graph> GenerateDblp(uint64_t seed, double scale) {
+  // Publications: one type, year as the only low-cardinality direct
+  // dimension; titles carry keywords; authors are multi-valued references.
+  auto graph = std::make_unique<Graph>();
+  Dictionary& dict = graph->dict();
+  Rng rng(seed);
+  size_t num_pubs = static_cast<size_t>(6000 * scale);
+  size_t num_authors = static_cast<size_t>(2000 * scale);
+
+  TermId t_pub = dict.InternIri(Iri("dblp/Publication"));
+  auto prop = [&](const std::string& p) { return dict.InternIri(Iri("dblp/" + p)); };
+  TermId p_year = prop("year");
+  TermId p_title = prop("title");
+  TermId p_author = prop("author");
+  TermId p_pages = prop("numPages");
+  TermId p_venue = prop("venue");
+  TermId p_citations = prop("citations");
+  TermId p_name = prop("name");
+
+  std::vector<TermId> authors;
+  for (size_t i = 0; i < num_authors; ++i) {
+    TermId a = dict.InternIri(Iri("dblp/author/" + std::to_string(i)));
+    graph->Add(a, p_name, dict.InternString("Author" + std::to_string(i)));
+    authors.push_back(a);
+  }
+  const std::vector<std::string> venues = {"SIGMOD", "VLDB", "ICDE", "EDBT",
+                                           "CIKM",   "KDD",  "WWW",  "ISWC"};
+  for (size_t i = 0; i < num_pubs; ++i) {
+    TermId pub = dict.InternIri(Iri("dblp/pub/" + std::to_string(i)));
+    graph->Add(pub, graph->rdf_type(), t_pub);
+    graph->Add(pub, p_year,
+               dict.InternInteger(static_cast<int64_t>(1990 + rng.Uniform(32))));
+    graph->Add(pub, p_title, dict.Intern(Term::Literal(MakeText(&rng, 9, 0))));
+    graph->Add(pub, p_venue, dict.InternString(venues[rng.Zipf(venues.size(), 0.9)]));
+    graph->Add(pub, p_pages,
+               dict.InternInteger(static_cast<int64_t>(4 + rng.Uniform(26))));
+    graph->Add(pub, p_citations,
+               dict.InternInteger(static_cast<int64_t>(rng.Zipf(500, 1.3))));
+    size_t num_auth = 1 + rng.Uniform(5);  // multi-valued
+    for (size_t k = 0; k < num_auth; ++k) {
+      graph->Add(pub, p_author, authors[rng.Uniform(authors.size())]);
+    }
+  }
+  graph->Freeze();
+  return graph;
+}
+
+std::unique_ptr<Graph> GenerateFoodista(uint64_t seed, double scale) {
+  // Recipes / foods / techniques; multilingual descriptions; multi-valued
+  // ingredient links. Few aggregates exist without derivations (Table 2).
+  auto graph = std::make_unique<Graph>();
+  Dictionary& dict = graph->dict();
+  Rng rng(seed);
+  size_t num_recipes = static_cast<size_t>(2500 * scale);
+  size_t num_foods = static_cast<size_t>(800 * scale);
+  size_t num_techniques = static_cast<size_t>(60 * scale);
+
+  TermId t_recipe = dict.InternIri(Iri("foodista/Recipe"));
+  TermId t_food = dict.InternIri(Iri("foodista/Food"));
+  TermId t_technique = dict.InternIri(Iri("foodista/Technique"));
+  auto prop = [&](const std::string& p) {
+    return dict.InternIri(Iri("foodista/" + p));
+  };
+  TermId p_ingredient = prop("ingredient");
+  TermId p_technique = prop("usesTechnique");
+  TermId p_desc = prop("description");
+  TermId p_title = prop("title");
+  TermId p_category = prop("category");
+  TermId p_name = prop("name");
+
+  const std::vector<std::string> categories = {"Dessert", "Main", "Starter",
+                                               "Drink", "Salad", "Soup"};
+  std::vector<TermId> foods, techniques;
+  for (size_t i = 0; i < num_foods; ++i) {
+    TermId f = dict.InternIri(Iri("foodista/food/" + std::to_string(i)));
+    graph->Add(f, graph->rdf_type(), t_food);
+    graph->Add(f, p_name, dict.InternString("Food" + std::to_string(i)));
+    if (rng.Bernoulli(0.4)) {
+      graph->Add(f, p_category,
+                 dict.InternString(categories[rng.Uniform(categories.size())]));
+    }
+    foods.push_back(f);
+  }
+  for (size_t i = 0; i < num_techniques; ++i) {
+    TermId t = dict.InternIri(Iri("foodista/technique/" + std::to_string(i)));
+    graph->Add(t, graph->rdf_type(), t_technique);
+    graph->Add(t, p_name, dict.InternString("Technique" + std::to_string(i)));
+    techniques.push_back(t);
+  }
+  for (size_t i = 0; i < num_recipes; ++i) {
+    TermId r = dict.InternIri(Iri("foodista/recipe/" + std::to_string(i)));
+    graph->Add(r, graph->rdf_type(), t_recipe);
+    graph->Add(r, p_title, dict.InternString("Recipe" + std::to_string(i)));
+    int lang = static_cast<int>(rng.Uniform(3));
+    graph->Add(r, p_desc, dict.Intern(Term::Literal(MakeText(&rng, 12, lang))));
+    size_t num_ing = 2 + rng.Uniform(8);  // heavily multi-valued
+    for (size_t k = 0; k < num_ing; ++k) {
+      graph->Add(r, p_ingredient, foods[rng.Zipf(foods.size(), 0.7)]);
+    }
+    if (rng.Bernoulli(0.6)) {
+      graph->Add(r, p_technique, techniques[rng.Uniform(techniques.size())]);
+    }
+  }
+  graph->Freeze();
+  return graph;
+}
+
+std::unique_ptr<Graph> GenerateNasa(uint64_t seed, double scale) {
+  // Launches / spacecraft / sites / agencies (Figures 6b, 6c).
+  auto graph = std::make_unique<Graph>();
+  Dictionary& dict = graph->dict();
+  Rng rng(seed);
+  size_t num_launches = static_cast<size_t>(1800 * scale);
+  size_t num_spacecraft = static_cast<size_t>(1200 * scale);
+
+  TermId t_launch = dict.InternIri(Iri("nasa/Launch"));
+  TermId t_spacecraft = dict.InternIri(Iri("nasa/Spacecraft"));
+  TermId t_site = dict.InternIri(Iri("nasa/LaunchSite"));
+  TermId t_agency = dict.InternIri(Iri("nasa/Agency"));
+  auto prop = [&](const std::string& p) { return dict.InternIri(Iri("nasa/" + p)); };
+  TermId p_site = prop("launchSite");
+  TermId p_spacecraft = prop("spacecraft");
+  TermId p_agency = prop("agency");
+  TermId p_mass = prop("mass");
+  TermId p_discipline = prop("discipline");
+  TermId p_year = prop("launchYear");
+  TermId p_name = prop("name");
+  TermId p_country = prop("country");
+
+  const std::vector<std::string> sites = {
+      "Plesetsk",      "Bajkonur", "CapeCanaveral", "Vandenberg",
+      "Kourou",        "Tanegashima", "Jiuquan",    "Sriharikota",
+      "WallopsIsland", "Svobodny"};
+  const std::vector<std::string> agencies = {"USSR", "USA",   "ESA",
+                                             "JAXA", "CNSA",  "ISRO"};
+  const std::vector<std::string> disciplines = {
+      "HumanCrew",   "Microgravity", "LifeSciences", "Repair",
+      "Astronomy",   "EarthScience", "Communication", "Navigation",
+      "Surveillance"};
+
+  std::vector<TermId> site_nodes, agency_nodes;
+  for (const auto& s : sites) {
+    TermId node = dict.InternIri(Iri("nasa/site/" + s));
+    graph->Add(node, graph->rdf_type(), t_site);
+    graph->Add(node, p_name, dict.InternString(s));
+    site_nodes.push_back(node);
+  }
+  for (const auto& a : agencies) {
+    TermId node = dict.InternIri(Iri("nasa/agency/" + a));
+    graph->Add(node, graph->rdf_type(), t_agency);
+    graph->Add(node, p_name, dict.InternString(a));
+    graph->Add(node, p_country, dict.InternString(a));
+    agency_nodes.push_back(node);
+  }
+
+  std::vector<TermId> craft_nodes;
+  for (size_t i = 0; i < num_spacecraft; ++i) {
+    TermId c = dict.InternIri(Iri("nasa/spacecraft/" + std::to_string(i)));
+    graph->Add(c, graph->rdf_type(), t_spacecraft);
+    graph->Add(c, p_name, dict.InternString("Craft" + std::to_string(i)));
+    graph->Add(c, p_agency, agency_nodes[rng.Zipf(agency_nodes.size(), 0.9)]);
+    size_t num_disc = 1 + rng.Uniform(2);  // multi-valued discipline
+    double mass = 500 + 400 * rng.NextGaussian();
+    for (size_t k = 0; k < num_disc; ++k) {
+      size_t d = rng.Zipf(disciplines.size(), 0.8);
+      graph->Add(c, p_discipline, dict.InternString(disciplines[d]));
+      if (d < 4) mass += 4000;  // crewed/serviced craft are much heavier
+    }
+    graph->Add(c, p_mass, dict.InternDouble(mass < 50 ? 50 : mass));
+    craft_nodes.push_back(c);
+  }
+  for (size_t i = 0; i < num_launches; ++i) {
+    TermId l = dict.InternIri(Iri("nasa/launch/" + std::to_string(i)));
+    graph->Add(l, graph->rdf_type(), t_launch);
+    // USSR launches concentrate on Plesetsk/Bajkonur (Figure 6b).
+    TermId craft = craft_nodes[rng.Uniform(craft_nodes.size())];
+    graph->Add(l, p_spacecraft, craft);
+    bool ussr = !graph->Objects(craft, p_agency).empty() &&
+                graph->Objects(craft, p_agency)[0] == agency_nodes[0];
+    size_t site =
+        ussr ? rng.Uniform(2) : 2 + rng.Zipf(site_nodes.size() - 2, 1.0);
+    graph->Add(l, p_site, site_nodes[site]);
+    graph->Add(l, p_year,
+               dict.InternInteger(static_cast<int64_t>(1957 + rng.Uniform(60))));
+  }
+  graph->Freeze();
+  return graph;
+}
+
+std::unique_ptr<Graph> GenerateNobel(uint64_t seed, double scale) {
+  // Laureates / prizes / universities; multi-valued affiliations.
+  auto graph = std::make_unique<Graph>();
+  Dictionary& dict = graph->dict();
+  Rng rng(seed);
+  size_t num_laureates = static_cast<size_t>(950 * scale);
+  size_t num_universities = static_cast<size_t>(300 * scale);
+
+  TermId t_laureate = dict.InternIri(Iri("nobel/Laureate"));
+  TermId t_prize = dict.InternIri(Iri("nobel/Prize"));
+  TermId t_university = dict.InternIri(Iri("nobel/University"));
+  auto prop = [&](const std::string& p) { return dict.InternIri(Iri("nobel/" + p)); };
+  TermId p_category = prop("category");
+  TermId p_year = prop("year");
+  TermId p_share = prop("share");
+  TermId p_affiliation = prop("affiliation");
+  TermId p_born = prop("bornIn");
+  TermId p_gender = prop("gender");
+  TermId p_motivation = prop("motivation");
+  TermId p_prize = prop("prize");
+  TermId p_name = prop("name");
+  TermId p_country = prop("country");
+  TermId p_age_at_award = prop("ageAtAward");
+
+  const std::vector<std::string> categories = {"Physics",  "Chemistry",
+                                               "Medicine", "Literature",
+                                               "Peace",    "Economics"};
+  std::vector<TermId> universities;
+  for (size_t i = 0; i < num_universities; ++i) {
+    TermId u = dict.InternIri(Iri("nobel/university/" + std::to_string(i)));
+    graph->Add(u, graph->rdf_type(), t_university);
+    graph->Add(u, p_name, dict.InternString("University" + std::to_string(i)));
+    graph->Add(u, p_country,
+               dict.InternString(Countries()[rng.Zipf(Countries().size(), 0.9)]));
+    universities.push_back(u);
+  }
+  for (size_t i = 0; i < num_laureates; ++i) {
+    TermId person = dict.InternIri(Iri("nobel/laureate/" + std::to_string(i)));
+    graph->Add(person, graph->rdf_type(), t_laureate);
+    graph->Add(person, p_name, dict.InternString("Laureate" + std::to_string(i)));
+    graph->Add(person, p_gender,
+               dict.InternString(rng.Bernoulli(0.07) ? "Female" : "Male"));
+    graph->Add(person, p_born,
+               dict.InternString(Countries()[rng.Zipf(Countries().size(), 0.8)]));
+    size_t num_aff = 1 + rng.Uniform(3);  // multi-valued affiliation
+    for (size_t k = 0; k < num_aff; ++k) {
+      graph->Add(person, p_affiliation,
+                 universities[rng.Zipf(universities.size(), 0.9)]);
+    }
+    // Prize node per laureate (share may split it).
+    TermId prize = dict.InternIri(Iri("nobel/prize/" + std::to_string(i)));
+    graph->Add(prize, graph->rdf_type(), t_prize);
+    size_t cat = rng.Uniform(categories.size());
+    graph->Add(prize, p_category, dict.InternString(categories[cat]));
+    graph->Add(prize, p_year,
+               dict.InternInteger(static_cast<int64_t>(1901 + rng.Uniform(120))));
+    graph->Add(prize, p_share,
+               dict.InternInteger(static_cast<int64_t>(1 + rng.Uniform(4))));
+    graph->Add(person, p_prize, prize);
+    graph->Add(person, p_age_at_award,
+               dict.InternInteger(static_cast<int64_t>(
+                   cat == 4 ? 50 + rng.Uniform(40)  // peace skews older
+                            : 35 + rng.Uniform(45))));
+    graph->Add(person, p_motivation,
+               dict.Intern(Term::Literal(MakeText(&rng, 10, 0))));
+  }
+  graph->Freeze();
+  return graph;
+}
+
+}  // namespace spade

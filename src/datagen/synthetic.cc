@@ -1,0 +1,85 @@
+#include "src/datagen/synthetic.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace spade {
+
+std::unique_ptr<Graph> GenerateSynthetic(const SyntheticOptions& options) {
+  auto graph = std::make_unique<Graph>();
+  Dictionary& dict = graph->dict();
+  Rng rng(options.seed);
+
+  size_t n = options.dim_cardinality.size();
+  TermId type = dict.InternIri(synth::kFactType);
+  std::vector<TermId> dim_props(n);
+  for (size_t d = 0; d < n; ++d) {
+    dim_props[d] = dict.InternIri(synth::kDimPrefix + std::to_string(d));
+  }
+  std::vector<TermId> measure_props(options.num_measures);
+  for (size_t m = 0; m < options.num_measures; ++m) {
+    measure_props[m] = dict.InternIri(synth::kMeasurePrefix + std::to_string(m));
+  }
+
+  // Sparsity: draw dimension values from a contiguous prefix of the domain
+  // covering a (1 - s) fraction (at least 2 values so grouping stays
+  // meaningful) — fewer populated combinations at higher s.
+  std::vector<int> effective(n);
+  for (size_t d = 0; d < n; ++d) {
+    effective[d] = std::max(
+        2, static_cast<int>((1.0 - options.sparsity) *
+                            static_cast<double>(options.dim_cardinality[d])));
+  }
+
+  // Pre-intern dimension value literals (dense small domains).
+  std::vector<std::vector<TermId>> dim_values(n);
+  for (size_t d = 0; d < n; ++d) {
+    dim_values[d].resize(static_cast<size_t>(options.dim_cardinality[d]));
+    for (int v = 0; v < options.dim_cardinality[d]; ++v) {
+      dim_values[d][static_cast<size_t>(v)] = dict.InternInteger(v);
+    }
+  }
+
+  bool multi[32] = {false};
+  for (size_t d : options.multi_valued_dims) {
+    if (d < 32) multi[d] = true;
+  }
+
+  for (size_t f = 0; f < options.num_facts; ++f) {
+    TermId fact =
+        dict.InternIri("http://bench.spade/fact/" + std::to_string(f));
+    graph->Add(fact, graph->rdf_type(), type);
+    for (size_t d = 0; d < n; ++d) {
+      if (options.missing_prob > 0 && rng.Bernoulli(options.missing_prob)) {
+        continue;
+      }
+      int v = static_cast<int>(rng.Uniform(static_cast<uint64_t>(effective[d])));
+      graph->Add(fact, dim_props[d], dim_values[d][static_cast<size_t>(v)]);
+      if (d < 32 && multi[d] && rng.Bernoulli(options.multi_value_prob)) {
+        int v2 = static_cast<int>(
+            rng.Uniform(static_cast<uint64_t>(effective[d])));
+        if (v2 != v) {
+          graph->Add(fact, dim_props[d], dim_values[d][static_cast<size_t>(v2)]);
+        }
+      }
+    }
+    for (size_t m = 0; m < options.num_measures; ++m) {
+      if (options.missing_prob > 0 && rng.Bernoulli(options.missing_prob)) {
+        continue;
+      }
+      // Measures: normal around a per-measure center so variance-based
+      // interestingness has structure to find.
+      double value = 100.0 * static_cast<double>(m + 1) +
+                     10.0 * rng.NextGaussian() +
+                     (rng.Bernoulli(0.01) ? 500.0 : 0.0);  // rare outliers
+      graph->Add(fact, measure_props[m],
+                 dict.InternDouble(value));
+    }
+  }
+  graph->Freeze();
+  return graph;
+}
+
+}  // namespace spade

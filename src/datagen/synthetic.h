@@ -1,0 +1,53 @@
+#ifndef SPADE_DATAGEN_SYNTHETIC_H_
+#define SPADE_DATAGEN_SYNTHETIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/rdf/graph.h"
+
+namespace spade {
+
+/// \brief The paper's synthetic benchmark (Section 6.5).
+///
+/// A single CFS of |CFS| facts (all typed `bench:Fact`), N dimensions and M
+/// numeric measures, all property values numeric. Each dimension D_i takes at
+/// most `dim_cardinality[i]` distinct values (always <= 100 in the paper so
+/// dimensions pass the enumeration rules). Facts are placed in the
+/// multidimensional space with a sparsity parameter s in [0,1] as in Agarwal
+/// et al. [1]: s controls how much of the space is populated — the fact's
+/// dimension values are drawn from a contiguous sub-range covering a fraction
+/// (1-s) of each dimension's domain, so higher sparsity concentrates facts in
+/// fewer distinct groups.
+///
+/// To keep PGCube correct on these graphs (as the paper requires for the
+/// scalability study), every fact has exactly one value per dimension and
+/// per measure unless `multi_valued_dims` is set, in which case each fact
+/// gains a second value on the flagged dimensions with probability
+/// `multi_value_prob` — used by the correctness experiments.
+struct SyntheticOptions {
+  size_t num_facts = 10000;
+  std::vector<int> dim_cardinality = {100, 100, 100};
+  size_t num_measures = 3;
+  double sparsity = 0.1;
+  uint64_t seed = 42;
+  /// Dimensions (by index) that become multi-valued.
+  std::vector<size_t> multi_valued_dims;
+  double multi_value_prob = 0.3;
+  /// Fraction of facts missing each dimension/measure value (heterogeneity).
+  double missing_prob = 0.0;
+};
+
+/// Generate the benchmark graph.
+std::unique_ptr<Graph> GenerateSynthetic(const SyntheticOptions& options);
+
+/// IRIs used by the generator (stable for tests/benches).
+namespace synth {
+inline constexpr const char* kFactType = "http://bench.spade/Fact";
+inline constexpr const char* kDimPrefix = "http://bench.spade/dim";
+inline constexpr const char* kMeasurePrefix = "http://bench.spade/measure";
+}  // namespace synth
+
+}  // namespace spade
+
+#endif  // SPADE_DATAGEN_SYNTHETIC_H_

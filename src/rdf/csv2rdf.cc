@@ -1,0 +1,131 @@
+#include "src/rdf/csv2rdf.h"
+
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace spade {
+
+Result<std::vector<std::string>> SplitCsvRecord(std::string_view line,
+                                                char separator) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("quote inside unquoted field");
+      }
+      in_quotes = true;
+    } else if (c == separator) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // CRLF line end.
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<size_t> CsvToRdf(std::istream& in, const Csv2RdfOptions& options,
+                        Graph* graph) {
+  Dictionary& dict = graph->dict();
+  TermId row_type = dict.InternIri(options.base_iri + options.row_type);
+
+  std::string line;
+  std::vector<TermId> columns;
+  size_t lineno = 0;
+  size_t rows = 0;
+  bool have_header = false;
+
+  auto make_columns = [&](const std::vector<std::string>& names) {
+    columns.clear();
+    for (const std::string& raw : names) {
+      // Sanitize the column name into an IRI-safe local name.
+      std::string local;
+      for (char c : raw) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+          local.push_back(c);
+        } else if (c == ' ' || c == '-' || c == '_') {
+          local.push_back('_');
+        }
+      }
+      if (local.empty()) local = "col" + std::to_string(columns.size());
+      columns.push_back(dict.InternIri(options.base_iri + local));
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (Trim(line).empty()) continue;
+    Result<std::vector<std::string>> fields =
+        SplitCsvRecord(line, options.separator);
+    if (!fields.ok()) {
+      return Status::ParseError("line " + std::to_string(lineno) + ": " +
+                                fields.status().message());
+    }
+    if (options.header && !have_header) {
+      make_columns(*fields);
+      have_header = true;
+      continue;
+    }
+    if (columns.empty()) {
+      std::vector<std::string> names;
+      for (size_t c = 0; c < fields->size(); ++c) {
+        names.push_back("col" + std::to_string(c));
+      }
+      make_columns(names);
+    }
+    if (fields->size() != columns.size()) {
+      return Status::ParseError(
+          "line " + std::to_string(lineno) + ": expected " +
+          std::to_string(columns.size()) + " fields, got " +
+          std::to_string(fields->size()));
+    }
+    TermId row =
+        dict.InternIri(options.base_iri + "row/" + std::to_string(rows));
+    graph->Add(row, graph->rdf_type(), row_type);
+    for (size_t c = 0; c < fields->size(); ++c) {
+      const std::string& value = (*fields)[c];
+      if (options.skip_empty && Trim(value).empty()) continue;
+      TermId object;
+      int64_t iv;
+      double dv;
+      if (options.type_numeric_columns && ParseInt64(value, &iv)) {
+        object = dict.InternInteger(iv);
+      } else if (options.type_numeric_columns && ParseDouble(value, &dv)) {
+        object = dict.InternDouble(dv);
+      } else {
+        object = dict.InternString(std::string(Trim(value)));
+      }
+      graph->Add(row, columns[c], object);
+    }
+    ++rows;
+  }
+  graph->Freeze();
+  return rows;
+}
+
+Result<size_t> CsvToRdfString(std::string_view text,
+                              const Csv2RdfOptions& options, Graph* graph) {
+  std::istringstream in{std::string(text)};
+  return CsvToRdf(in, options, graph);
+}
+
+}  // namespace spade

@@ -1,0 +1,51 @@
+#include "src/rdf/dictionary.h"
+
+#include "src/util/string_util.h"
+
+namespace spade {
+
+std::string Dictionary::Key(const Term& term) {
+  std::string key;
+  key.reserve(term.lexical.size() + term.language.size() + 12);
+  key.push_back(static_cast<char>('0' + static_cast<int>(term.kind)));
+  key += term.lexical;
+  key.push_back('\x01');
+  key += std::to_string(term.datatype);
+  key.push_back('\x01');
+  key += term.language;
+  return key;
+}
+
+TermId Dictionary::Intern(const Term& term) {
+  auto [it, inserted] = index_.try_emplace(Key(term), 0);
+  if (!inserted) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  it->second = id;
+  return id;
+}
+
+TermId Dictionary::InternInteger(int64_t v) {
+  if (xsd_integer_ == kInvalidTerm) xsd_integer_ = InternIri(vocab::kXsdInteger);
+  return Intern(Term::Literal(std::to_string(v), xsd_integer_));
+}
+
+TermId Dictionary::InternDouble(double v) {
+  if (xsd_double_ == kInvalidTerm) xsd_double_ = InternIri(vocab::kXsdDouble);
+  return Intern(Term::Literal(FormatDouble(v, 6), xsd_double_));
+}
+
+std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(Key(term));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Dictionary::NumericValue(TermId id, double* out) const {
+  if (id == kInvalidTerm || id >= terms_.size()) return false;
+  const Term& t = terms_[id];
+  if (t.kind != TermKind::kLiteral) return false;
+  return ParseDouble(t.lexical, out);
+}
+
+}  // namespace spade

@@ -1,0 +1,58 @@
+#ifndef SPADE_RDF_DICTIONARY_H_
+#define SPADE_RDF_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdf/term.h"
+
+namespace spade {
+
+/// \brief Bidirectional term <-> TermId mapping.
+///
+/// All triples are dictionary-encoded on ingestion; ids are dense and start
+/// at 1 (0 is kInvalidTerm), so modules can use ids directly as array
+/// indices. Interning the same term twice returns the same id.
+class Dictionary {
+ public:
+  Dictionary() { terms_.emplace_back(); }  // slot 0 = invalid
+
+  /// Intern a term, returning its (possibly pre-existing) id.
+  TermId Intern(const Term& term);
+
+  /// Convenience interners.
+  TermId InternIri(const std::string& iri) { return Intern(Term::Iri(iri)); }
+  TermId InternBlank(const std::string& label) { return Intern(Term::Blank(label)); }
+  TermId InternString(const std::string& lex) { return Intern(Term::Literal(lex)); }
+  TermId InternInteger(int64_t v);
+  TermId InternDouble(double v);
+
+  /// Lookup without interning.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  const Term& Get(TermId id) const { return terms_[id]; }
+
+  /// Number of interned terms (excluding the invalid slot).
+  size_t size() const { return terms_.size() - 1; }
+
+  /// Largest valid id (== size()).
+  TermId max_id() const { return static_cast<TermId>(terms_.size() - 1); }
+
+  /// True if `id` names a literal with a numeric XSD datatype; fills *out.
+  bool NumericValue(TermId id, double* out) const;
+
+ private:
+  static std::string Key(const Term& term);
+
+  std::vector<Term> terms_;
+  std::unordered_map<std::string, TermId> index_;
+  // Cached datatype ids, interned lazily.
+  TermId xsd_integer_ = kInvalidTerm;
+  TermId xsd_double_ = kInvalidTerm;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_RDF_DICTIONARY_H_

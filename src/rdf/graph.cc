@@ -1,0 +1,175 @@
+#include "src/rdf/graph.h"
+
+#include <algorithm>
+
+namespace spade {
+
+namespace {
+
+struct OrderSPO {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct OrderPOS {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OrderOSP {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+}  // namespace
+
+Graph::Graph() { rdf_type_ = dict_.InternIri(vocab::kRdfType); }
+
+void Graph::Add(TermId s, TermId p, TermId o) {
+  pending_.push_back({s, p, o});
+  dirty_ = true;
+}
+
+void Graph::AddIri(const std::string& s, const std::string& p, const std::string& o) {
+  Add(dict_.InternIri(s), dict_.InternIri(p), dict_.InternIri(o));
+}
+
+void Graph::AddLiteral(const std::string& s, const std::string& p,
+                       const Term& literal) {
+  Add(dict_.InternIri(s), dict_.InternIri(p), dict_.Intern(literal));
+}
+
+void Graph::Freeze() {
+  if (!dirty_) return;
+  spo_.insert(spo_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  std::sort(spo_.begin(), spo_.end(), OrderSPO());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), OrderPOS());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OrderOSP());
+  dirty_ = false;
+}
+
+void Graph::EnsureFrozen() const { const_cast<Graph*>(this)->Freeze(); }
+
+size_t Graph::NumTriples() const {
+  EnsureFrozen();
+  return spo_.size();
+}
+
+const std::vector<Triple>& Graph::triples() const {
+  EnsureFrozen();
+  return spo_;
+}
+
+bool Graph::Contains(TermId s, TermId p, TermId o) const {
+  EnsureFrozen();
+  Triple probe{s, p, o};
+  return std::binary_search(spo_.begin(), spo_.end(), probe, OrderSPO());
+}
+
+void Graph::Match(TermId s, TermId p, TermId o,
+                  const std::function<void(const Triple&)>& fn) const {
+  EnsureFrozen();
+  // Choose the index by bound positions; each branch scans a contiguous range
+  // and post-filters remaining bound positions (at most one wildcard gap).
+  if (s != kInvalidTerm) {
+    auto lo = std::lower_bound(spo_.begin(), spo_.end(), Triple{s, 0, 0}, OrderSPO());
+    for (auto it = lo; it != spo_.end() && it->s == s; ++it) {
+      if (p != kInvalidTerm && it->p != p) continue;
+      if (o != kInvalidTerm && it->o != o) continue;
+      fn(*it);
+    }
+    return;
+  }
+  if (p != kInvalidTerm) {
+    auto lo = std::lower_bound(pos_.begin(), pos_.end(), Triple{0, p, 0}, OrderPOS());
+    for (auto it = lo; it != pos_.end() && it->p == p; ++it) {
+      if (o != kInvalidTerm && it->o != o) continue;
+      fn(*it);
+    }
+    return;
+  }
+  if (o != kInvalidTerm) {
+    auto lo = std::lower_bound(osp_.begin(), osp_.end(), Triple{0, 0, o}, OrderOSP());
+    for (auto it = lo; it != osp_.end() && it->o == o; ++it) {
+      fn(*it);
+    }
+    return;
+  }
+  for (const Triple& t : spo_) fn(t);
+}
+
+std::vector<TermId> Graph::Objects(TermId s, TermId p) const {
+  EnsureFrozen();
+  std::vector<TermId> out;
+  auto lo = std::lower_bound(spo_.begin(), spo_.end(), Triple{s, p, 0}, OrderSPO());
+  for (auto it = lo; it != spo_.end() && it->s == s && it->p == p; ++it) {
+    out.push_back(it->o);
+  }
+  return out;
+}
+
+std::vector<TermId> Graph::Subjects(TermId p, TermId o) const {
+  EnsureFrozen();
+  std::vector<TermId> out;
+  auto lo = std::lower_bound(pos_.begin(), pos_.end(), Triple{0, p, o}, OrderPOS());
+  for (auto it = lo; it != pos_.end() && it->p == p && it->o == o; ++it) {
+    out.push_back(it->s);
+  }
+  return out;
+}
+
+std::vector<TermId> Graph::PropertiesOf(TermId s) const {
+  EnsureFrozen();
+  std::vector<TermId> out;
+  auto lo = std::lower_bound(spo_.begin(), spo_.end(), Triple{s, 0, 0}, OrderSPO());
+  for (auto it = lo; it != spo_.end() && it->s == s; ++it) {
+    if (out.empty() || out.back() != it->p) out.push_back(it->p);
+  }
+  return out;
+}
+
+std::vector<TermId> Graph::AllProperties() const {
+  EnsureFrozen();
+  std::vector<TermId> out;
+  for (const Triple& t : pos_) {
+    if (out.empty() || out.back() != t.p) out.push_back(t.p);
+  }
+  return out;
+}
+
+std::vector<TermId> Graph::AllSubjects() const {
+  EnsureFrozen();
+  std::vector<TermId> out;
+  for (const Triple& t : spo_) {
+    if (out.empty() || out.back() != t.s) out.push_back(t.s);
+  }
+  return out;
+}
+
+std::vector<TermId> Graph::AllTypes() const {
+  EnsureFrozen();
+  std::vector<TermId> out;
+  auto lo = std::lower_bound(pos_.begin(), pos_.end(), Triple{0, rdf_type_, 0},
+                             OrderPOS());
+  for (auto it = lo; it != pos_.end() && it->p == rdf_type_; ++it) {
+    if (out.empty() || out.back() != it->o) out.push_back(it->o);
+  }
+  return out;
+}
+
+std::vector<TermId> Graph::NodesOfType(TermId type) const {
+  return Subjects(rdf_type_, type);
+}
+
+}  // namespace spade

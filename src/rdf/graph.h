@@ -1,0 +1,91 @@
+#ifndef SPADE_RDF_GRAPH_H_
+#define SPADE_RDF_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/rdf/dictionary.h"
+#include "src/rdf/term.h"
+
+namespace spade {
+
+/// \brief In-memory RDF graph: a dictionary plus an indexed triple set.
+///
+/// This is the storage substrate every other module builds on (the paper uses
+/// OntoSQL over PostgreSQL; see DESIGN.md S1/S6 for the substitution).
+///
+/// Triples are appended, then the graph is frozen: three sorted permutations
+/// (SPO, POS, OSP) are built so that any triple pattern with at least one
+/// bound position resolves to a binary-searchable range. Queries auto-freeze
+/// a dirty graph, so interleaving writes and reads stays correct (at re-sort
+/// cost).
+class Graph {
+ public:
+  Graph();
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Append one triple (duplicates are removed at Freeze time).
+  void Add(TermId s, TermId p, TermId o);
+  void Add(const Triple& t) { Add(t.s, t.p, t.o); }
+
+  /// Convenience: intern and add in one call.
+  void AddIri(const std::string& s, const std::string& p, const std::string& o);
+  void AddLiteral(const std::string& s, const std::string& p, const Term& literal);
+
+  /// Sort indexes and deduplicate. Idempotent; queries call it lazily.
+  void Freeze();
+
+  size_t NumTriples() const;
+
+  /// True if the exact triple is present.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  /// Enumerate triples matching a pattern; kInvalidTerm = wildcard.
+  /// `fn` receives each matching Triple.
+  void Match(TermId s, TermId p, TermId o,
+             const std::function<void(const Triple&)>& fn) const;
+
+  /// All objects of (s, p, *), in id order.
+  std::vector<TermId> Objects(TermId s, TermId p) const;
+
+  /// All subjects of (*, p, o), in id order.
+  std::vector<TermId> Subjects(TermId p, TermId o) const;
+
+  /// Distinct properties appearing on subject s.
+  std::vector<TermId> PropertiesOf(TermId s) const;
+
+  /// Distinct property ids in the whole graph.
+  std::vector<TermId> AllProperties() const;
+
+  /// Distinct subject ids in the whole graph (nodes with outgoing edges).
+  std::vector<TermId> AllSubjects() const;
+
+  /// Distinct objects of rdf:type triples.
+  std::vector<TermId> AllTypes() const;
+
+  /// Nodes having rdf:type `type`.
+  std::vector<TermId> NodesOfType(TermId type) const;
+
+  /// Id of rdf:type (interned at construction).
+  TermId rdf_type() const { return rdf_type_; }
+
+  /// Full triple list (frozen order: SPO).
+  const std::vector<Triple>& triples() const;
+
+ private:
+  void EnsureFrozen() const;
+
+  Dictionary dict_;
+  TermId rdf_type_;
+  mutable bool dirty_ = false;
+  mutable std::vector<Triple> spo_;  // also the canonical triple list
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  std::vector<Triple> pending_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_RDF_GRAPH_H_

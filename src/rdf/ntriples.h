@@ -1,0 +1,46 @@
+#ifndef SPADE_RDF_NTRIPLES_H_
+#define SPADE_RDF_NTRIPLES_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/rdf/graph.h"
+#include "src/util/status.h"
+
+namespace spade {
+
+/// \brief N-Triples reader/writer (the format of the paper's dataset dumps).
+///
+/// Supports the full line-oriented N-Triples grammar needed in practice:
+/// IRIs, blank nodes, plain / typed / language-tagged literals, the string
+/// escapes \" \\ \n \r \t \b \f and \uXXXX / \UXXXXXXXX (decoded to UTF-8),
+/// comments (#...) and blank lines.
+class NTriplesReader {
+ public:
+  /// Parse an entire stream into `graph`. Stops at the first malformed line
+  /// with a ParseError naming the line number.
+  static Status Parse(std::istream& in, Graph* graph);
+
+  /// Parse a string (convenience for tests and generators).
+  static Status ParseString(std::string_view text, Graph* graph);
+
+  /// Parse one line into s/p/o Terms. Returns NotFound for blank/comment
+  /// lines (no triple), ParseError on bad syntax.
+  static Status ParseLine(std::string_view line, Term* s, Term* p, Term* o,
+                          const Dictionary& dict_for_datatypes, Dictionary* dict);
+};
+
+class NTriplesWriter {
+ public:
+  /// Serialize the whole graph, one triple per line, escaping literals.
+  static void Write(const Graph& graph, std::ostream& out);
+
+  /// Serialize one term in N-Triples syntax.
+  static std::string FormatTerm(const Dictionary& dict, TermId id);
+};
+
+}  // namespace spade
+
+#endif  // SPADE_RDF_NTRIPLES_H_

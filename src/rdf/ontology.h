@@ -1,0 +1,31 @@
+#ifndef SPADE_RDF_ONTOLOGY_H_
+#define SPADE_RDF_ONTOLOGY_H_
+
+#include <cstddef>
+
+#include "src/rdf/graph.h"
+
+namespace spade {
+
+/// \brief RDFS saturation (Section 2).
+///
+/// The paper assumes the input graph's implicit triples are materialized
+/// before analysis ("we consider ontologies for which this process is finite
+/// as in [23], and apply it prior to our analysis"). Saturate() forward-chains
+/// the four RDFS entailment rules that matter for aggregate discovery until a
+/// fixpoint:
+///
+///   rdfs5  (p1 subPropertyOf p2) (p2 subPropertyOf p3) -> p1 subPropertyOf p3
+///   rdfs7  (s p1 o) (p1 subPropertyOf p2)              -> (s p2 o)
+///   rdfs9  (s type c1) (c1 subClassOf c2)              -> (s type c2)
+///   rdfs11 (c1 subClassOf c2) (c2 subClassOf c3)       -> c1 subClassOf c3
+///   rdfs2  (s p o) (p domain c)                        -> (s type c)
+///   rdfs3  (s p o) (p range c), o an IRI/blank         -> (o type c)
+///
+/// Returns the number of triples added. The fixpoint exists because rules
+/// only add triples over the finite term vocabulary.
+size_t Saturate(Graph* graph);
+
+}  // namespace spade
+
+#endif  // SPADE_RDF_ONTOLOGY_H_

@@ -1,0 +1,18 @@
+#include "src/rdf/term.h"
+
+namespace spade {
+
+std::string TermToString(const Term& term) {
+  switch (term.kind) {
+    case TermKind::kIri:
+      return "<" + term.lexical + ">";
+    case TermKind::kLiteral:
+      if (!term.language.empty()) return "\"" + term.lexical + "\"@" + term.language;
+      return "\"" + term.lexical + "\"";
+    case TermKind::kBlank:
+      return "_:" + term.lexical;
+  }
+  return "?";
+}
+
+}  // namespace spade

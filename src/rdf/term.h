@@ -1,0 +1,104 @@
+#ifndef SPADE_RDF_TERM_H_
+#define SPADE_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spade {
+
+/// Dictionary-encoded identifier of an RDF term. Id 0 is reserved as
+/// "invalid / no term".
+using TermId = uint32_t;
+
+constexpr TermId kInvalidTerm = 0;
+
+/// RDF term kinds (Section 2: U, L, B).
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// \brief One RDF term: an IRI, a literal (with optional datatype IRI and
+/// language tag), or a blank node label.
+///
+/// Terms are immutable once interned in a Dictionary; all graph processing
+/// manipulates TermIds and only goes back to the Term for value inspection
+/// (statistics, derivations) and output.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  /// IRI string, literal lexical form, or blank node label.
+  std::string lexical;
+  /// Datatype IRI id for literals (kInvalidTerm = plain literal).
+  TermId datatype = kInvalidTerm;
+  /// BCP-47 language tag for literals ("" = none).
+  std::string language;
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && lexical == other.lexical &&
+           datatype == other.datatype && language == other.language;
+  }
+
+  static Term Iri(std::string iri) {
+    Term t;
+    t.kind = TermKind::kIri;
+    t.lexical = std::move(iri);
+    return t;
+  }
+  static Term Literal(std::string lex, TermId datatype = kInvalidTerm,
+                      std::string lang = "") {
+    Term t;
+    t.kind = TermKind::kLiteral;
+    t.lexical = std::move(lex);
+    t.datatype = datatype;
+    t.language = std::move(lang);
+    return t;
+  }
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind = TermKind::kBlank;
+    t.lexical = std::move(label);
+    return t;
+  }
+};
+
+/// One RDF triple of dictionary-encoded terms.
+struct Triple {
+  TermId s = kInvalidTerm;
+  TermId p = kInvalidTerm;
+  TermId o = kInvalidTerm;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+/// Well-known vocabulary IRIs used by the analysis.
+namespace vocab {
+inline constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr const char* kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr const char* kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr const char* kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr const char* kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr const char* kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr const char* kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr const char* kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr const char* kXsdDate =
+    "http://www.w3.org/2001/XMLSchema#date";
+}  // namespace vocab
+
+/// Short human-readable rendering ("<iri>", "\"lit\"", "_:b"). Used by
+/// examples and error messages; N-Triples serialization lives in ntriples.h.
+std::string TermToString(const Term& term);
+
+}  // namespace spade
+
+#endif  // SPADE_RDF_TERM_H_

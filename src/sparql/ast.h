@@ -1,0 +1,120 @@
+#ifndef SPADE_SPARQL_AST_H_
+#define SPADE_SPARQL_AST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/rdf/term.h"
+
+namespace spade {
+namespace sparql {
+
+/// Aggregate functions of SPARQL 1.1 supported by the paper's MDAs
+/// (Omega = {count, min, max, sum, avg}, Section 2).
+enum class AggFunc : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// One position of a triple pattern: either a constant term or a variable
+/// (identified by its dense index in Query::var_names).
+struct PatternTerm {
+  bool is_var = false;
+  TermId term = kInvalidTerm;  // when !is_var
+  int var = -1;                // when is_var
+
+  static PatternTerm Var(int v) {
+    PatternTerm p;
+    p.is_var = true;
+    p.var = v;
+    return p;
+  }
+  static PatternTerm Const(TermId t) {
+    PatternTerm p;
+    p.term = t;
+    return p;
+  }
+};
+
+/// A basic graph pattern triple. Property paths (p1/p2/...) are rewritten by
+/// the parser into chains of plain patterns over fresh variables, so the
+/// evaluator only ever sees constant predicates or predicate variables.
+struct TriplePattern {
+  PatternTerm s, p, o;
+};
+
+/// FILTER (?v op constant) — the comparison subset used by the analysis
+/// pipeline (e.g. support thresholds on derived values in examples).
+struct Filter {
+  enum class Op : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+  int var = -1;
+  /// When the right-hand side parses as a number, the comparison is numeric;
+  /// otherwise it is term equality / lexicographic on the lexical form.
+  bool numeric = false;
+  double num = 0;
+  TermId term = kInvalidTerm;
+  Op op = Op::kEq;
+};
+
+/// One SELECT clause item: a plain variable or an aggregate expression
+/// (AGG(DISTINCT? ?v) AS ?alias; COUNT(*) sets count_star).
+struct SelectItem {
+  bool is_aggregate = false;
+  int var = -1;  // plain variable, or the aggregated variable
+  AggFunc func = AggFunc::kCount;
+  bool distinct = false;
+  bool count_star = false;
+  std::string alias;  // output column name
+};
+
+/// A parsed SELECT query.
+struct Query {
+  std::vector<std::string> var_names;  // dense variable table
+  bool select_distinct = false;
+  std::vector<SelectItem> select;
+  std::vector<TriplePattern> where;
+  std::vector<Filter> filters;
+  std::vector<int> group_by;  // variable indices
+  int64_t limit = -1;
+
+  bool HasAggregates() const {
+    for (const auto& item : select) {
+      if (item.is_aggregate) return true;
+    }
+    return false;
+  }
+};
+
+/// A cell of a result row: a term or a computed number.
+struct Value {
+  enum class Kind : uint8_t { kTerm, kNumber } kind = Kind::kTerm;
+  TermId term = kInvalidTerm;
+  double num = 0;
+
+  static Value OfTerm(TermId t) {
+    Value v;
+    v.kind = Kind::kTerm;
+    v.term = t;
+    return v;
+  }
+  static Value OfNumber(double d) {
+    Value v;
+    v.kind = Kind::kNumber;
+    v.num = d;
+    return v;
+  }
+  bool operator==(const Value& o) const {
+    return kind == o.kind && term == o.term && num == o.num;
+  }
+};
+
+/// Tabular query result.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+};
+
+}  // namespace sparql
+}  // namespace spade
+
+#endif  // SPADE_SPARQL_AST_H_

@@ -1,0 +1,34 @@
+#ifndef SPADE_SPARQL_EVAL_H_
+#define SPADE_SPARQL_EVAL_H_
+
+#include "src/rdf/graph.h"
+#include "src/sparql/ast.h"
+#include "src/util/status.h"
+
+namespace spade {
+namespace sparql {
+
+/// \brief Evaluate a parsed query against a graph.
+///
+/// The BGP is solved by index-nested-loop joins with a greedy join order: at
+/// each step the evaluator picks the pattern whose currently-bound positions
+/// promise the smallest match range (exact for fully-bound / subject-bound
+/// patterns, index-estimated otherwise). Filters fire as soon as their
+/// variable is bound. Aggregation follows SPARQL 1.1 semantics: the solution
+/// multiset is grouped by the GROUP BY variables and each aggregate runs over
+/// the group's bag of bindings (with DISTINCT de-duplicating per aggregate).
+///
+/// The query must have been parsed against the graph's own Dictionary
+/// (constants are compared by TermId).
+Result<ResultSet> Evaluate(const Query& query, const Graph& graph);
+
+/// Evaluate just a BGP + filters, returning one row of TermIds per solution
+/// mapping (columns = query.var_names). Exposed for tests and for the
+/// derivation module, which uses BGP matching to materialize path properties.
+Result<std::vector<std::vector<TermId>>> SolveBgp(const Query& query,
+                                                  const Graph& graph);
+
+}  // namespace sparql
+}  // namespace spade
+
+#endif  // SPADE_SPARQL_EVAL_H_

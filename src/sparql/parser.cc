@@ -1,0 +1,571 @@
+#include "src/sparql/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/util/string_util.h"
+
+namespace spade {
+namespace sparql {
+
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kKeyword,   // upper-cased identifier: SELECT, WHERE, ...
+  kVar,       // ?name
+  kIri,       // <...>
+  kPname,     // prefix:local (or plain identifier such as 'a')
+  kLiteral,   // "..." with optional @lang / ^^<dt>
+  kNumber,    // integer or decimal
+  kPunct,     // { } ( ) . / * = != < <= > >= ,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;    // keyword/pname/var name/punct spelling
+  Term term;           // for kIri / kLiteral
+  double num = 0;      // for kNumber
+  bool is_integer = false;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  Lexer(std::string_view text, Dictionary* dict) : text_(text), dict_(dict) {}
+
+  Status Next(Token* out) {
+    SkipWs();
+    out->pos = i_;
+    if (i_ >= text_.size()) {
+      out->kind = TokKind::kEnd;
+      return Status::OK();
+    }
+    char c = text_[i_];
+    if (c == '<') {
+      // '<' opens an IRI unless it reads as a comparison: "<=" or "< " (an
+      // IRI cannot contain whitespace, so the lookahead is unambiguous).
+      if (i_ + 1 < text_.size() &&
+          (text_[i_ + 1] == '=' || std::isspace(static_cast<unsigned char>(text_[i_ + 1])))) {
+        return LexPunct(out);
+      }
+      return LexIri(out);
+    }
+    if (c == '"') return LexLiteral(out);
+    if (c == '?' || c == '$') return LexVar(out);
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[i_ + 1])))) {
+      return LexNumber(out);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return LexName(out);
+    return LexPunct(out);
+  }
+
+ private:
+  void SkipWs() {
+    while (i_ < text_.size()) {
+      char c = text_[i_];
+      if (c == '#') {  // comment to end of line
+        while (i_ < text_.size() && text_[i_] != '\n') ++i_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status LexIri(Token* out) {
+    size_t close = text_.find('>', i_ + 1);
+    if (close == std::string_view::npos) return Err("unclosed IRI");
+    out->kind = TokKind::kIri;
+    out->term = Term::Iri(std::string(text_.substr(i_ + 1, close - i_ - 1)));
+    i_ = close + 1;
+    return Status::OK();
+  }
+
+  Status LexLiteral(Token* out) {
+    std::string lex;
+    size_t j = i_ + 1;
+    while (j < text_.size() && text_[j] != '"') {
+      if (text_[j] == '\\' && j + 1 < text_.size()) {
+        char e = text_[j + 1];
+        lex.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        j += 2;
+      } else {
+        lex.push_back(text_[j]);
+        ++j;
+      }
+    }
+    if (j >= text_.size()) return Err("unterminated literal");
+    ++j;  // closing quote
+    TermId datatype = kInvalidTerm;
+    std::string lang;
+    if (j < text_.size() && text_[j] == '@') {
+      size_t k = j + 1;
+      while (k < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[k])) || text_[k] == '-')) {
+        ++k;
+      }
+      lang = std::string(text_.substr(j + 1, k - j - 1));
+      j = k;
+    } else if (j + 1 < text_.size() && text_[j] == '^' && text_[j + 1] == '^') {
+      if (j + 2 >= text_.size() || text_[j + 2] != '<') return Err("bad datatype");
+      size_t close = text_.find('>', j + 3);
+      if (close == std::string_view::npos) return Err("unclosed datatype IRI");
+      datatype = dict_->InternIri(std::string(text_.substr(j + 3, close - j - 3)));
+      j = close + 1;
+    }
+    out->kind = TokKind::kLiteral;
+    out->term = Term::Literal(std::move(lex), datatype, std::move(lang));
+    i_ = j;
+    return Status::OK();
+  }
+
+  Status LexVar(Token* out) {
+    size_t j = i_ + 1;
+    while (j < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[j])) || text_[j] == '_')) {
+      ++j;
+    }
+    if (j == i_ + 1) return Err("empty variable name");
+    out->kind = TokKind::kVar;
+    out->text = std::string(text_.substr(i_ + 1, j - i_ - 1));
+    i_ = j;
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* out) {
+    size_t j = i_;
+    if (text_[j] == '-') ++j;
+    bool has_dot = false;
+    while (j < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[j])) || text_[j] == '.')) {
+      if (text_[j] == '.') {
+        // Trailing '.' is the triple terminator, not a decimal point.
+        if (j + 1 >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[j + 1]))) {
+          break;
+        }
+        has_dot = true;
+      }
+      ++j;
+    }
+    double v;
+    if (!ParseDouble(text_.substr(i_, j - i_), &v)) return Err("bad number");
+    out->kind = TokKind::kNumber;
+    out->num = v;
+    out->is_integer = !has_dot;
+    i_ = j;
+    return Status::OK();
+  }
+
+  Status LexName(Token* out) {
+    size_t j = i_;
+    while (j < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[j])) || text_[j] == '_' ||
+            text_[j] == '-')) {
+      ++j;
+    }
+    std::string word(text_.substr(i_, j - i_));
+    // prefix:local?
+    if (j < text_.size() && text_[j] == ':') {
+      size_t k = j + 1;
+      while (k < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[k])) || text_[k] == '_' ||
+              text_[k] == '-' || text_[k] == '.')) {
+        ++k;
+      }
+      out->kind = TokKind::kPname;
+      out->text = word + ":" + std::string(text_.substr(j + 1, k - j - 1));
+      i_ = k;
+      return Status::OK();
+    }
+    out->kind = TokKind::kKeyword;
+    for (char& ch : word) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    // Keep the original spelling for 'a' (type shorthand) detection.
+    out->text = word;
+    i_ = j;
+    return Status::OK();
+  }
+
+  Status LexPunct(Token* out) {
+    char c = text_[i_];
+    out->kind = TokKind::kPunct;
+    if ((c == '!' || c == '<' || c == '>') && i_ + 1 < text_.size() &&
+        text_[i_ + 1] == '=') {
+      out->text = std::string(1, c) + "=";
+      i_ += 2;
+      return Status::OK();
+    }
+    static const std::string kSingles = "{}().,/*=<>;:";
+    if (kSingles.find(c) == std::string::npos) {
+      return Err(std::string("unexpected character '") + c + "'");
+    }
+    out->text = std::string(1, c);
+    ++i_;
+    return Status::OK();
+  }
+
+  Status Err(std::string msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(i_));
+  }
+
+  std::string_view text_;
+  Dictionary* dict_;
+  size_t i_ = 0;
+};
+
+// Run a Status-returning step inside a Result-returning function.
+#define SPADE_ASSIGN(expr)                  \
+  do {                                      \
+    ::spade::Status _st = (expr);           \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+class Parser {
+ public:
+  Parser(std::string_view text, Dictionary* dict) : lexer_(text, dict), dict_(dict) {}
+
+  Result<Query> Parse() {
+    SPADE_ASSIGN(Advance());
+    while (IsKeyword("PREFIX")) {
+      SPADE_ASSIGN(ParsePrefix());
+    }
+    if (!IsKeyword("SELECT")) return Status::ParseError("expected SELECT");
+    SPADE_ASSIGN(Advance());
+    if (IsKeyword("DISTINCT")) {
+      query_.select_distinct = true;
+      SPADE_ASSIGN(Advance());
+    }
+    SPADE_ASSIGN(ParseSelectItems());
+    if (!IsKeyword("WHERE")) return Status::ParseError("expected WHERE");
+    SPADE_ASSIGN(Advance());
+    SPADE_ASSIGN(Expect("{"));
+    while (!IsPunct("}")) {
+      if (IsKeyword("FILTER")) {
+        SPADE_ASSIGN(ParseFilter());
+      } else {
+        SPADE_ASSIGN(ParseTriplePattern());
+      }
+    }
+    SPADE_ASSIGN(Expect("}"));
+    if (IsKeyword("GROUP")) {
+      SPADE_ASSIGN(Advance());
+      if (!IsKeyword("BY")) return Status::ParseError("expected BY after GROUP");
+      SPADE_ASSIGN(Advance());
+      while (tok_.kind == TokKind::kVar) {
+        query_.group_by.push_back(VarIndex(tok_.text));
+        SPADE_ASSIGN(Advance());
+      }
+      if (query_.group_by.empty()) {
+        return Status::ParseError("GROUP BY requires at least one variable");
+      }
+    }
+    if (IsKeyword("LIMIT")) {
+      SPADE_ASSIGN(Advance());
+      if (tok_.kind != TokKind::kNumber || !tok_.is_integer) {
+        return Status::ParseError("LIMIT requires an integer");
+      }
+      query_.limit = static_cast<int64_t>(tok_.num);
+      SPADE_ASSIGN(Advance());
+    }
+    if (tok_.kind != TokKind::kEnd) return Status::ParseError("trailing input");
+    SPADE_RETURN_NOT_OK(Validate());
+    return query_;
+  }
+
+ private:
+  Status Advance() { return lexer_.Next(&tok_); }
+
+  bool IsKeyword(const char* kw) const {
+    return tok_.kind == TokKind::kKeyword && tok_.text == kw;
+  }
+  bool IsPunct(const char* p) const {
+    return tok_.kind == TokKind::kPunct && tok_.text == p;
+  }
+
+  Status Expect(const char* p) {
+    if (!IsPunct(p)) {
+      return Status::ParseError(std::string("expected '") + p + "', got '" +
+                                tok_.text + "'");
+    }
+    return Advance();
+  }
+
+  int VarIndex(const std::string& name) {
+    auto it = var_index_.find(name);
+    if (it != var_index_.end()) return it->second;
+    int idx = static_cast<int>(query_.var_names.size());
+    query_.var_names.push_back(name);
+    var_index_[name] = idx;
+    return idx;
+  }
+
+  int FreshVar() {
+    std::string name = "_path" + std::to_string(fresh_counter_++);
+    return VarIndex(name);
+  }
+
+  Status ParsePrefix() {
+    SPADE_ASSIGN(Advance());  // over PREFIX
+    if (tok_.kind != TokKind::kPname && tok_.kind != TokKind::kKeyword &&
+        tok_.kind != TokKind::kPunct) {
+      return Status::ParseError("expected prefix name");
+    }
+    std::string prefix;
+    if (tok_.kind == TokKind::kPname) {
+      // Lexer consumed "name:" (with empty local part) as pname "name:".
+      prefix = tok_.text.substr(0, tok_.text.find(':'));
+      SPADE_ASSIGN(Advance());
+    } else {
+      prefix = ToLower(tok_.text);
+      SPADE_ASSIGN(Advance());
+      SPADE_ASSIGN(Expect(":"));
+    }
+    if (tok_.kind != TokKind::kIri) return Status::ParseError("expected IRI");
+    prefixes_[prefix] = tok_.term.lexical;
+    return Advance();
+  }
+
+  Result<TermId> ResolvePname(const std::string& pname) {
+    size_t colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("unknown prefix '" + prefix + "'");
+    }
+    return dict_->InternIri(it->second + local);
+  }
+
+  Status ParseSelectItems() {
+    bool any = false;
+    while (true) {
+      if (tok_.kind == TokKind::kVar) {
+        SelectItem item;
+        item.var = VarIndex(tok_.text);
+        item.alias = tok_.text;
+        query_.select.push_back(item);
+        SPADE_ASSIGN(Advance());
+        any = true;
+      } else if (IsPunct("*")) {
+        // SELECT *: expanded to all variables at validation time.
+        select_star_ = true;
+        SPADE_ASSIGN(Advance());
+        any = true;
+      } else if (IsPunct("(")) {
+        SPADE_ASSIGN(ParseAggregateItem());
+        any = true;
+      } else {
+        break;
+      }
+    }
+    if (!any) return Status::ParseError("empty SELECT clause");
+    return Status::OK();
+  }
+
+  Status ParseAggregateItem() {
+    SPADE_ASSIGN(Advance());  // over '('
+    static const std::map<std::string, AggFunc> kFuncs = {
+        {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum}, {"AVG", AggFunc::kAvg},
+        {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+    };
+    if (tok_.kind != TokKind::kKeyword || !kFuncs.count(tok_.text)) {
+      return Status::ParseError("expected aggregate function");
+    }
+    SelectItem item;
+    item.is_aggregate = true;
+    item.func = kFuncs.at(tok_.text);
+    SPADE_ASSIGN(Advance());
+    SPADE_ASSIGN(Expect("("));
+    if (IsKeyword("DISTINCT")) {
+      item.distinct = true;
+      SPADE_ASSIGN(Advance());
+    }
+    if (IsPunct("*")) {
+      if (item.func != AggFunc::kCount) {
+        return Status::ParseError("'*' is only valid in COUNT");
+      }
+      item.count_star = true;
+      SPADE_ASSIGN(Advance());
+    } else if (tok_.kind == TokKind::kVar) {
+      item.var = VarIndex(tok_.text);
+      SPADE_ASSIGN(Advance());
+    } else {
+      return Status::ParseError("expected variable or '*' in aggregate");
+    }
+    SPADE_ASSIGN(Expect(")"));
+    if (!IsKeyword("AS")) return Status::ParseError("expected AS");
+    SPADE_ASSIGN(Advance());
+    if (tok_.kind != TokKind::kVar) return Status::ParseError("expected alias var");
+    item.alias = tok_.text;
+    SPADE_ASSIGN(Advance());
+    query_.select.push_back(item);
+    return Expect(")");
+  }
+
+  // subject/object positions.
+  Result<PatternTerm> ParseNode(bool allow_literal) {
+    switch (tok_.kind) {
+      case TokKind::kVar: {
+        PatternTerm p = PatternTerm::Var(VarIndex(tok_.text));
+        SPADE_ASSIGN(Advance());
+        return p;
+      }
+      case TokKind::kIri: {
+        PatternTerm p = PatternTerm::Const(dict_->Intern(tok_.term));
+        SPADE_ASSIGN(Advance());
+        return p;
+      }
+      case TokKind::kPname: {
+        Result<TermId> id = ResolvePname(tok_.text);
+        if (!id.ok()) return id.status();
+        SPADE_ASSIGN(Advance());
+        return PatternTerm::Const(*id);
+      }
+      case TokKind::kLiteral: {
+        if (!allow_literal) return Status::ParseError("literal not allowed here");
+        PatternTerm p = PatternTerm::Const(dict_->Intern(tok_.term));
+        SPADE_ASSIGN(Advance());
+        return p;
+      }
+      case TokKind::kNumber: {
+        if (!allow_literal) return Status::ParseError("number not allowed here");
+        TermId id = tok_.is_integer
+                        ? dict_->InternInteger(static_cast<int64_t>(tok_.num))
+                        : dict_->InternDouble(tok_.num);
+        SPADE_ASSIGN(Advance());
+        return PatternTerm::Const(id);
+      }
+      default:
+        return Status::ParseError("expected term, got '" + tok_.text + "'");
+    }
+  }
+
+  // One path step: IRI, pname, 'a', or variable.
+  Result<PatternTerm> ParseVerb() {
+    if (tok_.kind == TokKind::kKeyword && tok_.text == "A") {
+      SPADE_ASSIGN(Advance());
+      return PatternTerm::Const(dict_->InternIri(vocab::kRdfType));
+    }
+    return ParseNode(/*allow_literal=*/false);
+  }
+
+  Status ParseTriplePattern() {
+    Result<PatternTerm> subject = ParseNode(/*allow_literal=*/false);
+    if (!subject.ok()) return subject.status();
+
+    // Parse the property path: verb ('/' verb)*.
+    std::vector<PatternTerm> path;
+    while (true) {
+      Result<PatternTerm> verb = ParseVerb();
+      if (!verb.ok()) return verb.status();
+      path.push_back(*verb);
+      if (IsPunct("/")) {
+        SPADE_ASSIGN(Advance());
+        continue;
+      }
+      break;
+    }
+
+    Result<PatternTerm> object = ParseNode(/*allow_literal=*/true);
+    if (!object.ok()) return object.status();
+    SPADE_ASSIGN(Expect("."));
+
+    // Rewrite the sequence path into a chain over fresh variables.
+    PatternTerm current = *subject;
+    for (size_t i = 0; i < path.size(); ++i) {
+      PatternTerm next =
+          (i + 1 == path.size()) ? *object : PatternTerm::Var(FreshVar());
+      query_.where.push_back(TriplePattern{current, path[i], next});
+      current = next;
+    }
+    return Status::OK();
+  }
+
+  Status ParseFilter() {
+    SPADE_ASSIGN(Advance());  // over FILTER
+    SPADE_ASSIGN(Expect("("));
+    if (tok_.kind != TokKind::kVar) return Status::ParseError("expected variable");
+    Filter f;
+    f.var = VarIndex(tok_.text);
+    SPADE_ASSIGN(Advance());
+    static const std::map<std::string, Filter::Op> kOps = {
+        {"=", Filter::Op::kEq}, {"!=", Filter::Op::kNe}, {"<", Filter::Op::kLt},
+        {"<=", Filter::Op::kLe}, {">", Filter::Op::kGt}, {">=", Filter::Op::kGe},
+    };
+    if (tok_.kind != TokKind::kPunct || !kOps.count(tok_.text)) {
+      return Status::ParseError("expected comparison operator");
+    }
+    f.op = kOps.at(tok_.text);
+    SPADE_ASSIGN(Advance());
+    if (tok_.kind == TokKind::kNumber) {
+      f.numeric = true;
+      f.num = tok_.num;
+      SPADE_ASSIGN(Advance());
+    } else if (tok_.kind == TokKind::kLiteral || tok_.kind == TokKind::kIri) {
+      f.term = dict_->Intern(tok_.term);
+      SPADE_ASSIGN(Advance());
+    } else if (tok_.kind == TokKind::kPname) {
+      Result<TermId> id = ResolvePname(tok_.text);
+      if (!id.ok()) return id.status();
+      f.term = *id;
+      SPADE_ASSIGN(Advance());
+    } else {
+      return Status::ParseError("expected filter constant");
+    }
+    query_.filters.push_back(f);
+    return Expect(")");
+  }
+
+  Status Validate() {
+    if (select_star_) {
+      query_.select.clear();
+      for (size_t v = 0; v < query_.var_names.size(); ++v) {
+        if (StartsWith(query_.var_names[v], "_path")) continue;
+        SelectItem item;
+        item.var = static_cast<int>(v);
+        item.alias = query_.var_names[v];
+        query_.select.push_back(item);
+      }
+    }
+    if (query_.where.empty()) return Status::ParseError("empty WHERE clause");
+    bool has_agg = query_.HasAggregates();
+    if (!query_.group_by.empty() || has_agg) {
+      // Every non-aggregate select item must be a GROUP BY variable.
+      for (const auto& item : query_.select) {
+        if (item.is_aggregate) continue;
+        bool grouped = false;
+        for (int g : query_.group_by) grouped |= (g == item.var);
+        if (!grouped) {
+          return Status::ParseError("non-grouped variable '" +
+                                    query_.var_names[item.var] + "' in SELECT");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+#undef SPADE_ASSIGN
+
+  Lexer lexer_;
+  Dictionary* dict_;
+  Token tok_;
+  Query query_;
+  std::map<std::string, int> var_index_;
+  std::map<std::string, std::string> prefixes_;
+  bool select_star_ = false;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, Dictionary* dict) {
+  Parser parser(text, dict);
+  return parser.Parse();
+}
+
+}  // namespace sparql
+}  // namespace spade

@@ -1,0 +1,39 @@
+#ifndef SPADE_SPARQL_PARSER_H_
+#define SPADE_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "src/rdf/dictionary.h"
+#include "src/sparql/ast.h"
+#include "src/util/status.h"
+
+namespace spade {
+namespace sparql {
+
+/// \brief Recursive-descent parser for the SPARQL 1.1 subset used by Spade.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   query    := prefix* SELECT 'DISTINCT'? item+ WHERE '{' pattern* '}'
+///               ('GROUP' 'BY' var+)? ('LIMIT' int)?
+///   prefix   := 'PREFIX' pname ':' iriref
+///   item     := var | '(' agg '(' ('DISTINCT'? var | '*') ')' 'AS' var ')'
+///   agg      := COUNT | SUM | AVG | MIN | MAX
+///   pattern  := subject path object '.'
+///   path     := verb ('/' verb)*            -- sequence property paths
+///   verb     := iriref | pname ':' local | 'a' | var
+///   subject  := iriref | pname | blank | var
+///   object   := subject | literal | number
+///
+/// Sequence paths are rewritten into chains of plain triple patterns over
+/// fresh internal variables (named "_pathK"), which is exactly how the paper
+/// materializes path-derived properties (Section 3).
+///
+/// Terms are interned into `dict` during parsing, so a parsed query can be
+/// evaluated against any graph sharing that dictionary.
+Result<Query> ParseQuery(std::string_view text, Dictionary* dict);
+
+}  // namespace sparql
+}  // namespace spade
+
+#endif  // SPADE_SPARQL_PARSER_H_

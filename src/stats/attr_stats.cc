@@ -1,0 +1,155 @@
+#include "src/stats/attr_stats.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <set>
+
+#include "src/util/string_util.h"
+
+namespace spade {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kEmpty:
+      return "empty";
+    case ValueKind::kInteger:
+      return "integer";
+    case ValueKind::kDecimal:
+      return "decimal";
+    case ValueKind::kDate:
+      return "date";
+    case ValueKind::kText:
+      return "text";
+    case ValueKind::kReference:
+      return "reference";
+    case ValueKind::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+bool LooksLikeDate(const std::string& s) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+AttrStats ComputeAttrStats(const Database& db, AttrId attr) {
+  const AttributeTable& table = db.attribute(attr);
+  const Dictionary& dict = db.graph().dict();
+
+  AttrStats st;
+  st.num_values = table.rows.size();
+  if (table.rows.empty()) return st;
+
+  std::set<TermId> distinct;
+  size_t num_int = 0, num_dec = 0, num_date = 0, num_text = 0, num_ref = 0;
+  double total_len = 0;
+  st.min_value = std::numeric_limits<double>::infinity();
+  st.max_value = -std::numeric_limits<double>::infinity();
+
+  TermId prev_subject = kInvalidTerm;
+  size_t run = 0;
+  auto close_run = [&]() {
+    if (run > 0) {
+      ++st.num_subjects;
+      if (run >= 2) ++st.num_multi_subjects;
+    }
+  };
+  for (const auto& [s, o] : table.rows) {
+    if (s != prev_subject) {
+      close_run();
+      prev_subject = s;
+      run = 0;
+    }
+    ++run;
+    distinct.insert(o);
+    const Term& term = dict.Get(o);
+    if (term.kind != TermKind::kLiteral) {
+      ++num_ref;
+      continue;
+    }
+    int64_t iv;
+    double dv;
+    if (ParseInt64(term.lexical, &iv)) {
+      ++num_int;
+      st.min_value = std::min(st.min_value, static_cast<double>(iv));
+      st.max_value = std::max(st.max_value, static_cast<double>(iv));
+    } else if (ParseDouble(term.lexical, &dv)) {
+      ++num_dec;
+      st.min_value = std::min(st.min_value, dv);
+      st.max_value = std::max(st.max_value, dv);
+    } else if (LooksLikeDate(term.lexical)) {
+      ++num_date;
+    } else {
+      ++num_text;
+      total_len += static_cast<double>(term.lexical.size());
+    }
+  }
+  close_run();
+  st.num_distinct_values = distinct.size();
+  if (num_text > 0) st.avg_text_length = total_len / static_cast<double>(num_text);
+
+  // Classify: a kind must cover >= 95% of the values, otherwise kMixed.
+  // (Real graphs have stray values; a couple of bad literals should not stop
+  // a numeric property from being a measure.)
+  size_t n = st.num_values;
+  auto dominates = [n](size_t c) { return c * 20 >= n * 19; };
+  if (dominates(num_ref)) {
+    st.kind = ValueKind::kReference;
+  } else if (dominates(num_int)) {
+    st.kind = ValueKind::kInteger;
+  } else if (dominates(num_int + num_dec)) {
+    st.kind = ValueKind::kDecimal;
+  } else if (dominates(num_date)) {
+    st.kind = ValueKind::kDate;
+  } else if (dominates(num_text + num_date)) {
+    st.kind = ValueKind::kText;
+  } else {
+    st.kind = ValueKind::kMixed;
+  }
+  if (!st.numeric()) {
+    st.min_value = 0;
+    st.max_value = 0;
+  }
+  return st;
+}
+
+OnlineAttrStats ComputeOnlineStats(const Database& db, const CfsIndex& cfs,
+                                   AttrId attr) {
+  const AttributeTable& table = db.attribute(attr);
+  OnlineAttrStats st;
+  std::set<TermId> distinct;
+
+  const auto& members = cfs.members();
+  size_t mi = 0;
+  TermId prev_subject = kInvalidTerm;
+  size_t run = 0;
+  auto close_run = [&]() {
+    if (run > 0) {
+      ++st.support;
+      if (run >= 2) ++st.num_multi_facts;
+    }
+  };
+  for (const auto& [s, o] : table.rows) {
+    while (mi < members.size() && members[mi] < s) ++mi;
+    if (mi == members.size()) break;
+    if (members[mi] != s) continue;
+    if (s != prev_subject) {
+      close_run();
+      prev_subject = s;
+      run = 0;
+    }
+    ++run;
+    ++st.num_values;
+    distinct.insert(o);
+  }
+  close_run();
+  st.num_distinct_values = distinct.size();
+  return st;
+}
+
+}  // namespace spade

@@ -1,0 +1,109 @@
+#include "src/store/database.h"
+
+#include <algorithm>
+
+namespace spade {
+
+const char* AttrOriginName(AttrOrigin origin) {
+  switch (origin) {
+    case AttrOrigin::kDirect:
+      return "direct";
+    case AttrOrigin::kCount:
+      return "count";
+    case AttrOrigin::kKeyword:
+      return "keyword";
+    case AttrOrigin::kLanguage:
+      return "language";
+    case AttrOrigin::kPath:
+      return "path";
+  }
+  return "?";
+}
+
+std::vector<TermId> AttributeTable::ValuesOf(TermId subject) const {
+  std::vector<TermId> out;
+  auto lo = std::lower_bound(
+      rows.begin(), rows.end(), std::make_pair(subject, TermId(0)));
+  for (auto it = lo; it != rows.end() && it->first == subject; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<TermId> AttributeTable::Subjects() const {
+  std::vector<TermId> out;
+  for (const auto& [s, o] : rows) {
+    if (out.empty() || out.back() != s) out.push_back(s);
+  }
+  return out;
+}
+
+void AttributeTable::SortRows() {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+}
+
+CfsIndex::CfsIndex(std::vector<TermId> members_sorted)
+    : members_(std::move(members_sorted)) {
+  // Defensive: dense ids require sorted unique members.
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+}
+
+FactId CfsIndex::FactOf(TermId node) const {
+  auto it = std::lower_bound(members_.begin(), members_.end(), node);
+  if (it == members_.end() || *it != node) return kInvalidFact;
+  return static_cast<FactId>(it - members_.begin());
+}
+
+void Database::BuildDirectAttributes() {
+  const TermId rdf_type = graph_->rdf_type();
+  for (TermId p : graph_->AllProperties()) {
+    if (p == rdf_type) continue;
+    AttributeTable table;
+    table.name = LocalName(graph_->dict().Get(p).lexical);
+    table.origin = AttrOrigin::kDirect;
+    table.property = p;
+    graph_->Match(kInvalidTerm, p, kInvalidTerm, [&](const Triple& t) {
+      table.rows.emplace_back(t.s, t.o);
+    });
+    AddAttribute(std::move(table));
+  }
+}
+
+AttrId Database::AddAttribute(AttributeTable table) {
+  table.SortRows();
+  // Disambiguate name collisions (two IRIs with the same local name).
+  std::string name = table.name;
+  int suffix = 2;
+  while (by_name_.count(name)) {
+    name = table.name + "#" + std::to_string(suffix++);
+  }
+  table.name = name;
+  AttrId id = static_cast<AttrId>(attributes_.size());
+  by_name_[table.name] = id;
+  attributes_.push_back(std::move(table));
+  return id;
+}
+
+std::optional<AttrId> Database::FindAttribute(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<AttrId> Database::DirectAttributes() const {
+  std::vector<AttrId> out;
+  for (AttrId id = 0; id < attributes_.size(); ++id) {
+    if (attributes_[id].origin == AttrOrigin::kDirect) out.push_back(id);
+  }
+  return out;
+}
+
+std::string Database::LocalName(const std::string& iri) {
+  size_t pos = iri.find_last_of("#/");
+  if (pos == std::string::npos || pos + 1 >= iri.size()) return iri;
+  return iri.substr(pos + 1);
+}
+
+}  // namespace spade

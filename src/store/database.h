@@ -1,0 +1,113 @@
+#ifndef SPADE_STORE_DATABASE_H_
+#define SPADE_STORE_DATABASE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdf/graph.h"
+#include "src/util/status.h"
+
+namespace spade {
+
+/// Dense index of an attribute in the Database registry.
+using AttrId = uint32_t;
+
+/// Dense index of a fact inside one candidate fact set.
+using FactId = uint32_t;
+
+constexpr FactId kInvalidFact = static_cast<FactId>(-1);
+
+/// How an attribute came to exist (Section 3, Derived Property Enumeration).
+enum class AttrOrigin : uint8_t {
+  kDirect = 0,   ///< a property of the RDF graph
+  kCount,        ///< count of a multi-valued property
+  kKeyword,      ///< keywords occurring in a text property
+  kLanguage,     ///< language of a text property
+  kPath,         ///< one-hop path p1/p2
+};
+
+const char* AttrOriginName(AttrOrigin origin);
+
+/// \brief One attribute table t_a: the (subject, object) pairs of all triples
+/// (s, a, o), sorted by subject (Section 4.3 storage model).
+struct AttributeTable {
+  /// Human-readable name: the property's local name for direct attributes,
+  /// "count(x)" / "kwIn(x)" / "langOf(x)" / "p/q" for derived ones.
+  std::string name;
+  AttrOrigin origin = AttrOrigin::kDirect;
+  /// Property term for direct attributes (kInvalidTerm for derived).
+  TermId property = kInvalidTerm;
+  /// The attribute this one was derived from (kInvalidAttr if direct).
+  /// Enumeration rule 3(b-ii)/(c): an attribute and its derivation cannot be
+  /// dimensions of the same lattice nor dimension+measure of one aggregate.
+  AttrId derived_from = static_cast<AttrId>(-1);
+  /// Rows sorted by subject, then object.
+  std::vector<std::pair<TermId, TermId>> rows;
+
+  /// All object values of `subject`, by binary search.
+  std::vector<TermId> ValuesOf(TermId subject) const;
+  /// Distinct subjects, in id order.
+  std::vector<TermId> Subjects() const;
+  void SortRows();
+};
+
+constexpr AttrId kInvalidAttr = static_cast<AttrId>(-1);
+
+/// \brief Dense fact numbering for one CFS: bitmaps and measure vectors are
+/// aligned on these ids ("ordered by the IDs of the CFs", Section 4.3).
+class CfsIndex {
+ public:
+  explicit CfsIndex(std::vector<TermId> members_sorted);
+
+  FactId FactOf(TermId node) const;
+  TermId NodeOf(FactId fact) const { return members_[fact]; }
+  size_t size() const { return members_.size(); }
+  const std::vector<TermId>& members() const { return members_; }
+
+ private:
+  std::vector<TermId> members_;  // sorted by TermId; FactId = position
+};
+
+/// \brief The analytical store: attribute tables over one RDF graph.
+///
+/// The paper stores one table per attribute in PostgreSQL via OntoSQL; this
+/// class is the in-memory equivalent and the single data access point for
+/// statistics, derivations, and all three cube algorithms.
+class Database {
+ public:
+  explicit Database(Graph* graph) : graph_(graph) {}
+
+  /// Build one table per distinct property of the graph (skipping rdf:type,
+  /// which drives CFS selection instead of analysis). Offline step.
+  void BuildDirectAttributes();
+
+  /// Register a derived attribute table (sorts its rows). Returns its id.
+  AttrId AddAttribute(AttributeTable table);
+
+  const AttributeTable& attribute(AttrId id) const { return attributes_[id]; }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  std::optional<AttrId> FindAttribute(const std::string& name) const;
+
+  /// Ids of all direct attributes.
+  std::vector<AttrId> DirectAttributes() const;
+
+  const Graph& graph() const { return *graph_; }
+
+  /// Derivations intern new literal values (counts, keywords, languages).
+  Dictionary* mutable_dict() { return &graph_->dict(); }
+
+  /// Human-readable local name of a property IRI (suffix after '#' or '/').
+  static std::string LocalName(const std::string& iri);
+
+ private:
+  Graph* graph_;
+  std::vector<AttributeTable> attributes_;
+  std::unordered_map<std::string, AttrId> by_name_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_STORE_DATABASE_H_

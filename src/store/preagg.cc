@@ -1,0 +1,43 @@
+#include "src/store/preagg.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace spade {
+
+MeasureVector BuildMeasureVector(const Database& db, const CfsIndex& cfs,
+                                 AttrId attr) {
+  const AttributeTable& table = db.attribute(attr);
+  const Dictionary& dict = db.graph().dict();
+
+  MeasureVector mv;
+  size_t n = cfs.size();
+  mv.count.assign(n, 0);
+  mv.sum.assign(n, 0.0);
+  mv.min.assign(n, std::numeric_limits<double>::infinity());
+  mv.max.assign(n, -std::numeric_limits<double>::infinity());
+  mv.numeric = true;
+  mv.single_valued = true;
+
+  // Merge join: table rows and CFS members are both sorted by TermId.
+  const auto& members = cfs.members();
+  size_t mi = 0;
+  for (const auto& [s, o] : table.rows) {
+    while (mi < members.size() && members[mi] < s) ++mi;
+    if (mi == members.size()) break;
+    if (members[mi] != s) continue;
+    FactId f = static_cast<FactId>(mi);
+    if (++mv.count[f] > 1) mv.single_valued = false;
+    double v;
+    if (dict.NumericValue(o, &v)) {
+      mv.sum[f] += v;
+      mv.min[f] = std::min(mv.min[f], v);
+      mv.max[f] = std::max(mv.max[f], v);
+    } else {
+      mv.numeric = false;
+    }
+  }
+  return mv;
+}
+
+}  // namespace spade

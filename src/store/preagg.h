@@ -1,0 +1,45 @@
+#ifndef SPADE_STORE_PREAGG_H_
+#define SPADE_STORE_PREAGG_H_
+
+#include <vector>
+
+#include "src/store/database.h"
+
+namespace spade {
+
+/// \brief Per-fact pre-aggregated measure values (Section 3, offline phase;
+/// consumed by Measure Loading in Section 4.3).
+///
+/// For an attribute M and a CFS, slot f holds the aggregate of M's values on
+/// fact f: count(M), sum(M), min(M), max(M). Facts without the attribute have
+/// count 0. Group-level aggregates then combine per-fact slots so that each
+/// fact contributes its values exactly once per group — the key to MVDCube's
+/// correctness under multi-valued dimensions:
+///
+///   group count = sum of fact counts     group sum = sum of fact sums
+///   group avg   = group sum / group count
+///   group min   = min of fact mins       group max = max of fact maxs
+///
+/// The paper's single-slot optimization for single-valued numeric properties
+/// is reflected in `single_valued`: min == max == sum for every fact, so
+/// callers may read one array.
+struct MeasureVector {
+  std::vector<uint32_t> count;
+  std::vector<double> sum;
+  std::vector<double> min;
+  std::vector<double> max;
+  bool numeric = false;        ///< all present values parse as numbers
+  bool single_valued = false;  ///< no fact has two values
+
+  size_t size() const { return count.size(); }
+};
+
+/// Build the measure vector of `attr` over the facts of `cfs`. Non-numeric
+/// values contribute to count only; `numeric` is false if any present value
+/// fails to parse.
+MeasureVector BuildMeasureVector(const Database& db, const CfsIndex& cfs,
+                                 AttrId attr);
+
+}  // namespace spade
+
+#endif  // SPADE_STORE_PREAGG_H_

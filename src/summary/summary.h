@@ -1,0 +1,63 @@
+#ifndef SPADE_SUMMARY_SUMMARY_H_
+#define SPADE_SUMMARY_SUMMARY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdf/graph.h"
+
+namespace spade {
+
+/// \brief RDFQuotient-style structural summary (Goasdoué et al., VLDBJ'20).
+///
+/// Spade's offline phase summarizes the graph to (a) enumerate properties and
+/// (b) propose groups of structurally equivalent nodes that become
+/// summary-based candidate fact sets (Section 3, step 1).
+///
+/// We implement *weak equivalence*: data properties are grouped into cliques
+/// — two properties are related if some node carries both (as outgoing
+/// properties: source cliques; as incoming: target cliques) — and nodes are
+/// equivalent iff their properties fall in the same cliques. Operationally
+/// this is a union–find: every node is unioned with a per-property anchor for
+/// each of its outgoing (and incoming) properties, which yields exactly the
+/// transitively-closed weak-equivalence partition. rdf:type triples are
+/// excluded from the clique computation, as in RDFQuotient, where types
+/// annotate rather than define the structure.
+class StructuralSummary {
+ public:
+  struct Options {
+    /// Also union nodes by shared *incoming* properties (full weak
+    /// equivalence). When false, only source (outgoing) cliques are used,
+    /// which yields a finer partition.
+    bool use_incoming = true;
+    /// Literal objects never form equivalence classes of their own.
+    bool skip_literal_nodes = true;
+  };
+
+  /// Build the summary of `graph` (overload: default options).
+  static StructuralSummary Build(const Graph& graph);
+  static StructuralSummary Build(const Graph& graph, const Options& options);
+
+  /// Equivalence classes over the graph's non-literal nodes, each sorted by
+  /// TermId; classes ordered by descending size.
+  const std::vector<std::vector<TermId>>& classes() const { return classes_; }
+
+  /// Class index of a node, or -1 if the node is not summarized.
+  int ClassOf(TermId node) const;
+
+  /// Properties whose subjects fall in class `cls` (the summary edge labels).
+  const std::vector<TermId>& ClassProperties(int cls) const {
+    return class_properties_[cls];
+  }
+
+  size_t num_classes() const { return classes_.size(); }
+
+ private:
+  std::vector<std::vector<TermId>> classes_;
+  std::vector<std::vector<TermId>> class_properties_;
+  std::unordered_map<TermId, int> class_of_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_SUMMARY_SUMMARY_H_

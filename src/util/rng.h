@@ -1,0 +1,77 @@
+#ifndef SPADE_UTIL_RNG_H_
+#define SPADE_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace spade {
+
+/// \brief Deterministic 64-bit PRNG (SplitMix64).
+///
+/// Every randomized component in Spade (data generators, reservoir sampling,
+/// synthetic benchmarks) takes an explicit Rng seeded by the caller so that
+/// runs, tests, and benchmarks are exactly reproducible. SplitMix64 passes
+/// BigCrush, needs a single uint64 of state, and cannot accidentally be
+/// platform-dependent the way std::default_random_engine can.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and exact
+  /// enough for data generation).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-distributed integer in [0, n) with exponent alpha, by inverse CDF
+  /// over precomputed-free rejection-less linear scan for small n, used by
+  /// the real-graph simulators to skew value popularity.
+  uint64_t Zipf(uint64_t n, double alpha) {
+    // Normalization constant computed on the fly; n is small (< 10^4) in all
+    // generator uses so the scan cost is negligible.
+    double h = 0;
+    for (uint64_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), alpha);
+    double u = NextDouble() * h;
+    double acc = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), alpha);
+      if (acc >= u) return i - 1;
+    }
+    return n - 1;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_UTIL_RNG_H_

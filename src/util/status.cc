@@ -1,0 +1,36 @@
+#include "src/util/status.h"
+
+namespace spade {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case Code::kOk:
+      name = "OK";
+      break;
+    case Code::kInvalidArgument:
+      name = "INVALID_ARGUMENT";
+      break;
+    case Code::kParseError:
+      name = "PARSE_ERROR";
+      break;
+    case Code::kNotFound:
+      name = "NOT_FOUND";
+      break;
+    case Code::kOutOfRange:
+      name = "OUT_OF_RANGE";
+      break;
+    case Code::kInternal:
+      name = "INTERNAL";
+      break;
+  }
+  std::string out = name;
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace spade

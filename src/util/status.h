@@ -1,0 +1,100 @@
+#ifndef SPADE_UTIL_STATUS_H_
+#define SPADE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace spade {
+
+/// \brief Outcome of an operation that can fail, in the Arrow/RocksDB idiom.
+///
+/// Spade never throws across module boundaries: fallible operations return a
+/// Status (or a Result<T>, below) and callers decide how to react. A default
+/// constructed Status is OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kParseError,
+    kNotFound,
+    kOutOfRange,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering, "OK" for success.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief A value or an error Status.
+///
+/// Result<T> carries either a successfully produced T or the Status that
+/// explains why no T exists. Access to the value of a failed Result aborts,
+/// so callers must test ok() first (tests do so via ASSERT macros).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {} // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define SPADE_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::spade::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace spade
+
+#endif  // SPADE_UTIL_STATUS_H_

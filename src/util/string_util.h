@@ -1,0 +1,41 @@
+#ifndef SPADE_UTIL_STRING_UTIL_H_
+#define SPADE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spade {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (sufficient for keyword/language derivation, which only
+/// inspects ASCII letters).
+std::string ToLower(std::string_view s);
+
+/// Parse a whole string as int64; returns false on any non-numeric content.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parse a whole string as double; returns false on any non-numeric content.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Render a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string FormatDouble(double v, int digits = 3);
+
+/// Join items with `sep`.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace spade
+
+#endif  // SPADE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,30 @@
+#ifndef SPADE_UTIL_TABLE_PRINTER_H_
+#define SPADE_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spade {
+
+/// \brief Fixed-width ASCII table writer.
+///
+/// Each benchmark binary regenerates one of the paper's tables/figures as a
+/// plain-text table on stdout; this helper keeps their output uniform.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Render with a header rule and column padding.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,30 @@
+#ifndef SPADE_UTIL_TIMER_H_
+#define SPADE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace spade {
+
+/// \brief Wall-clock stopwatch used by the pipeline instrumentation and the
+/// benchmark harnesses (Figures 9, 11, 12; Table 4 report milliseconds).
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_UTIL_TIMER_H_

@@ -1,0 +1,105 @@
+#include "src/core/arm.h"
+
+#include <gtest/gtest.h>
+
+namespace spade {
+namespace {
+
+AggregateKey MakeKey(uint32_t cfs, std::vector<AttrId> dims, AttrId measure,
+                     sparql::AggFunc func) {
+  AggregateKey key;
+  key.cfs_id = cfs;
+  key.dims = std::move(dims);
+  key.measure = MeasureSpec{measure, func};
+  return key;
+}
+
+TEST(ArmTest, RegisterAndDedup) {
+  Arm arm;
+  AggregateKey key = MakeKey(0, {1, 2}, 3, sparql::AggFunc::kSum);
+  EXPECT_FALSE(arm.IsEvaluated(key));
+  Arm::Handle h = arm.Register(key);
+  ASSERT_NE(h, Arm::kInvalidHandle);
+  EXPECT_TRUE(arm.IsEvaluated(key));
+  EXPECT_EQ(arm.Register(key), Arm::kInvalidHandle);  // second registration
+  EXPECT_EQ(arm.Find(key), h);
+  EXPECT_EQ(arm.num_aggregates(), 1u);
+}
+
+TEST(ArmTest, KeysDifferByEveryComponent) {
+  Arm arm;
+  arm.Register(MakeKey(0, {1}, 2, sparql::AggFunc::kSum));
+  EXPECT_FALSE(arm.IsEvaluated(MakeKey(1, {1}, 2, sparql::AggFunc::kSum)));
+  EXPECT_FALSE(arm.IsEvaluated(MakeKey(0, {2}, 2, sparql::AggFunc::kSum)));
+  EXPECT_FALSE(arm.IsEvaluated(MakeKey(0, {1}, 3, sparql::AggFunc::kSum)));
+  EXPECT_FALSE(arm.IsEvaluated(MakeKey(0, {1}, 2, sparql::AggFunc::kAvg)));
+}
+
+TEST(ArmTest, AccumulatesMomentsAndGroups) {
+  Arm arm(/*max_stored_groups=*/2);
+  Arm::Handle h = arm.Register(MakeKey(0, {1}, 2, sparql::AggFunc::kAvg));
+  arm.AddGroup(h, {10}, 1.0);
+  arm.AddGroup(h, {11}, 3.0);
+  arm.AddGroup(h, {12}, 5.0);
+  EXPECT_EQ(arm.num_groups(h), 3u);
+  EXPECT_DOUBLE_EQ(arm.moments(h).mean(), 3.0);
+  EXPECT_DOUBLE_EQ(arm.Score(h, InterestingnessKind::kVariance), 4.0);
+  // Storage capped, statistics not.
+  EXPECT_EQ(arm.stored_groups(h).size(), 2u);
+}
+
+TEST(ArmTest, TopKOrdersByScore) {
+  Arm arm;
+  Arm::Handle flat = arm.Register(MakeKey(0, {1}, 2, sparql::AggFunc::kSum));
+  arm.AddGroup(flat, {1}, 5.0);
+  arm.AddGroup(flat, {2}, 5.0);
+  arm.AddGroup(flat, {3}, 5.0);
+
+  Arm::Handle spiky = arm.Register(MakeKey(0, {2}, 2, sparql::AggFunc::kSum));
+  arm.AddGroup(spiky, {1}, 0.0);
+  arm.AddGroup(spiky, {2}, 100.0);
+
+  Arm::Handle mild = arm.Register(MakeKey(0, {3}, 2, sparql::AggFunc::kSum));
+  arm.AddGroup(mild, {1}, 4.0);
+  arm.AddGroup(mild, {2}, 6.0);
+
+  auto top = arm.TopK(2, InterestingnessKind::kVariance);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key.dims, (std::vector<AttrId>{2}));
+  EXPECT_EQ(top[1].key.dims, (std::vector<AttrId>{3}));
+  EXPECT_GT(top[0].score, top[1].score);
+}
+
+TEST(ArmTest, TopKSkipsSingleGroupAggregates) {
+  Arm arm;
+  Arm::Handle single = arm.Register(MakeKey(0, {1}, 2, sparql::AggFunc::kSum));
+  arm.AddGroup(single, {1}, 42.0);
+  auto top = arm.TopK(5, InterestingnessKind::kVariance);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(ArmTest, TopKDeterministicTieBreak) {
+  Arm arm;
+  for (AttrId d = 0; d < 4; ++d) {
+    Arm::Handle h = arm.Register(MakeKey(0, {d}, 9, sparql::AggFunc::kSum));
+    arm.AddGroup(h, {1}, 0.0);
+    arm.AddGroup(h, {2}, 2.0);  // identical variance everywhere
+  }
+  auto top = arm.TopK(4, InterestingnessKind::kVariance);
+  ASSERT_EQ(top.size(), 4u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LT(top[i - 1].key, top[i].key);
+  }
+}
+
+TEST(ArmTest, TopKLargerThanPopulation) {
+  Arm arm;
+  Arm::Handle h = arm.Register(MakeKey(0, {1}, 2, sparql::AggFunc::kSum));
+  arm.AddGroup(h, {1}, 1.0);
+  arm.AddGroup(h, {2}, 9.0);
+  auto top = arm.TopK(100, InterestingnessKind::kVariance);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,178 @@
+#include "src/datagen/realworld.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/synthetic.h"
+#include "src/stats/attr_stats.h"
+#include "src/store/database.h"
+
+namespace spade {
+namespace {
+
+TEST(SyntheticTest, Deterministic) {
+  SyntheticOptions opts;
+  opts.num_facts = 500;
+  auto g1 = GenerateSynthetic(opts);
+  auto g2 = GenerateSynthetic(opts);
+  EXPECT_EQ(g1->NumTriples(), g2->NumTriples());
+  opts.seed = 43;
+  auto g3 = GenerateSynthetic(opts);
+  EXPECT_NE(g1->NumTriples(), 0u);
+  // Different seed: almost surely different triple multiset size or content.
+  // (sizes can coincide; compare a value distribution instead)
+  EXPECT_GT(g3->NumTriples(), 0u);
+}
+
+TEST(SyntheticTest, ShapeMatchesOptions) {
+  SyntheticOptions opts;
+  opts.num_facts = 400;
+  opts.dim_cardinality = {10, 5};
+  opts.num_measures = 2;
+  opts.sparsity = 0.0;
+  auto g = GenerateSynthetic(opts);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  EXPECT_EQ(db.num_attributes(), 4u);  // 2 dims + 2 measures
+  // One fact type with all facts.
+  TermId type = g->dict().InternIri(synth::kFactType);
+  EXPECT_EQ(g->NodesOfType(type).size(), 400u);
+  // Dimension 0 takes at most 10 distinct values.
+  AttrStats st = ComputeAttrStats(db, *db.FindAttribute("dim0"));
+  EXPECT_LE(st.num_distinct_values, 10u);
+  EXPECT_EQ(st.num_multi_subjects, 0u);  // single-valued by default
+}
+
+TEST(SyntheticTest, SparsityShrinksValueDomain) {
+  SyntheticOptions dense;
+  dense.num_facts = 2000;
+  dense.dim_cardinality = {100};
+  dense.sparsity = 0.0;
+  SyntheticOptions sparse = dense;
+  sparse.sparsity = 0.9;
+  auto gd = GenerateSynthetic(dense);
+  auto gs = GenerateSynthetic(sparse);
+  Database dbd(gd.get()), dbs(gs.get());
+  dbd.BuildDirectAttributes();
+  dbs.BuildDirectAttributes();
+  AttrStats std_ = ComputeAttrStats(dbd, *dbd.FindAttribute("dim0"));
+  AttrStats sts = ComputeAttrStats(dbs, *dbs.FindAttribute("dim0"));
+  EXPECT_GT(std_.num_distinct_values, 2 * sts.num_distinct_values);
+}
+
+TEST(SyntheticTest, MultiValuedDimsWhenRequested) {
+  SyntheticOptions opts;
+  opts.num_facts = 500;
+  opts.dim_cardinality = {10, 10};
+  opts.multi_valued_dims = {0};
+  opts.multi_value_prob = 0.5;
+  auto g = GenerateSynthetic(opts);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  EXPECT_GT(ComputeAttrStats(db, *db.FindAttribute("dim0")).num_multi_subjects,
+            50u);
+  EXPECT_EQ(ComputeAttrStats(db, *db.FindAttribute("dim1")).num_multi_subjects,
+            0u);
+}
+
+TEST(SyntheticTest, MissingProbDropsValues) {
+  SyntheticOptions opts;
+  opts.num_facts = 1000;
+  opts.dim_cardinality = {10};
+  opts.missing_prob = 0.5;
+  auto g = GenerateSynthetic(opts);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  AttrStats st = ComputeAttrStats(db, *db.FindAttribute("dim0"));
+  EXPECT_NEAR(static_cast<double>(st.num_subjects), 500.0, 60.0);
+}
+
+TEST(RealWorldTest, AllDatasetsGenerateDeterministically) {
+  for (RealDataset ds : AllRealDatasets()) {
+    auto g1 = GenerateRealDataset(ds, 42, 0.1);
+    auto g2 = GenerateRealDataset(ds, 42, 0.1);
+    ASSERT_NE(g1, nullptr);
+    EXPECT_EQ(g1->NumTriples(), g2->NumTriples()) << RealDatasetName(ds);
+    EXPECT_GT(g1->NumTriples(), 100u) << RealDatasetName(ds);
+  }
+}
+
+TEST(RealWorldTest, AirlineIsFlatSingleType) {
+  auto g = GenerateAirline(42, 0.25);
+  // One type, no multi-valued attributes, no IRI-to-IRI links => Table 2's
+  // "no derivations apply" row.
+  EXPECT_EQ(g->AllTypes().size(), 1u);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  for (AttrId a = 0; a < db.num_attributes(); ++a) {
+    AttrStats st = ComputeAttrStats(db, a);
+    EXPECT_EQ(st.num_multi_subjects, 0u) << db.attribute(a).name;
+    EXPECT_NE(st.kind, ValueKind::kReference) << db.attribute(a).name;
+  }
+}
+
+TEST(RealWorldTest, CeosHasMultiValuedAndLinks) {
+  auto g = GenerateCeos(42, 0.25);
+  EXPECT_GE(g->AllTypes().size(), 5u);  // heterogeneous
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  AttrStats nat = ComputeAttrStats(db, *db.FindAttribute("nationality"));
+  EXPECT_GT(nat.num_multi_subjects, 0u);
+  EXPECT_EQ(nat.kind, ValueKind::kReference);
+  AttrStats nw = ComputeAttrStats(db, *db.FindAttribute("netWorth"));
+  EXPECT_TRUE(nw.numeric());
+  // company -> area continues: path derivation material.
+  AttrStats company = ComputeAttrStats(db, *db.FindAttribute("company"));
+  EXPECT_EQ(company.kind, ValueKind::kReference);
+}
+
+TEST(RealWorldTest, DblpSingleFactTypeWithText) {
+  auto g = GenerateDblp(42, 0.2);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  AttrStats title = ComputeAttrStats(db, *db.FindAttribute("title"));
+  EXPECT_EQ(title.kind, ValueKind::kText);
+  EXPECT_GT(title.avg_text_length, 20.0);
+  AttrStats author = ComputeAttrStats(db, *db.FindAttribute("author"));
+  EXPECT_GT(author.num_multi_subjects, 0u);
+}
+
+TEST(RealWorldTest, FoodistaMultilingual) {
+  auto g = GenerateFoodista(42, 0.3);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  AttrStats desc = ComputeAttrStats(db, *db.FindAttribute("description"));
+  EXPECT_EQ(desc.kind, ValueKind::kText);
+  AttrStats ing = ComputeAttrStats(db, *db.FindAttribute("ingredient"));
+  EXPECT_GT(ing.num_multi_subjects, 100u);
+}
+
+TEST(RealWorldTest, NasaLaunchSiteSkew) {
+  auto g = GenerateNasa(42, 0.5);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  // Launches link spacecraft; spacecraft link agencies: 2-hop structure.
+  EXPECT_TRUE(db.FindAttribute("spacecraft").has_value());
+  EXPECT_TRUE(db.FindAttribute("agency").has_value());
+  AttrStats mass = ComputeAttrStats(db, *db.FindAttribute("mass"));
+  EXPECT_TRUE(mass.numeric());
+  EXPECT_GT(mass.max_value, mass.min_value);
+}
+
+TEST(RealWorldTest, NobelSkewedAgeByCategory) {
+  auto g = GenerateNobel(42, 0.3);
+  Database db(g.get());
+  db.BuildDirectAttributes();
+  AttrStats aff = ComputeAttrStats(db, *db.FindAttribute("affiliation"));
+  EXPECT_GT(aff.num_multi_subjects, 0u);
+  AttrStats age = ComputeAttrStats(db, *db.FindAttribute("ageAtAward"));
+  EXPECT_TRUE(age.numeric());
+}
+
+TEST(RealWorldTest, ScaleParameterScalesSize) {
+  auto small = GenerateCeos(42, 0.1);
+  auto large = GenerateCeos(42, 0.4);
+  EXPECT_GT(large->NumTriples(), 2 * small->NumTriples());
+}
+
+}  // namespace
+}  // namespace spade

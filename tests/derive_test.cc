@@ -1,0 +1,214 @@
+#include "src/derive/derivations.h"
+
+#include <gtest/gtest.h>
+
+namespace spade {
+namespace {
+
+class DeriveTest : public ::testing::Test {
+ protected:
+  void Analyze() {
+    stats.clear();
+    for (AttrId a = 0; a < db().num_attributes(); ++a) {
+      stats.push_back(ComputeAttrStats(db(), a));
+    }
+  }
+  Database& db() {
+    if (!db_) db_ = std::make_unique<Database>(&g);
+    return *db_;
+  }
+  Graph g;
+  std::unique_ptr<Database> db_;
+  std::vector<AttrStats> stats;
+};
+
+TEST_F(DeriveTest, CountDerivation) {
+  Dictionary& d = g.dict();
+  AttributeTable t;
+  t.name = "company";
+  t.property = d.InternIri("company");
+  t.rows = {{d.InternIri("ceo1"), d.InternIri("c1")},
+            {d.InternIri("ceo1"), d.InternIri("c2")},
+            {d.InternIri("ceo2"), d.InternIri("c1")}};
+  db().AddAttribute(std::move(t));
+  Analyze();
+
+  DerivationOptions opts;
+  EXPECT_EQ(DeriveCounts(&db(), stats, opts), 1u);
+  auto id = db().FindAttribute("count(company)");
+  ASSERT_TRUE(id.has_value());
+  const AttributeTable& ct = db().attribute(*id);
+  EXPECT_EQ(ct.origin, AttrOrigin::kCount);
+  EXPECT_EQ(ct.derived_from, 0u);
+  ASSERT_EQ(ct.rows.size(), 2u);
+  // ceo1 manages two companies, ceo2 one.
+  EXPECT_EQ(g.dict().Get(ct.ValuesOf(d.InternIri("ceo1"))[0]).lexical, "2");
+  EXPECT_EQ(g.dict().Get(ct.ValuesOf(d.InternIri("ceo2"))[0]).lexical, "1");
+}
+
+TEST_F(DeriveTest, CountSkipsSingleValued) {
+  Dictionary& d = g.dict();
+  AttributeTable t;
+  t.name = "name";
+  t.rows = {{d.InternIri("a"), d.InternString("x")},
+            {d.InternIri("b"), d.InternString("y")}};
+  db().AddAttribute(std::move(t));
+  Analyze();
+  EXPECT_EQ(DeriveCounts(&db(), stats, DerivationOptions()), 0u);
+}
+
+TEST_F(DeriveTest, KeywordDerivation) {
+  Dictionary& d = g.dict();
+  AttributeTable t;
+  t.name = "description";
+  t.rows = {{d.InternIri("c1"),
+             d.InternString("Sonangol oversees petroleum production")},
+            {d.InternIri("c2"),
+             d.InternString("A diversified global manufacturing business")}};
+  db().AddAttribute(std::move(t));
+  Analyze();
+  DerivationOptions opts;
+  EXPECT_EQ(DeriveKeywords(&db(), stats, opts), 1u);
+  auto id = db().FindAttribute("kwIn(description)");
+  ASSERT_TRUE(id.has_value());
+  const AttributeTable& kt = db().attribute(*id);
+  std::vector<TermId> kws = kt.ValuesOf(d.InternIri("c1"));
+  std::vector<std::string> words;
+  for (TermId k : kws) words.push_back(g.dict().Get(k).lexical);
+  // Capitalized keywords, length >= 4, no stop words.
+  EXPECT_NE(std::find(words.begin(), words.end(), "Petroleum"), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), "Production"), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), "Oversees"),
+            words.end());  // not a stop word and long enough -> kept
+}
+
+TEST_F(DeriveTest, KeywordsSkipShortLabels) {
+  Dictionary& d = g.dict();
+  AttributeTable t;
+  t.name = "name";
+  t.rows = {{d.InternIri("a"), d.InternString("Bob")},
+            {d.InternIri("b"), d.InternString("Eve")}};
+  db().AddAttribute(std::move(t));
+  Analyze();
+  EXPECT_EQ(DeriveKeywords(&db(), stats, DerivationOptions()), 0u);
+}
+
+TEST_F(DeriveTest, ExtractKeywordsFiltersStopwordsAndShort) {
+  auto kws = ExtractKeywords("The cat and the big elephant over there", 4);
+  // "the"/"and"/"over" are stop words; "cat"/"big" too short.
+  EXPECT_EQ(kws, (std::vector<std::string>{"Elephant", "There"}));
+}
+
+TEST_F(DeriveTest, LanguageDerivationFromText) {
+  Dictionary& d = g.dict();
+  AttributeTable t;
+  t.name = "summary";
+  t.rows = {
+      {d.InternIri("r1"),
+       d.InternString("the production of the petroleum is in the region")},
+      {d.InternIri("r2"),
+       d.InternString("la production est dans le pays avec les usines")},
+      {d.InternIri("r3"),
+       d.InternString("la empresa es una de las grandes del mundo")}};
+  db().AddAttribute(std::move(t));
+  Analyze();
+  DerivationOptions opts;
+  EXPECT_EQ(DeriveLanguages(&db(), stats, opts), 1u);
+  const AttributeTable& lt = db().attribute(*db().FindAttribute("langOf(summary)"));
+  EXPECT_EQ(g.dict().Get(lt.ValuesOf(d.InternIri("r1"))[0]).lexical, "English");
+  EXPECT_EQ(g.dict().Get(lt.ValuesOf(d.InternIri("r2"))[0]).lexical, "French");
+  EXPECT_EQ(g.dict().Get(lt.ValuesOf(d.InternIri("r3"))[0]).lexical, "Spanish");
+}
+
+TEST_F(DeriveTest, LanguageTagBeatsDetection) {
+  Dictionary& d = g.dict();
+  AttributeTable t;
+  t.name = "bio";
+  t.rows = {{d.InternIri("r1"),
+             d.Intern(Term::Literal("completely ambiguous words here always",
+                                    kInvalidTerm, "de"))}};
+  db().AddAttribute(std::move(t));
+  Analyze();
+  DeriveLanguages(&db(), stats, DerivationOptions());
+  const AttributeTable& lt = db().attribute(*db().FindAttribute("langOf(bio)"));
+  EXPECT_EQ(g.dict().Get(lt.rows[0].second).lexical, "German");
+}
+
+TEST_F(DeriveTest, DetectLanguageEdgeCases) {
+  EXPECT_EQ(DetectLanguage(""), "");
+  EXPECT_EQ(DetectLanguage("12345 67890"), "");
+  EXPECT_EQ(DetectLanguage("the cat is on the mat"), "English");
+}
+
+TEST_F(DeriveTest, PathDerivation) {
+  Dictionary& d = g.dict();
+  AttributeTable company;
+  company.name = "company";
+  company.property = d.InternIri("company");
+  company.rows = {{d.InternIri("ceo1"), d.InternIri("c1")},
+                  {d.InternIri("ceo2"), d.InternIri("c2")}};
+  AttributeTable area;
+  area.name = "area";
+  area.property = d.InternIri("area");
+  area.rows = {{d.InternIri("c1"), d.InternString("Diamond")},
+               {d.InternIri("c1"), d.InternString("Gas")},
+               {d.InternIri("c2"), d.InternString("Auto")}};
+  db().AddAttribute(std::move(company));
+  db().AddAttribute(std::move(area));
+  Analyze();
+
+  DerivationOptions opts;
+  size_t added = DerivePaths(&db(), stats, opts);
+  EXPECT_GE(added, 1u);
+  auto id = db().FindAttribute("company/area");
+  ASSERT_TRUE(id.has_value());
+  const AttributeTable& pt = db().attribute(*id);
+  EXPECT_EQ(pt.origin, AttrOrigin::kPath);
+  // ceo1 reaches Diamond and Gas through c1.
+  EXPECT_EQ(pt.ValuesOf(d.InternIri("ceo1")).size(), 2u);
+  EXPECT_EQ(pt.ValuesOf(d.InternIri("ceo2")).size(), 1u);
+}
+
+TEST_F(DeriveTest, PathRequiresContinuation) {
+  Dictionary& d = g.dict();
+  AttributeTable knows;
+  knows.name = "knows";
+  knows.property = d.InternIri("knows");
+  knows.rows = {{d.InternIri("a"), d.InternIri("b")}};
+  AttributeTable unrelated;
+  unrelated.name = "age";
+  unrelated.property = d.InternIri("age");
+  unrelated.rows = {{d.InternIri("zzz"), d.InternString("4")}};
+  db().AddAttribute(std::move(knows));
+  db().AddAttribute(std::move(unrelated));
+  Analyze();
+  // b has no outgoing `age`, so knows/age must not be derived.
+  EXPECT_EQ(DerivePaths(&db(), stats, DerivationOptions()), 0u);
+}
+
+TEST_F(DeriveTest, DeriveAllAggregatesReport) {
+  Dictionary& d = g.dict();
+  AttributeTable nat;
+  nat.name = "nationality";
+  nat.property = d.InternIri("nationality");
+  nat.rows = {{d.InternIri("x"), d.InternIri("A")},
+              {d.InternIri("x"), d.InternIri("B")},
+              {d.InternIri("y"), d.InternIri("A")}};
+  AttributeTable label;
+  label.name = "label";
+  label.property = d.InternIri("label");
+  label.rows = {{d.InternIri("A"), d.InternString("Country of A")},
+                {d.InternIri("B"), d.InternString("Country of B")}};
+  db().AddAttribute(std::move(nat));
+  db().AddAttribute(std::move(label));
+  Analyze();
+  DerivationReport report = DeriveAll(&db(), stats, DerivationOptions());
+  EXPECT_EQ(report.num_count_attrs, 1u);   // count(nationality)
+  EXPECT_GE(report.num_path_attrs, 1u);    // nationality/label
+  EXPECT_EQ(report.total(), report.num_count_attrs + report.num_keyword_attrs +
+                                report.num_language_attrs +
+                                report.num_path_attrs);
+}
+
+}  // namespace
+}  // namespace spade

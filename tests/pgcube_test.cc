@@ -1,0 +1,169 @@
+#include "src/core/pgcube.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/reference.h"
+#include "tests/test_helpers.h"
+
+namespace spade {
+namespace {
+
+using testing_helpers::DimSpec;
+using testing_helpers::MakeRandomAnalysis;
+using testing_helpers::MeasureShape;
+using testing_helpers::RandomAnalysis;
+using testing_helpers::SameResult;
+
+std::map<AggregateKey, AggregateResult> ByKey(
+    std::vector<AggregateResult> results) {
+  std::map<AggregateKey, AggregateResult> out;
+  for (auto& r : results) out.emplace(r.key, std::move(r));
+  return out;
+}
+
+TEST(PgCubeTest, BothVariantsCorrectOnSingleValuedData) {
+  // The Experiment 5/6 setting: every fact has one value per dimension, so
+  // PGCube is correct and usable as a scalability baseline.
+  RandomAnalysis ra =
+      MakeRandomAnalysis(31, 300, {{4, 0, 0}, {3, 0, 0}}, {{0, 0}});
+  for (PgCubeVariant variant :
+       {PgCubeVariant::kStar, PgCubeVariant::kDistinct}) {
+    auto got = ByKey(EvaluateLatticePgCube(*ra.db, 0, *ra.cfs, ra.spec,
+                                           variant, nullptr, nullptr));
+    for (const auto& ref : EvaluateReference(*ra.db, 0, *ra.cfs, ra.spec)) {
+      EXPECT_TRUE(SameResult(ref, got.at(ref.key)))
+          << "variant " << static_cast<int>(variant);
+    }
+  }
+}
+
+TEST(PgCubeTest, StarCountsJoinedRows) {
+  // Example 3 via PGCube*: grouping by gender counts Ghosn's joined rows.
+  RandomAnalysis ra = MakeRandomAnalysis(32, 200, {{4, 0.7, 0}}, {});
+  auto star = ByKey(EvaluateLatticePgCube(*ra.db, 0, *ra.cfs, ra.spec,
+                                          PgCubeVariant::kStar, nullptr,
+                                          nullptr));
+  auto reference = EvaluateReference(*ra.db, 0, *ra.cfs, ra.spec);
+  // The `all` node (empty dims) groups everything: count(*) over joined rows
+  // exceeds the number of facts exactly when some fact is multi-valued.
+  for (const auto& ref : reference) {
+    if (!ref.key.dims.empty() || !ref.key.measure.is_count_star()) continue;
+    const AggregateResult& pg = star.at(ref.key);
+    ASSERT_EQ(pg.groups.size(), 1u);
+    EXPECT_GT(pg.groups[0].value, ref.groups[0].value);
+  }
+}
+
+TEST(PgCubeTest, DistinctFixesFactCountsButNotSums) {
+  RandomAnalysis ra =
+      MakeRandomAnalysis(33, 300, {{4, 0.6, 0.1}, {3, 0.5, 0.1}}, {{0, 0.2}});
+  auto got = ByKey(EvaluateLatticePgCube(*ra.db, 0, *ra.cfs, ra.spec,
+                                         PgCubeVariant::kDistinct, nullptr,
+                                         nullptr));
+  size_t wrong_sums = 0;
+  for (const auto& ref : EvaluateReference(*ra.db, 0, *ra.cfs, ra.spec)) {
+    const AggregateResult& pg = got.at(ref.key);
+    if (ref.key.measure.is_count_star()) {
+      // count(distinct fact) — always correct.
+      EXPECT_TRUE(SameResult(ref, pg));
+    } else if (ref.key.measure.func == sparql::AggFunc::kSum) {
+      if (!SameResult(ref, pg)) ++wrong_sums;
+    }
+  }
+  EXPECT_GT(wrong_sums, 0u)
+      << "sum(M) must still suffer join multiplication (Variation 1)";
+}
+
+TEST(PgCubeTest, MinMaxAlwaysCorrect) {
+  RandomAnalysis ra =
+      MakeRandomAnalysis(34, 250, {{4, 0.6, 0.1}, {3, 0.4, 0.2}}, {{0.3, 0.2}});
+  for (PgCubeVariant variant :
+       {PgCubeVariant::kStar, PgCubeVariant::kDistinct}) {
+    auto got = ByKey(EvaluateLatticePgCube(*ra.db, 0, *ra.cfs, ra.spec,
+                                           variant, nullptr, nullptr));
+    for (const auto& ref : EvaluateReference(*ra.db, 0, *ra.cfs, ra.spec)) {
+      if (ref.key.measure.func != sparql::AggFunc::kMin &&
+          ref.key.measure.func != sparql::AggFunc::kMax) {
+        continue;
+      }
+      EXPECT_TRUE(SameResult(ref, got.at(ref.key)));
+    }
+  }
+}
+
+TEST(PgCubeTest, ErrorsAreOverestimates) {
+  // The Experiment 3 premise: p_j >= m_j for count and sum.
+  RandomAnalysis ra =
+      MakeRandomAnalysis(35, 300, {{4, 0.7, 0}, {3, 0.5, 0}}, {{0.2, 0.1}});
+  auto got = ByKey(EvaluateLatticePgCube(*ra.db, 0, *ra.cfs, ra.spec,
+                                         PgCubeVariant::kDistinct, nullptr,
+                                         nullptr));
+  for (const auto& ref : EvaluateReference(*ra.db, 0, *ra.cfs, ra.spec)) {
+    if (ref.key.measure.is_count_star()) continue;
+    if (ref.key.measure.func != sparql::AggFunc::kCount &&
+        ref.key.measure.func != sparql::AggFunc::kSum) {
+      continue;
+    }
+    const AggregateResult& pg = got.at(ref.key);
+    ASSERT_EQ(pg.groups.size(), ref.groups.size());
+    for (size_t i = 0; i < ref.groups.size(); ++i) {
+      EXPECT_GE(pg.groups[i].value, ref.groups[i].value - 1e-9);
+    }
+  }
+}
+
+TEST(PgCubeTest, RootNodeAlwaysCorrect) {
+  // Grouping by all dimensions: each fact contributes once per combination
+  // in both PGCube and the reference.
+  RandomAnalysis ra =
+      MakeRandomAnalysis(36, 300, {{4, 0.6, 0.2}, {3, 0.5, 0.1}}, {{0.4, 0.2}});
+  auto got = ByKey(EvaluateLatticePgCube(*ra.db, 0, *ra.cfs, ra.spec,
+                                         PgCubeVariant::kStar, nullptr,
+                                         nullptr));
+  for (const auto& ref : EvaluateReference(*ra.db, 0, *ra.cfs, ra.spec)) {
+    if (ref.key.dims.size() != ra.spec.dims.size()) continue;
+    EXPECT_TRUE(SameResult(ref, got.at(ref.key)));
+  }
+}
+
+TEST(PgCubeTest, StatsAndArmIntegration) {
+  RandomAnalysis ra = MakeRandomAnalysis(37, 100, {{3, 0.3, 0}}, {{0, 0}});
+  Arm arm;
+  PgCubeStats stats;
+  EvaluateLatticePgCube(*ra.db, 0, *ra.cfs, ra.spec, PgCubeVariant::kStar,
+                        &arm, &stats);
+  EXPECT_GT(stats.num_joined_rows, 100u);  // multi-valued facts expand
+  EXPECT_EQ(stats.num_mdas_evaluated, 2 * ra.spec.measures.size());
+  EXPECT_EQ(arm.num_aggregates(), 2 * ra.spec.measures.size());
+  EXPECT_GT(stats.num_groups_emitted, 0u);
+}
+
+TEST(PgCubeTest, FactsWithoutAnyDimensionExcluded) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId dim = d.InternIri("dim"), m = d.InternIri("m");
+  g.Add(d.InternIri("a"), dim, d.InternString("x"));
+  g.Add(d.InternIri("a"), m, d.InternDouble(2));
+  g.Add(d.InternIri("b"), m, d.InternDouble(50));
+  g.Freeze();
+  Database db(&g);
+  db.BuildDirectAttributes();
+  CfsIndex cfs({d.InternIri("a"), d.InternIri("b")});
+  LatticeSpec spec;
+  spec.dims = {*db.FindAttribute("dim")};
+  spec.measures = {MeasureSpec{*db.FindAttribute("m"), sparql::AggFunc::kSum}};
+  auto got = ByKey(EvaluateLatticePgCube(db, 0, cfs, spec,
+                                         PgCubeVariant::kStar, nullptr,
+                                         nullptr));
+  AggregateKey key;
+  key.cfs_id = 0;
+  key.dims = spec.dims;
+  key.measure = spec.measures[0];
+  ASSERT_EQ(got.at(key).groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(got.at(key).groups[0].value, 2.0);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,206 @@
+#include "src/core/present.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/export.h"
+
+namespace spade {
+namespace {
+
+/// Minimal fixture with a real Database (labels resolve through it) and a
+/// hand-built insight.
+class PresentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dictionary& d = graph.dict();
+    angola = d.InternString("Angola");
+    brazil = d.InternString("Brazil");
+    france = d.InternIri("http://x/country/France");
+    female = d.InternString("Female");
+    male = d.InternString("Male");
+    // The database needs at least the attributes referenced by keys.
+    AttributeTable nat;
+    nat.name = "nationality";
+    AttributeTable gender;
+    gender.name = "gender";
+    AttributeTable nw;
+    nw.name = "netWorth";
+    db = std::make_unique<Database>(&graph);
+    a_nat = db->AddAttribute(std::move(nat));
+    a_gender = db->AddAttribute(std::move(gender));
+    a_nw = db->AddAttribute(std::move(nw));
+  }
+
+  Insight MakeInsight(std::vector<AttrId> dims,
+                      std::vector<GroupResult> groups) {
+    Insight insight;
+    insight.ranked.key.cfs_id = 0;
+    insight.ranked.key.dims = std::move(dims);
+    insight.ranked.key.measure = MeasureSpec{a_nw, sparql::AggFunc::kSum};
+    insight.ranked.score = 42.5;
+    insight.ranked.num_groups = groups.size();
+    insight.ranked.groups = std::move(groups);
+    insight.cfs_name = "type:CEO";
+    insight.description = "sum(netWorth) of type:CEO";
+    insight.sparql = "SELECT ...";
+    return insight;
+  }
+
+  Graph graph;
+  std::unique_ptr<Database> db;
+  TermId angola, brazil, france, female, male;
+  AttrId a_nat, a_gender, a_nw;
+};
+
+TEST_F(PresentTest, RecommendationByDimensionality) {
+  AggregateKey key;
+  key.dims = {a_nat};
+  EXPECT_EQ(RecommendVisualization(key), VisualizationKind::kHistogram);
+  key.dims = {a_nat, a_gender};
+  EXPECT_EQ(RecommendVisualization(key), VisualizationKind::kHeatMap);
+  key.dims = {a_nat, a_gender, a_nw};
+  EXPECT_EQ(RecommendVisualization(key), VisualizationKind::kTable);
+  key.dims = {};
+  EXPECT_EQ(RecommendVisualization(key), VisualizationKind::kTable);
+}
+
+TEST_F(PresentTest, ValueLabelShortensIris) {
+  EXPECT_EQ(ValueLabel(*db, france), "France");
+  EXPECT_EQ(ValueLabel(*db, angola), "Angola");
+}
+
+TEST_F(PresentTest, HistogramSortsAndScales) {
+  Insight insight = MakeInsight(
+      {a_nat}, {{{angola}, 100.0}, {{brazil}, 25.0}, {{france}, 50.0}});
+  std::ostringstream os;
+  RenderHistogram(*db, insight, RenderOptions(), os);
+  std::string out = os.str();
+  // Largest value first, full-width bar.
+  size_t pos_angola = out.find("Angola");
+  size_t pos_france = out.find("France");
+  size_t pos_brazil = out.find("Brazil");
+  ASSERT_NE(pos_angola, std::string::npos);
+  EXPECT_LT(pos_angola, pos_france);
+  EXPECT_LT(pos_france, pos_brazil);
+  EXPECT_NE(out.find(std::string(40, '#')), std::string::npos);
+}
+
+TEST_F(PresentTest, HistogramCapsRowsAndSaysSo) {
+  std::vector<GroupResult> groups;
+  for (int i = 0; i < 30; ++i) {
+    groups.push_back({{graph.dict().InternString("v" + std::to_string(i))},
+                      static_cast<double>(i)});
+  }
+  Insight insight = MakeInsight({a_nat}, std::move(groups));
+  RenderOptions opts;
+  opts.max_rows = 5;
+  std::ostringstream os;
+  RenderHistogram(*db, insight, opts, os);
+  EXPECT_NE(os.str().find("25 more groups"), std::string::npos);
+}
+
+TEST_F(PresentTest, HeatMapGridWithScale) {
+  Insight insight = MakeInsight({a_nat, a_gender}, {{{angola, female}, 1.0},
+                                                    {{angola, male}, 5.0},
+                                                    {{brazil, male}, 9.0}});
+  std::ostringstream os;
+  RenderHeatMap(*db, insight, RenderOptions(), os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Angola"), std::string::npos);
+  EXPECT_NE(out.find("scale:"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);  // the max cell
+  EXPECT_NE(out.find("."), std::string::npos);  // the min cell
+}
+
+TEST_F(PresentTest, TableListsTuples) {
+  Insight insight = MakeInsight(
+      {a_nat, a_gender, a_nw},
+      {{{angola, female, brazil}, 7.0}, {{brazil, male, angola}, 3.0}});
+  std::ostringstream os;
+  RenderTable(*db, insight, RenderOptions(), os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Angola / Female / Brazil = 7"), std::string::npos);
+}
+
+TEST_F(PresentTest, RenderInsightDispatches) {
+  Insight one = MakeInsight({a_nat}, {{{angola}, 1.0}});
+  std::ostringstream os1;
+  RenderInsight(*db, one, RenderOptions(), os1);
+  EXPECT_NE(os1.str().find("histogram"), std::string::npos);
+
+  Insight two =
+      MakeInsight({a_nat, a_gender}, {{{angola, female}, 1.0}});
+  std::ostringstream os2;
+  RenderInsight(*db, two, RenderOptions(), os2);
+  EXPECT_NE(os2.str().find("heat-map"), std::string::npos);
+}
+
+TEST_F(PresentTest, EmptyGroupsHandled) {
+  Insight insight = MakeInsight({a_nat}, {});
+  std::ostringstream os;
+  RenderHistogram(*db, insight, RenderOptions(), os);
+  EXPECT_NE(os.str().find("(no groups)"), std::string::npos);
+}
+
+TEST_F(PresentTest, UniformHeatMapDoesNotDivideByZero) {
+  Insight insight = MakeInsight({a_nat, a_gender}, {{{angola, female}, 5.0},
+                                                    {{brazil, male}, 5.0}});
+  std::ostringstream os;
+  RenderHeatMap(*db, insight, RenderOptions(), os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+// ---- export ----
+
+TEST_F(PresentTest, JsonEscaping) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("q\"u\\o\nt"), "q\\\"u\\\\o\\nt");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x02')), "\\u0002");
+}
+
+TEST_F(PresentTest, CsvEscaping) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST_F(PresentTest, JsonExportWellFormedShape) {
+  Insight insight = MakeInsight({a_nat}, {{{angola}, 2.5}, {{brazil}, 7.5}});
+  std::ostringstream os;
+  ExportInsightsJson(*db, {insight}, InterestingnessKind::kVariance, os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"interestingness\": \"variance\""), std::string::npos);
+  EXPECT_NE(out.find("\"rank\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"measure\": \"SUM(netWorth)\""), std::string::npos);
+  EXPECT_NE(out.find("\"visualization\": \"histogram\""), std::string::npos);
+  EXPECT_NE(out.find("\"key\": [\"Angola\"], \"value\": 2.5"),
+            std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST_F(PresentTest, JsonExportEmptyList) {
+  std::ostringstream os;
+  ExportInsightsJson(*db, {}, InterestingnessKind::kSkewness, os);
+  EXPECT_NE(os.str().find("\"insights\": []"), std::string::npos);
+}
+
+TEST_F(PresentTest, CsvExportFlattensGroups) {
+  Insight insight = MakeInsight({a_nat}, {{{angola}, 1.0}, {{brazil}, 2.0}});
+  std::ostringstream os;
+  ExportInsightsCsv(*db, {insight}, os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("rank,score,cfs,description,group,value"),
+            std::string::npos);
+  EXPECT_NE(out.find("1,42.5,type:CEO"), std::string::npos);
+  EXPECT_NE(out.find("Angola,1"), std::string::npos);
+  EXPECT_NE(out.find("Brazil,2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spade

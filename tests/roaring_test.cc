@@ -1,0 +1,255 @@
+#include "src/bitmap/roaring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace spade {
+namespace {
+
+TEST(RoaringTest, EmptyBitmap) {
+  RoaringBitmap bm;
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm.Cardinality(), 0u);
+  EXPECT_FALSE(bm.Contains(0));
+  EXPECT_TRUE(bm.ToVector().empty());
+}
+
+TEST(RoaringTest, AddAndContains) {
+  RoaringBitmap bm;
+  bm.Add(5);
+  bm.Add(100000);
+  bm.Add(5);  // idempotent
+  EXPECT_EQ(bm.Cardinality(), 2u);
+  EXPECT_TRUE(bm.Contains(5));
+  EXPECT_TRUE(bm.Contains(100000));
+  EXPECT_FALSE(bm.Contains(6));
+  EXPECT_FALSE(bm.Contains(99999));
+}
+
+TEST(RoaringTest, OrderedIteration) {
+  RoaringBitmap bm;
+  std::vector<uint32_t> values = {70000, 3, 65536, 65535, 1, 0, 1u << 30};
+  for (uint32_t v : values) bm.Add(v);
+  std::vector<uint32_t> expected = {0, 1, 3, 65535, 65536, 70000, 1u << 30};
+  EXPECT_EQ(bm.ToVector(), expected);
+}
+
+TEST(RoaringTest, ArrayToBitsetConversion) {
+  RoaringBitmap bm;
+  // Push one chunk past the 4096 array threshold.
+  for (uint32_t v = 0; v < 5000; ++v) bm.Add(v * 2);
+  EXPECT_EQ(bm.Cardinality(), 5000u);
+  for (uint32_t v = 0; v < 5000; ++v) {
+    ASSERT_TRUE(bm.Contains(v * 2));
+    ASSERT_FALSE(bm.Contains(v * 2 + 1));
+  }
+  // Ordered iteration across the container switch.
+  std::vector<uint32_t> out = bm.ToVector();
+  ASSERT_EQ(out.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(RoaringTest, UnionBasic) {
+  RoaringBitmap a, b;
+  a.Add(1);
+  a.Add(100000);
+  b.Add(2);
+  b.Add(100000);
+  a.UnionWith(b);
+  EXPECT_EQ(a.ToVector(), (std::vector<uint32_t>{1, 2, 100000}));
+  // b unchanged.
+  EXPECT_EQ(b.Cardinality(), 2u);
+}
+
+TEST(RoaringTest, UnionWithEmpty) {
+  RoaringBitmap a, b;
+  a.Add(42);
+  a.UnionWith(b);
+  EXPECT_EQ(a.Cardinality(), 1u);
+  b.UnionWith(a);
+  EXPECT_EQ(b.Cardinality(), 1u);
+  EXPECT_TRUE(b.Contains(42));
+}
+
+TEST(RoaringTest, IntersectBasic) {
+  RoaringBitmap a, b;
+  for (uint32_t v : {1u, 2u, 3u, 70000u}) a.Add(v);
+  for (uint32_t v : {2u, 3u, 4u, 70001u}) b.Add(v);
+  a.IntersectWith(b);
+  EXPECT_EQ(a.ToVector(), (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(RoaringTest, IntersectDropsEmptyContainers) {
+  RoaringBitmap a, b;
+  a.Add(1);
+  a.Add(100000);
+  b.Add(100000);
+  a.IntersectWith(b);
+  EXPECT_EQ(a.ToVector(), (std::vector<uint32_t>{100000}));
+}
+
+TEST(RoaringTest, Clear) {
+  RoaringBitmap a;
+  for (uint32_t v = 0; v < 10000; ++v) a.Add(v);
+  a.Clear();
+  EXPECT_TRUE(a.Empty());
+  a.Add(3);
+  EXPECT_EQ(a.Cardinality(), 1u);
+}
+
+TEST(RoaringTest, EqualityOperator) {
+  RoaringBitmap a, b;
+  for (uint32_t v : {5u, 100u, 70000u}) {
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_TRUE(a == b);
+  b.Add(6);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RoaringTest, MemoryUpperBoundFormula) {
+  // The Section 4.3 bound: 2Z + 9(u/65535 + 1) + 8.
+  EXPECT_EQ(RoaringBitmap::MemoryUpperBound(0, 0), 17u);
+  EXPECT_EQ(RoaringBitmap::MemoryUpperBound(100, 65535), 2 * 100 + 9 * 2 + 8);
+}
+
+TEST(RoaringTest, MemoryBytesGrowsSublinearlyForDense) {
+  RoaringBitmap dense;
+  for (uint32_t v = 0; v < 60000; ++v) dense.Add(v);
+  // A dense chunk converts to an 8 KiB bitset: far below 2 bytes/value * 60k.
+  EXPECT_LT(dense.MemoryBytes(), 2u * 60000u);
+}
+
+// ---- Property tests: RoaringBitmap vs std::set oracle ----
+
+struct RandomCase {
+  uint64_t seed;
+  uint32_t universe;
+  size_t inserts;
+};
+
+class RoaringPropertyTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RoaringPropertyTest, MatchesSetSemantics) {
+  const RandomCase& param = GetParam();
+  Rng rng(param.seed);
+  RoaringBitmap bm;
+  std::set<uint32_t> oracle;
+  for (size_t i = 0; i < param.inserts; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(param.universe));
+    bm.Add(v);
+    oracle.insert(v);
+  }
+  ASSERT_EQ(bm.Cardinality(), oracle.size());
+  EXPECT_EQ(bm.ToVector(),
+            std::vector<uint32_t>(oracle.begin(), oracle.end()));
+  for (size_t i = 0; i < 200; ++i) {
+    uint32_t probe = static_cast<uint32_t>(rng.Uniform(param.universe));
+    EXPECT_EQ(bm.Contains(probe), oracle.count(probe) > 0);
+  }
+}
+
+TEST_P(RoaringPropertyTest, UnionMatchesSetUnion) {
+  const RandomCase& param = GetParam();
+  Rng rng(param.seed ^ 0xabcdef);
+  RoaringBitmap a, b;
+  std::set<uint32_t> sa, sb;
+  for (size_t i = 0; i < param.inserts; ++i) {
+    uint32_t va = static_cast<uint32_t>(rng.Uniform(param.universe));
+    uint32_t vb = static_cast<uint32_t>(rng.Uniform(param.universe));
+    a.Add(va);
+    sa.insert(va);
+    b.Add(vb);
+    sb.insert(vb);
+  }
+  a.UnionWith(b);
+  sa.insert(sb.begin(), sb.end());
+  EXPECT_EQ(a.ToVector(), std::vector<uint32_t>(sa.begin(), sa.end()));
+}
+
+TEST_P(RoaringPropertyTest, IntersectMatchesSetIntersection) {
+  const RandomCase& param = GetParam();
+  Rng rng(param.seed ^ 0x123456);
+  RoaringBitmap a, b;
+  std::set<uint32_t> sa, sb;
+  for (size_t i = 0; i < param.inserts; ++i) {
+    uint32_t va = static_cast<uint32_t>(rng.Uniform(param.universe));
+    uint32_t vb = static_cast<uint32_t>(rng.Uniform(param.universe));
+    a.Add(va);
+    sa.insert(va);
+    b.Add(vb);
+    sb.insert(vb);
+  }
+  a.IntersectWith(b);
+  std::vector<uint32_t> expected;
+  for (uint32_t v : sa) {
+    if (sb.count(v)) expected.push_back(v);
+  }
+  EXPECT_EQ(a.ToVector(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, RoaringPropertyTest,
+    ::testing::Values(
+        RandomCase{1, 100, 50},            // tiny, dense
+        RandomCase{2, 1u << 10, 2000},     // small universe, saturated
+        RandomCase{3, 1u << 20, 2000},     // sparse arrays
+        RandomCase{4, 1u << 14, 20000},    // forces bitset conversion
+        RandomCase{5, 1u << 28, 5000},     // many containers
+        RandomCase{6, 70000, 69000}));     // nearly-full two containers
+
+}  // namespace
+}  // namespace spade
+
+namespace spade {
+namespace {
+
+TEST(RoaringEdgeTest, MaxUint32) {
+  RoaringBitmap bm;
+  bm.Add(0xffffffffu);
+  bm.Add(0);
+  EXPECT_TRUE(bm.Contains(0xffffffffu));
+  EXPECT_TRUE(bm.Contains(0));
+  EXPECT_EQ(bm.ToVector(), (std::vector<uint32_t>{0, 0xffffffffu}));
+}
+
+TEST(RoaringEdgeTest, ExactConversionThreshold) {
+  // 4096 values stay an array; the 4097th converts the container. Behaviour
+  // must be identical on both sides of the boundary.
+  RoaringBitmap bm;
+  for (uint32_t v = 0; v < 4096; ++v) bm.Add(v);
+  EXPECT_EQ(bm.Cardinality(), 4096u);
+  bm.Add(4096);
+  EXPECT_EQ(bm.Cardinality(), 4097u);
+  for (uint32_t v = 0; v <= 4096; ++v) ASSERT_TRUE(bm.Contains(v));
+  EXPECT_FALSE(bm.Contains(4097));
+}
+
+TEST(RoaringEdgeTest, UnionAcrossContainerKinds) {
+  RoaringBitmap dense, sparse;
+  for (uint32_t v = 0; v < 6000; ++v) dense.Add(v);  // bitset container
+  for (uint32_t v = 0; v < 10; ++v) sparse.Add(v * 7000);
+  RoaringBitmap a = dense;
+  a.UnionWith(sparse);
+  RoaringBitmap b = sparse;
+  b.UnionWith(dense);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Cardinality(), 6000u + 9u);  // value 0 shared
+}
+
+TEST(RoaringEdgeTest, ChunkBoundaryValues) {
+  RoaringBitmap bm;
+  for (uint32_t v : {65535u, 65536u, 131071u, 131072u}) bm.Add(v);
+  EXPECT_EQ(bm.Cardinality(), 4u);
+  EXPECT_TRUE(bm.Contains(65535));
+  EXPECT_TRUE(bm.Contains(65536));
+  EXPECT_FALSE(bm.Contains(65537));
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/rdf/ntriples.h"
+#include "src/sparql/eval.h"
+#include "src/util/rng.h"
+#include "src/sparql/parser.h"
+
+namespace spade {
+namespace sparql {
+namespace {
+
+/// The Figure 1 CEOs graph: dos Santos (n1) and Ghosn (n2).
+std::unique_ptr<Graph> Fig1Graph() {
+  auto g = std::make_unique<Graph>();
+  std::string data = R"(
+<n1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <CEO> .
+<n1> <name> "Isabel dos Santos" .
+<n1> <gender> "Female" .
+<n1> <netWorth> "2800000000" .
+<n1> <nationality> <Angola> .
+<n1> <countryOfOrigin> <Angola> .
+<n1> <company> <sodian> .
+<n1> <company> <sonangol> .
+<n1> <politicalConnection> <dossantosp> .
+<sodian> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Company> .
+<sodian> <name> "Sodian" .
+<sodian> <area> "Diamond" .
+<sonangol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Company> .
+<sonangol> <name> "Sonangol" .
+<sonangol> <area> "NaturalGas" .
+<sonangol> <area> "Manufacturer" .
+<sonangol> <headquarters> <Luanda> .
+<dossantosp> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Politician> .
+<dossantosp> <role> "President" .
+<n2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <CEO> .
+<n2> <name> "Carlos Ghosn" .
+<n2> <age> "66" .
+<n2> <netWorth> "120000000" .
+<n2> <nationality> <Brazil> .
+<n2> <nationality> <France> .
+<n2> <nationality> <Lebanon> .
+<n2> <nationality> <Nigeria> .
+<n2> <company> <renault> .
+<n2> <politicalConnection> <aoun> .
+<renault> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Company> .
+<renault> <name> "Renault-Nissan" .
+<renault> <area> "Automotive" .
+<renault> <area> "Manufacturer" .
+<renault> <headquarters> <Amsterdam> .
+<aoun> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Politician> .
+<aoun> <role> "President" .
+<aoun> <name> "Michel Aoun" .
+)";
+  EXPECT_TRUE(NTriplesReader::ParseString(data, g.get()).ok());
+  return g;
+}
+
+TEST(SparqlParserTest, ParsesSimpleSelect) {
+  Dictionary dict;
+  auto q = ParseQuery("SELECT ?s WHERE { ?s <p> ?o . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->where.size(), 1u);
+  EXPECT_FALSE(q->HasAggregates());
+}
+
+TEST(SparqlParserTest, ParsesPrefixes) {
+  Dictionary dict;
+  auto q = ParseQuery(
+      "PREFIX ex: <http://example.org/>\n"
+      "SELECT ?s WHERE { ?s ex:knows ?o . }",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const TriplePattern& tp = q->where[0];
+  ASSERT_FALSE(tp.p.is_var);
+  EXPECT_EQ(dict.Get(tp.p.term).lexical, "http://example.org/knows");
+}
+
+TEST(SparqlParserTest, ParsesTypeShorthand) {
+  Dictionary dict;
+  auto q = ParseQuery("SELECT ?s WHERE { ?s a <CEO> . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(dict.Get(q->where[0].p.term).lexical, vocab::kRdfType);
+}
+
+TEST(SparqlParserTest, RewritesPropertyPaths) {
+  Dictionary dict;
+  auto q = ParseQuery("SELECT ?a WHERE { ?s <p1>/<p2>/<p3> ?a . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where.size(), 3u);  // chained over fresh variables
+  // The chain is connected: object of hop k is subject of hop k+1.
+  EXPECT_TRUE(q->where[0].o.is_var);
+  EXPECT_TRUE(q->where[1].s.is_var);
+  EXPECT_EQ(q->where[0].o.var, q->where[1].s.var);
+  EXPECT_EQ(q->where[1].o.var, q->where[2].s.var);
+}
+
+TEST(SparqlParserTest, ParsesAggregatesAndGroupBy) {
+  Dictionary dict;
+  auto q = ParseQuery(
+      "SELECT ?n (AVG(?age) AS ?avgAge) (COUNT(*) AS ?c) "
+      "WHERE { ?s <nationality> ?n . ?s <age> ?age . } GROUP BY ?n",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->select.size(), 3u);
+  EXPECT_FALSE(q->select[0].is_aggregate);
+  EXPECT_TRUE(q->select[1].is_aggregate);
+  EXPECT_EQ(q->select[1].func, AggFunc::kAvg);
+  EXPECT_TRUE(q->select[2].count_star);
+  EXPECT_EQ(q->group_by.size(), 1u);
+}
+
+TEST(SparqlParserTest, ParsesDistinctAggregate) {
+  Dictionary dict;
+  auto q = ParseQuery(
+      "SELECT (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s <p> ?o . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->select[0].distinct);
+}
+
+TEST(SparqlParserTest, ParsesFiltersAndLimit) {
+  Dictionary dict;
+  auto q = ParseQuery(
+      "SELECT ?s WHERE { ?s <age> ?a . FILTER(?a >= 40) FILTER(?a < 60) } "
+      "LIMIT 5",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_EQ(q->filters[0].op, Filter::Op::kGe);
+  EXPECT_TRUE(q->filters[0].numeric);
+  EXPECT_EQ(q->limit, 5);
+}
+
+TEST(SparqlParserTest, SelectStar) {
+  Dictionary dict;
+  auto q = ParseQuery("SELECT * WHERE { ?s <p> ?o . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select.size(), 2u);
+}
+
+TEST(SparqlParserTest, RejectsBadQueries) {
+  Dictionary dict;
+  EXPECT_FALSE(ParseQuery("FOO ?s WHERE { ?s <p> ?o . }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { ?s <p> ?o . }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?s WHERE { }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?s WHERE { ?s <p> ?o }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?s { ?s <p> ?o . }", &dict).ok());
+  // Non-grouped variable with aggregate.
+  EXPECT_FALSE(ParseQuery("SELECT ?s (COUNT(*) AS ?c) WHERE { ?s <p> ?o . }",
+                          &dict)
+                   .ok());
+  // SUM(*) is invalid.
+  EXPECT_FALSE(
+      ParseQuery("SELECT (SUM(*) AS ?x) WHERE { ?s <p> ?o . }", &dict).ok());
+  // Unknown prefix.
+  EXPECT_FALSE(ParseQuery("SELECT ?s WHERE { ?s ex:p ?o . }", &dict).ok());
+}
+
+TEST(SparqlEvalTest, BasicBgpJoin) {
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT ?name WHERE { ?ceo a <CEO> . ?ceo <name> ?name . }",
+      &g->dict());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);
+}
+
+TEST(SparqlEvalTest, Example1SumNetWorthByCountry) {
+  // Example 1: only n1 has countryOfOrigin; result {(Angola, 2.8B)}.
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT ?c (SUM(?nw) AS ?total) WHERE { "
+      "?ceo a <CEO> . ?ceo <politicalConnection> ?p . "
+      "?ceo <countryOfOrigin> ?c . ?ceo <netWorth> ?nw . } GROUP BY ?c",
+      &g->dict());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(g->dict().Get(rs->rows[0][0].term).lexical, "Angola");
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].num, 2.8e9);
+}
+
+TEST(SparqlEvalTest, Example2MultiValuedNationality) {
+  // Example 2 shape: avg age by nationality; n2 contributes to 4 groups with
+  // age 66 each; n1 (no age) contributes nowhere.
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT ?n (AVG(?age) AS ?a) WHERE { "
+      "?ceo a <CEO> . ?ceo <nationality> ?n . ?ceo <age> ?age . } GROUP BY ?n",
+      &g->dict());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 4u);
+  for (const auto& row : rs->rows) EXPECT_DOUBLE_EQ(row[1].num, 66.0);
+}
+
+TEST(SparqlEvalTest, PropertyPathExample3) {
+  // company/area for n1: Diamond, NaturalGas, Manufacturer; for n2:
+  // Automotive, Manufacturer.
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT ?area (COUNT(DISTINCT ?ceo) AS ?c) WHERE { "
+      "?ceo a <CEO> . ?ceo <company>/<area> ?area . } GROUP BY ?area",
+      &g->dict());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 4u);
+  // Manufacturer reaches both CEOs (the correct count is 2, not 5).
+  bool checked = false;
+  for (const auto& row : rs->rows) {
+    if (g->dict().Get(row[0].term).lexical == "Manufacturer") {
+      EXPECT_DOUBLE_EQ(row[1].num, 2.0);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(SparqlEvalTest, CountStarVsCountDistinct) {
+  auto g = Fig1Graph();
+  // Joined rows multiply: count(*) counts bindings, count(distinct ?ceo)
+  // counts CEOs — the crux of Section 4.2.
+  auto q1 = ParseQuery(
+      "SELECT (COUNT(*) AS ?c) WHERE { ?ceo a <CEO> . "
+      "?ceo <nationality> ?n . }",
+      &g->dict());
+  ASSERT_TRUE(q1.ok());
+  auto rs1 = Evaluate(*q1, *g);
+  ASSERT_TRUE(rs1.ok());
+  EXPECT_DOUBLE_EQ(rs1->rows[0][0].num, 5.0);  // 1 + 4 nationalities
+
+  auto q2 = ParseQuery(
+      "SELECT (COUNT(DISTINCT ?ceo) AS ?c) WHERE { ?ceo a <CEO> . "
+      "?ceo <nationality> ?n . }",
+      &g->dict());
+  ASSERT_TRUE(q2.ok());
+  auto rs2 = Evaluate(*q2, *g);
+  ASSERT_TRUE(rs2.ok());
+  EXPECT_DOUBLE_EQ(rs2->rows[0][0].num, 2.0);
+}
+
+TEST(SparqlEvalTest, MinMaxAggregates) {
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT (MIN(?nw) AS ?lo) (MAX(?nw) AS ?hi) WHERE { "
+      "?ceo a <CEO> . ?ceo <netWorth> ?nw . }",
+      &g->dict());
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows[0][0].num, 1.2e8);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].num, 2.8e9);
+}
+
+TEST(SparqlEvalTest, FilterNumericAndTermEquality) {
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT ?ceo WHERE { ?ceo <netWorth> ?nw . FILTER(?nw > 1000000000) }",
+      &g->dict());
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+
+  auto q2 = ParseQuery(
+      "SELECT ?ceo WHERE { ?ceo <gender> ?x . FILTER(?x = \"Female\") }",
+      &g->dict());
+  ASSERT_TRUE(q2.ok());
+  auto rs2 = Evaluate(*q2, *g);
+  ASSERT_TRUE(rs2.ok());
+  EXPECT_EQ(rs2->rows.size(), 1u);
+}
+
+TEST(SparqlEvalTest, SelectDistinct) {
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT DISTINCT ?area WHERE { ?c <area> ?area . }", &g->dict());
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);  // Diamond, NaturalGas, Manufacturer, Automotive
+}
+
+TEST(SparqlEvalTest, LimitCutsRows) {
+  auto g = Fig1Graph();
+  auto q = ParseQuery("SELECT ?s ?o WHERE { ?s <name> ?o . } LIMIT 3",
+                      &g->dict());
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+}
+
+TEST(SparqlEvalTest, RepeatedVariableJoinsConsistently) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.InternIri("p");
+  TermId a = d.InternIri("a"), b = d.InternIri("b");
+  g.Add(a, p, a);  // self loop
+  g.Add(a, p, b);
+  auto q = ParseQuery("SELECT ?x WHERE { ?x <p> ?x . }", &d);
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, g);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].term, a);
+}
+
+TEST(SparqlEvalTest, EmptyResultOnNoMatch) {
+  auto g = Fig1Graph();
+  auto q = ParseQuery("SELECT ?s WHERE { ?s <nosuch> ?o . }", &g->dict());
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST(SparqlEvalTest, AggregateOverEmptyGroupSet) {
+  auto g = Fig1Graph();
+  auto q = ParseQuery(
+      "SELECT ?x (SUM(?v) AS ?s) WHERE { ?c <nosuch> ?x . ?c <age> ?v . } "
+      "GROUP BY ?x",
+      &g->dict());
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, *g);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace spade
+
+namespace spade {
+namespace sparql {
+namespace {
+
+using spade::Rng;
+
+// Property test: the evaluator's BGP join must agree with a brute-force
+// enumeration of all triple-pattern assignments on random graphs.
+struct BgpCase {
+  uint64_t seed;
+  size_t triples;
+  size_t entities;
+};
+
+class BgpOracleTest : public ::testing::TestWithParam<BgpCase> {};
+
+TEST_P(BgpOracleTest, TwoPatternJoinMatchesBruteForce) {
+  const BgpCase& c = GetParam();
+  Rng rng(c.seed);
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p1 = d.InternIri("p1"), p2 = d.InternIri("p2");
+  std::vector<TermId> nodes;
+  for (size_t i = 0; i < c.entities; ++i) {
+    nodes.push_back(d.InternIri("e" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < c.triples; ++i) {
+    g.Add(nodes[rng.Uniform(nodes.size())],
+          rng.Bernoulli(0.5) ? p1 : p2,
+          nodes[rng.Uniform(nodes.size())]);
+  }
+  g.Freeze();
+
+  // ?x p1 ?y . ?y p2 ?z
+  auto q = ParseQuery("SELECT ?x ?y ?z WHERE { ?x <p1> ?y . ?y <p2> ?z . }",
+                      &d);
+  ASSERT_TRUE(q.ok());
+  auto rs = Evaluate(*q, g);
+  ASSERT_TRUE(rs.ok());
+
+  // Brute force over the triple list.
+  std::set<std::vector<TermId>> expected;
+  for (const Triple& t1 : g.triples()) {
+    if (t1.p != p1) continue;
+    for (const Triple& t2 : g.triples()) {
+      if (t2.p != p2 || t2.s != t1.o) continue;
+      expected.insert({t1.s, t1.o, t2.o});
+    }
+  }
+  std::set<std::vector<TermId>> got;
+  for (const auto& row : rs->rows) {
+    got.insert({row[0].term, row[1].term, row[2].term});
+  }
+  EXPECT_EQ(got, expected);
+  // The evaluator returns a solution multiset; for this BGP each mapping is
+  // unique, so sizes must match too.
+  EXPECT_EQ(rs->rows.size(), expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BgpOracleTest,
+                         ::testing::Values(BgpCase{1, 60, 10},
+                                           BgpCase{2, 200, 15},
+                                           BgpCase{3, 400, 8},
+                                           BgpCase{4, 100, 40},
+                                           BgpCase{5, 30, 4}));
+
+}  // namespace
+}  // namespace sparql
+}  // namespace spade

@@ -1,0 +1,149 @@
+#include "src/stats/attr_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace spade {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  AttrId AddAttr(const std::string& name,
+                 std::vector<std::pair<std::string, Term>> rows) {
+    AttributeTable t;
+    t.name = name;
+    for (auto& [s, o] : rows) {
+      t.rows.emplace_back(g.dict().InternIri(s), g.dict().Intern(o));
+    }
+    return db().AddAttribute(std::move(t));
+  }
+  Database& db() {
+    if (!db_) db_ = std::make_unique<Database>(&g);
+    return *db_;
+  }
+  Graph g;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(StatsTest, IntegerKindAndBounds) {
+  AttrId a = AddAttr("age", {{"s1", Term::Literal("30")},
+                             {"s2", Term::Literal("45")},
+                             {"s3", Term::Literal("28")}});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.kind, ValueKind::kInteger);
+  EXPECT_TRUE(st.numeric());
+  EXPECT_EQ(st.num_subjects, 3u);
+  EXPECT_EQ(st.num_values, 3u);
+  EXPECT_EQ(st.num_distinct_values, 3u);
+  EXPECT_EQ(st.num_multi_subjects, 0u);
+  EXPECT_DOUBLE_EQ(st.min_value, 28);
+  EXPECT_DOUBLE_EQ(st.max_value, 45);
+}
+
+TEST_F(StatsTest, DecimalKind) {
+  AttrId a = AddAttr("price", {{"s1", Term::Literal("1.5")},
+                               {"s2", Term::Literal("2")}});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.kind, ValueKind::kDecimal);
+  EXPECT_TRUE(st.numeric());
+}
+
+TEST_F(StatsTest, DateKind) {
+  AttrId a = AddAttr("birth", {{"s1", Term::Literal("1990-01-15")},
+                               {"s2", Term::Literal("1985-12-31")}});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.kind, ValueKind::kDate);
+  EXPECT_FALSE(st.numeric());
+}
+
+TEST_F(StatsTest, TextKindAndAvgLength) {
+  AttrId a = AddAttr("desc", {{"s1", Term::Literal("hello world")},
+                              {"s2", Term::Literal("another text value")}});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.kind, ValueKind::kText);
+  EXPECT_NEAR(st.avg_text_length, (11 + 18) / 2.0, 0.01);
+}
+
+TEST_F(StatsTest, ReferenceKind) {
+  AttrId a = AddAttr("knows", {{"s1", Term::Iri("o1")},
+                               {"s2", Term::Iri("o2")}});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.kind, ValueKind::kReference);
+}
+
+TEST_F(StatsTest, MixedKind) {
+  AttrId a = AddAttr("odd", {{"s1", Term::Literal("12")},
+                             {"s2", Term::Iri("o")},
+                             {"s3", Term::Literal("word-salad")}});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.kind, ValueKind::kMixed);
+}
+
+TEST_F(StatsTest, ToleratesFewStrays) {
+  // 19 numbers and 1 string still count as integer (95% rule).
+  std::vector<std::pair<std::string, Term>> rows;
+  for (int i = 0; i < 19; ++i) {
+    rows.push_back({"s" + std::to_string(i), Term::Literal(std::to_string(i))});
+  }
+  rows.push_back({"sX", Term::Literal("oops")});
+  AttrId a = AddAttr("mostly", std::move(rows));
+  EXPECT_EQ(ComputeAttrStats(db(), a).kind, ValueKind::kInteger);
+}
+
+TEST_F(StatsTest, MultiValuedDetection) {
+  AttrId a = AddAttr("nat", {{"s1", Term::Iri("A")},
+                             {"s1", Term::Iri("B")},
+                             {"s2", Term::Iri("A")}});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.num_subjects, 2u);
+  EXPECT_EQ(st.num_multi_subjects, 1u);
+  EXPECT_TRUE(st.multi_valued());
+  EXPECT_EQ(st.num_distinct_values, 2u);
+}
+
+TEST_F(StatsTest, EmptyAttr) {
+  AttrId a = AddAttr("nothing", {});
+  AttrStats st = ComputeAttrStats(db(), a);
+  EXPECT_EQ(st.kind, ValueKind::kEmpty);
+  EXPECT_EQ(st.num_subjects, 0u);
+}
+
+TEST_F(StatsTest, OnlineStatsRestrictToCfs) {
+  AttrId a = AddAttr("nat", {{"s1", Term::Iri("A")},
+                             {"s1", Term::Iri("B")},
+                             {"s2", Term::Iri("A")},
+                             {"s3", Term::Iri("C")}});
+  Dictionary& d = g.dict();
+  CfsIndex cfs({d.InternIri("s1"), d.InternIri("s2")});
+  OnlineAttrStats st = ComputeOnlineStats(db(), cfs, a);
+  EXPECT_EQ(st.support, 2u);
+  EXPECT_EQ(st.num_values, 3u);
+  EXPECT_EQ(st.num_distinct_values, 2u);  // C not visible from this CFS
+  EXPECT_EQ(st.num_multi_facts, 1u);
+  EXPECT_DOUBLE_EQ(st.SupportRatio(2), 1.0);
+  EXPECT_DOUBLE_EQ(st.DistinctRatio(2), 1.0);
+}
+
+TEST_F(StatsTest, OnlineStatsZeroSupport) {
+  AttrId a = AddAttr("p", {{"s1", Term::Literal("v")}});
+  CfsIndex cfs({g.dict().InternIri("elsewhere")});
+  OnlineAttrStats st = ComputeOnlineStats(db(), cfs, a);
+  EXPECT_EQ(st.support, 0u);
+  EXPECT_DOUBLE_EQ(st.SupportRatio(0), 0.0);
+}
+
+TEST(LooksLikeDateTest, Various) {
+  EXPECT_TRUE(LooksLikeDate("2021-03-31"));
+  EXPECT_FALSE(LooksLikeDate("2021-3-31"));
+  EXPECT_FALSE(LooksLikeDate("20210331"));
+  EXPECT_FALSE(LooksLikeDate("2021-03-31T00:00"));
+  EXPECT_FALSE(LooksLikeDate("abcd-ef-gh"));
+}
+
+TEST(ValueKindTest, Names) {
+  EXPECT_STREQ(ValueKindName(ValueKind::kInteger), "integer");
+  EXPECT_STREQ(ValueKindName(ValueKind::kReference), "reference");
+  EXPECT_STREQ(ValueKindName(ValueKind::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace spade

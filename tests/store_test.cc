@@ -1,0 +1,123 @@
+#include "src/store/database.h"
+
+#include <gtest/gtest.h>
+
+#include "src/store/preagg.h"
+
+namespace spade {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dictionary& d = g.dict();
+    a = d.InternIri("http://x/a");
+    b = d.InternIri("http://x/b");
+    c = d.InternIri("http://x/c");
+    p_age = d.InternIri("http://x/age");
+    p_tag = d.InternIri("http://x/tag");
+    g.Add(a, p_age, d.InternInteger(30));
+    g.Add(b, p_age, d.InternInteger(40));
+    g.Add(b, p_age, d.InternInteger(42));  // multi-valued
+    g.Add(a, p_tag, d.InternString("x"));
+    g.Add(c, p_tag, d.InternString("y"));
+    g.Add(a, g.rdf_type(), d.InternIri("http://x/T"));
+    g.Freeze();
+    db = std::make_unique<Database>(&g);
+    db->BuildDirectAttributes();
+  }
+  Graph g;
+  std::unique_ptr<Database> db;
+  TermId a, b, c, p_age, p_tag;
+};
+
+TEST_F(StoreTest, BuildsOneTablePerPropertyExceptType) {
+  EXPECT_EQ(db->num_attributes(), 2u);  // age, tag — not rdf:type
+  EXPECT_TRUE(db->FindAttribute("age").has_value());
+  EXPECT_TRUE(db->FindAttribute("tag").has_value());
+  EXPECT_FALSE(db->FindAttribute("type").has_value());
+}
+
+TEST_F(StoreTest, TableRowsSortedAndQueryable) {
+  AttrId age = *db->FindAttribute("age");
+  const AttributeTable& t = db->attribute(age);
+  EXPECT_EQ(t.rows.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(t.rows.begin(), t.rows.end()));
+  EXPECT_EQ(t.ValuesOf(b).size(), 2u);
+  EXPECT_EQ(t.ValuesOf(c).size(), 0u);
+  EXPECT_EQ(t.Subjects(), (std::vector<TermId>{std::min(a, b), std::max(a, b)}));
+}
+
+TEST_F(StoreTest, LocalName) {
+  EXPECT_EQ(Database::LocalName("http://x/age"), "age");
+  EXPECT_EQ(Database::LocalName("http://x#frag"), "frag");
+  EXPECT_EQ(Database::LocalName("noslash"), "noslash");
+}
+
+TEST_F(StoreTest, NameCollisionsDisambiguated) {
+  AttributeTable t1;
+  t1.name = "age";  // collides with the direct attribute
+  t1.origin = AttrOrigin::kCount;
+  AttrId id = db->AddAttribute(std::move(t1));
+  EXPECT_EQ(db->attribute(id).name, "age#2");
+}
+
+TEST_F(StoreTest, CfsIndexDenseIds) {
+  CfsIndex cfs({c, a, b});  // unsorted on purpose
+  EXPECT_EQ(cfs.size(), 3u);
+  for (FactId f = 0; f < 3; ++f) {
+    EXPECT_EQ(cfs.FactOf(cfs.NodeOf(f)), f);
+  }
+  EXPECT_EQ(cfs.FactOf(g.dict().InternIri("http://x/absent")), kInvalidFact);
+  EXPECT_TRUE(std::is_sorted(cfs.members().begin(), cfs.members().end()));
+}
+
+TEST_F(StoreTest, MeasureVectorNumeric) {
+  CfsIndex cfs({a, b, c});
+  MeasureVector mv = BuildMeasureVector(*db, cfs, *db->FindAttribute("age"));
+  ASSERT_EQ(mv.size(), 3u);
+  FactId fa = cfs.FactOf(a), fb = cfs.FactOf(b), fc = cfs.FactOf(c);
+  EXPECT_EQ(mv.count[fa], 1u);
+  EXPECT_EQ(mv.count[fb], 2u);
+  EXPECT_EQ(mv.count[fc], 0u);
+  EXPECT_DOUBLE_EQ(mv.sum[fa], 30);
+  EXPECT_DOUBLE_EQ(mv.sum[fb], 82);
+  EXPECT_DOUBLE_EQ(mv.min[fb], 40);
+  EXPECT_DOUBLE_EQ(mv.max[fb], 42);
+  EXPECT_TRUE(mv.numeric);
+  EXPECT_FALSE(mv.single_valued);  // b has two ages
+}
+
+TEST_F(StoreTest, MeasureVectorNonNumeric) {
+  CfsIndex cfs({a, b, c});
+  MeasureVector mv = BuildMeasureVector(*db, cfs, *db->FindAttribute("tag"));
+  EXPECT_FALSE(mv.numeric);
+  EXPECT_EQ(mv.count[cfs.FactOf(a)], 1u);
+  EXPECT_TRUE(mv.single_valued);
+}
+
+TEST_F(StoreTest, MeasureVectorRestrictedToCfs) {
+  CfsIndex cfs({a});  // b excluded
+  MeasureVector mv = BuildMeasureVector(*db, cfs, *db->FindAttribute("age"));
+  ASSERT_EQ(mv.size(), 1u);
+  EXPECT_DOUBLE_EQ(mv.sum[0], 30);
+}
+
+TEST_F(StoreTest, DirectAttributesListsOnlyDirect) {
+  AttributeTable derived;
+  derived.name = "count(age)";
+  derived.origin = AttrOrigin::kCount;
+  db->AddAttribute(std::move(derived));
+  EXPECT_EQ(db->DirectAttributes().size(), 2u);
+}
+
+TEST(AttrOriginTest, Names) {
+  EXPECT_STREQ(AttrOriginName(AttrOrigin::kDirect), "direct");
+  EXPECT_STREQ(AttrOriginName(AttrOrigin::kCount), "count");
+  EXPECT_STREQ(AttrOriginName(AttrOrigin::kKeyword), "keyword");
+  EXPECT_STREQ(AttrOriginName(AttrOrigin::kLanguage), "language");
+  EXPECT_STREQ(AttrOriginName(AttrOrigin::kPath), "path");
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,193 @@
+// spade_cli — run the full discovery pipeline on a data file from the shell.
+//
+//   spade_cli DATA [options]
+//
+//   DATA                 .nt (N-Triples), .ttl (Turtle) or .csv input
+//   --top K              number of insights to return           (default 10)
+//   --interestingness F  variance | skewness | kurtosis         (default variance)
+//   --algorithm A        mvdcube | pgcube | pgcube-distinct     (default mvdcube)
+//   --earlystop          enable confidence-interval pruning
+//   --no-derivations     disable derived properties (woD mode)
+//   --saturate           RDFS-saturate the graph before analysis
+//   --max-dims N         lattice dimensionality cap             (default 3)
+//   --min-support R      dimension/measure support threshold    (default 0.1)
+//   --json FILE          write the insights as JSON
+//   --csv FILE           write the flattened insights as CSV
+//   --quiet              suppress the rendered insight charts
+//
+// Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "src/core/export.h"
+#include "src/core/present.h"
+#include "src/core/spade.h"
+#include "src/rdf/csv2rdf.h"
+#include "src/rdf/ntriples.h"
+#include "src/rdf/turtle.h"
+#include "src/util/string_util.h"
+#include "src/util/timer.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "spade_cli: " << message << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage: spade_cli DATA(.nt|.ttl|.csv) [--top K] "
+               "[--interestingness variance|skewness|kurtosis]\n"
+               "                 [--algorithm mvdcube|pgcube|pgcube-distinct] "
+               "[--earlystop] [--no-derivations]\n"
+               "                 [--saturate] [--max-dims N] "
+               "[--min-support R] [--json FILE] [--csv FILE] [--quiet]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string data_path = argv[1];
+  spade::SpadeOptions options;
+  std::string json_path, csv_path;
+  bool quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--top") {
+      const char* v = next();
+      int64_t k;
+      if (v == nullptr || !spade::ParseInt64(v, &k) || k <= 0) {
+        return Fail("--top needs a positive integer");
+      }
+      options.top_k = static_cast<size_t>(k);
+    } else if (arg == "--interestingness") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::string name = spade::ToLower(v);
+      if (name == "variance") {
+        options.interestingness = spade::InterestingnessKind::kVariance;
+      } else if (name == "skewness") {
+        options.interestingness = spade::InterestingnessKind::kSkewness;
+      } else if (name == "kurtosis") {
+        options.interestingness = spade::InterestingnessKind::kKurtosis;
+      } else {
+        return Fail("unknown interestingness '" + name + "'");
+      }
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::string name = spade::ToLower(v);
+      if (name == "mvdcube") {
+        options.algorithm = spade::EvalAlgorithm::kMvdCube;
+      } else if (name == "pgcube") {
+        options.algorithm = spade::EvalAlgorithm::kPgCubeStar;
+      } else if (name == "pgcube-distinct") {
+        options.algorithm = spade::EvalAlgorithm::kPgCubeDistinct;
+      } else {
+        return Fail("unknown algorithm '" + name + "'");
+      }
+    } else if (arg == "--earlystop") {
+      options.enable_earlystop = true;
+    } else if (arg == "--no-derivations") {
+      options.enable_derivations = false;
+    } else if (arg == "--saturate") {
+      options.saturate = true;
+    } else if (arg == "--max-dims") {
+      const char* v = next();
+      int64_t n;
+      if (v == nullptr || !spade::ParseInt64(v, &n) || n < 1 || n > 4) {
+        return Fail("--max-dims needs an integer in [1, 4]");
+      }
+      options.enumeration.max_dims = static_cast<size_t>(n);
+    } else if (arg == "--min-support") {
+      const char* v = next();
+      double r;
+      if (v == nullptr || !spade::ParseDouble(v, &r) || r <= 0 || r > 1) {
+        return Fail("--min-support needs a ratio in (0, 1]");
+      }
+      options.enumeration.min_support_ratio = r;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      json_path = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      csv_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+
+  // --- Load.
+  spade::Graph graph;
+  {
+    std::ifstream in(data_path);
+    if (!in) return Fail("cannot open " + data_path);
+    spade::Timer timer;
+    spade::Status st;
+    if (spade::EndsWith(data_path, ".ttl")) {
+      st = spade::TurtleReader::Parse(in, &graph);
+    } else if (spade::EndsWith(data_path, ".csv")) {
+      spade::Csv2RdfOptions copt;
+      auto rows = spade::CsvToRdf(in, copt, &graph);
+      st = rows.status();
+      if (rows.ok()) std::cerr << "converted " << *rows << " CSV rows\n";
+    } else {
+      st = spade::NTriplesReader::Parse(in, &graph);
+    }
+    if (!st.ok()) return Fail("load failed: " + st.ToString());
+    std::cerr << "loaded " << graph.NumTriples() << " triples in "
+              << spade::FormatDouble(timer.ElapsedMillis(), 1) << " ms\n";
+  }
+
+  // --- Run.
+  spade::Spade spade(&graph, options);
+  spade::Status st = spade.RunOffline();
+  if (!st.ok()) return Fail("offline phase: " + st.ToString());
+  auto insights = spade.RunOnline();
+  if (!insights.ok()) return Fail("online phase: " + insights.status().ToString());
+
+  const spade::SpadeReport& report = spade.report();
+  std::cerr << "pipeline: " << report.num_cfs << " fact sets, "
+            << report.num_lattices << " lattices, "
+            << report.num_candidate_aggregates << " candidate aggregates ("
+            << report.num_pruned_aggregates << " pruned early); offline "
+            << spade::FormatDouble(report.timings.OfflineTotal(), 1)
+            << " ms, online "
+            << spade::FormatDouble(report.timings.OnlineTotal(), 1) << " ms\n";
+
+  if (!quiet) {
+    spade::RenderOptions ropt;
+    int rank = 1;
+    for (const auto& insight : *insights) {
+      std::cout << "\n#" << rank++ << "  ";
+      spade::RenderInsight(spade.database(), insight, ropt, std::cout);
+    }
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) return Fail("cannot write " + json_path);
+    spade::ExportInsightsJson(spade.database(), *insights,
+                              options.interestingness, out);
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) return Fail("cannot write " + csv_path);
+    spade::ExportInsightsCsv(spade.database(), *insights, out);
+    std::cerr << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
