@@ -1,0 +1,93 @@
+// Parallel-scaling trend line for the execution layer: online-phase
+// wall-clock at 1/2/4/8 worker threads on the Figure 12 scalability
+// dataset (largest setting: 400k facts, N=3, M=15, s=0.1), plus a
+// multi-CFS variant (same volume spread over 16 fact types) that models a
+// multi-tenant workload — the shape CFS-level parallelism is built for.
+//
+// Results are bit-identical at every thread count (see tests/exec_test.cc);
+// this bench reports only wall-clock and speedup. Speedup is bounded by the
+// machine: on an M-core box the ideal line is min(threads, M)x.
+//
+// Usage: bench_parallel_scaling [--facts=N] [--types=K]
+
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "src/datagen/synthetic.h"
+#include "src/exec/thread_pool.h"
+
+namespace spade {
+namespace bench {
+namespace {
+
+struct RunResult {
+  double online_wall_ms = 0;
+  size_t num_cfs = 0;
+  size_t num_evaluated = 0;
+};
+
+RunResult RunOnce(size_t facts, size_t types, size_t threads) {
+  SyntheticOptions sopts;
+  sopts.num_facts = facts;
+  sopts.dim_cardinality.assign(3, 100);
+  sopts.num_measures = 15;
+  sopts.sparsity = 0.1;
+  sopts.num_fact_types = types;
+  auto graph = GenerateSynthetic(sopts);
+
+  SpadeOptions options = BenchOptions();
+  options.cfs.min_size = 100;
+  options.enumeration.max_dims = 3;
+  options.num_threads = threads;
+  Spade spade(graph.get(), options);
+  if (!spade.RunOffline().ok()) std::exit(1);
+  if (!spade.RunOnline().ok()) std::exit(1);
+  RunResult r;
+  r.online_wall_ms = spade.report().timings.online_wall_ms;
+  r.num_cfs = spade.report().num_cfs;
+  r.num_evaluated = spade.report().num_evaluated_aggregates;
+  return r;
+}
+
+void Scale(const char* label, size_t facts, size_t types) {
+  std::cout << "-- " << label << ": " << facts << " facts, " << types
+            << " fact type(s) --\n";
+  TablePrinter table({"threads", "online ms", "speedup", "#CFS", "#A eval"});
+  double base = 0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    RunResult r = RunOnce(facts, types, threads);
+    if (threads == 1) base = r.online_wall_ms;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  base / std::max(1e-6, r.online_wall_ms));
+    table.AddRow({std::to_string(threads), Ms(r.online_wall_ms), speedup,
+                  std::to_string(r.num_cfs), std::to_string(r.num_evaluated)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spade
+
+int main(int argc, char** argv) {
+  size_t facts = 400000;
+  size_t types = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--facts=", 8) == 0) {
+      facts = static_cast<size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--types=", 8) == 0) {
+      types = static_cast<size_t>(std::atoll(argv[i] + 8));
+    }
+  }
+  std::cout << "== Parallel scaling of the online phase ("
+            << spade::ThreadPool::HardwareConcurrency()
+            << " hardware threads on this machine) ==\n\n";
+  // Figure 12's largest single-CFS setting: within-CFS parallelism only
+  // (per-lattice pre-builds), so this is the pessimistic line.
+  spade::bench::Scale("Fig. 12 largest (single CFS)", facts, 1);
+  // Multi-tenant shape: one shard per CFS, embarrassingly parallel.
+  spade::bench::Scale("multi-CFS", facts, types);
+  return 0;
+}

@@ -31,6 +31,17 @@ void Arm::AddGroup(Handle handle, std::vector<TermId> dim_values, double value) 
   }
 }
 
+void Arm::Absorb(Arm&& shard) {
+  for (Entry& entry : shard.entries_) {
+    auto [it, inserted] = index_.try_emplace(entry.key, entries_.size());
+    (void)it;
+    if (!inserted) continue;
+    entries_.push_back(std::move(entry));
+  }
+  shard.entries_.clear();
+  shard.index_.clear();
+}
+
 std::vector<Arm::Ranked> Arm::TopK(size_t k, InterestingnessKind kind,
                                    size_t min_groups) const {
   std::vector<std::pair<double, size_t>> scored;

@@ -74,6 +74,16 @@ class Arm {
   std::vector<Ranked> TopK(size_t k, InterestingnessKind kind,
                            size_t min_groups = 2) const;
 
+  /// Move every entry of `shard` into this ARM, leaving `shard` empty.
+  ///
+  /// The parallel pipeline gives each CFS its own ARM shard (AggregateKey
+  /// embeds the cfs_id, so shards of distinct CFSs never share keys) and
+  /// absorbs them in cfs_id order, which reproduces the serial entry order
+  /// bit for bit. A key already present here wins over the shard's copy
+  /// (the shard entry is dropped) — mirroring Register's first-writer-wins
+  /// reuse semantics.
+  void Absorb(Arm&& shard);
+
  private:
   struct Entry {
     AggregateKey key;

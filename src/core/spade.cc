@@ -6,18 +6,6 @@
 
 namespace spade {
 
-const char* EvalAlgorithmName(EvalAlgorithm algo) {
-  switch (algo) {
-    case EvalAlgorithm::kMvdCube:
-      return "MVDCube";
-    case EvalAlgorithm::kPgCubeStar:
-      return "PGCube*";
-    case EvalAlgorithm::kPgCubeDistinct:
-      return "PGCube_d";
-  }
-  return "?";
-}
-
 Spade::Spade(Graph* graph, SpadeOptions options)
     : graph_(graph), options_(std::move(options)) {
   arm_ = std::make_unique<Arm>(options_.max_stored_groups);
@@ -64,75 +52,77 @@ Status Spade::RunOffline() {
   return Status::OK();
 }
 
-void Spade::EvaluateCfs(uint32_t cfs_id, const CfsIndex& index,
-                        const std::vector<LatticeSpec>& lattices) {
-  if (options_.algorithm == EvalAlgorithm::kPgCubeStar ||
-      options_.algorithm == EvalAlgorithm::kPgCubeDistinct) {
-    PgCubeVariant variant = options_.algorithm == EvalAlgorithm::kPgCubeStar
-                                ? PgCubeVariant::kStar
-                                : PgCubeVariant::kDistinct;
-    for (const auto& spec : lattices) {
-      PgCubeStats stats;
-      EvaluateLatticePgCube(*db_, cfs_id, index, spec, variant, arm_.get(),
-                            &stats);
-      report_.num_evaluated_aggregates += stats.num_mdas_evaluated;
-    }
-    return;
-  }
+void Spade::RunOnlineCfs(uint32_t cfs_id, Arm* arm, TaskScheduler* scheduler,
+                         SpadeReport* report) {
+  CfsIndex index(fact_sets_[cfs_id].members);
 
-  // MVDCube path, optionally with early-stop.
-  MeasureCache measures;
-  std::set<AggregateKey> pruned;
-  std::vector<std::vector<DimensionEncoding>> encodings(lattices.size());
-  std::vector<Mmst> mmsts(lattices.size());
-  std::vector<Translation> translations(lattices.size());
-  bool pre_built = false;
+  // Step 2: Online Attribute Analysis.
+  Timer step;
+  CfsAnalysis analysis =
+      AnalyzeAttributes(*db_, index, offline_stats_, options_.enumeration);
+  report->timings.attribute_analysis_ms += step.ElapsedMillis();
+  step.Restart();
 
-  if (options_.enable_earlystop) {
-    Timer es_timer;
-    Rng rng(options_.seed ^ (0x9e3779b97f4a7c15ULL * (cfs_id + 1)));
-    EarlyStopOptions es_options = options_.earlystop;
-    es_options.kind = options_.interestingness;
-    es_options.top_k = std::max(es_options.top_k, options_.top_k);
-    EarlyStopPlanner planner(db_.get(), cfs_id, &index, &offline_stats_,
-                             es_options);
-    for (size_t li = 0; li < lattices.size(); ++li) {
-      mmsts[li] = BuildMmstForSpec(*db_, index, lattices[li], &encodings[li],
-                                   options_.mvd.partition_chunk);
-      TranslationOptions topt;
-      topt.max_combos_per_fact = options_.mvd.max_combos_per_fact;
-      topt.sample_capacity = es_options.sample_size;
-      topt.rng = &rng;
-      translations[li] =
-          TranslateData(encodings[li], mmsts[li].layout(), topt);
-      planner.AddLattice(lattices[li], encodings[li], mmsts[li].layout(),
-                         translations[li], &measures);
-    }
-    EarlyStopResult es = planner.Plan(*arm_);
-    pruned = std::move(es.pruned);
-    pre_built = true;
-    // Unique pruned MDA keys (a shared node would otherwise be counted once
-    // per lattice below).
-    report_.num_pruned_aggregates += pruned.size();
-    report_.timings.earlystop_ms += es_timer.ElapsedMillis();
-  }
+  // Step 3: Aggregate Enumeration.
+  std::vector<LatticeSpec> lattices = EnumerateLattices(
+      *db_, index, analysis, offline_stats_, options_.enumeration);
+  report->num_lattices += lattices.size();
+  report->num_candidate_aggregates += CountCandidateAggregates(cfs_id, lattices);
+  report->timings.enumeration_ms += step.ElapsedMillis();
+  step.Restart();
 
-  for (size_t li = 0; li < lattices.size(); ++li) {
-    MvdCubeStats stats = EvaluateLatticeMvd(
-        *db_, cfs_id, index, lattices[li], options_.mvd, arm_.get(), &measures,
-        pruned.empty() ? nullptr : &pruned,
-        pre_built ? &translations[li] : nullptr,
-        pre_built ? &mmsts[li] : nullptr,
-        pre_built ? &encodings[li] : nullptr);
-    report_.num_evaluated_aggregates += stats.num_mdas_evaluated;
-    report_.num_reused_aggregates += stats.num_mdas_reused;
-  }
+  // Step 4: Aggregate Evaluation, behind the uniform evaluator interface.
+  CubeEvalOptions eval_options;
+  eval_options.algorithm = options_.algorithm;
+  eval_options.mvd = options_.mvd;
+  eval_options.earlystop = options_.earlystop;
+  eval_options.enable_earlystop = options_.enable_earlystop;
+  eval_options.interestingness = options_.interestingness;
+  eval_options.top_k = options_.top_k;
+  eval_options.seed = options_.seed;
+  std::unique_ptr<CubeEvaluator> evaluator = MakeCubeEvaluator(eval_options);
+
+  CubeEvalInputs inputs;
+  inputs.db = db_.get();
+  inputs.cfs_id = cfs_id;
+  inputs.cfs = &index;
+  inputs.lattices = &lattices;
+  inputs.offline_stats = &offline_stats_;
+
+  EvalStats stats = evaluator->EvaluateCfs(inputs, arm, scheduler);
+  report->num_evaluated_aggregates += stats.num_mdas_evaluated;
+  report->num_reused_aggregates += stats.num_mdas_reused;
+  report->num_pruned_aggregates += stats.num_mdas_pruned;
+  report->num_groups_emitted += stats.num_groups_emitted;
+  report->timings.earlystop_ms += stats.earlystop_ms;
+  report->timings.evaluation_ms += step.ElapsedMillis();
 }
+
+namespace {
+
+/// Fold one CFS's online deltas into the pipeline report. Counts are exact;
+/// timing fields accumulate per-worker *work* time (wall-clock is tracked
+/// separately as online_wall_ms).
+void MergeCfsReport(const SpadeReport& cfs, SpadeReport* total) {
+  total->num_lattices += cfs.num_lattices;
+  total->num_candidate_aggregates += cfs.num_candidate_aggregates;
+  total->num_evaluated_aggregates += cfs.num_evaluated_aggregates;
+  total->num_reused_aggregates += cfs.num_reused_aggregates;
+  total->num_pruned_aggregates += cfs.num_pruned_aggregates;
+  total->num_groups_emitted += cfs.num_groups_emitted;
+  total->timings.attribute_analysis_ms += cfs.timings.attribute_analysis_ms;
+  total->timings.enumeration_ms += cfs.timings.enumeration_ms;
+  total->timings.earlystop_ms += cfs.timings.earlystop_ms;
+  total->timings.evaluation_ms += cfs.timings.evaluation_ms;
+}
+
+}  // namespace
 
 Result<std::vector<Insight>> Spade::RunOnline() {
   if (!offline_done_) {
     return Status::Internal("RunOffline() must complete before RunOnline()");
   }
+  Timer online_timer;
   Timer timer;
 
   // Step 1: Candidate Fact Set Selection.
@@ -141,29 +131,33 @@ Result<std::vector<Insight>> Spade::RunOnline() {
   report_.timings.cfs_selection_ms = timer.ElapsedMillis();
   timer.Restart();
 
-  // Steps 2-4 per CFS.
-  for (uint32_t cfs_id = 0; cfs_id < fact_sets_.size(); ++cfs_id) {
-    CfsIndex index(fact_sets_[cfs_id].members);
+  // Steps 2-4 per CFS. Every CFS evaluates into its own ARM shard
+  // (AggregateKey embeds the cfs_id, so shards never share keys); shards are
+  // absorbed in cfs_id order, which makes the result independent of the
+  // thread count — bit-identical insights and counts at any num_threads.
+  size_t num_threads = options_.num_threads == 0
+                           ? ThreadPool::HardwareConcurrency()
+                           : options_.num_threads;
+  report_.num_threads_used = num_threads;
+  uint32_t num_cfs = static_cast<uint32_t>(fact_sets_.size());
 
-    // Step 2: Online Attribute Analysis.
-    Timer step;
-    CfsAnalysis analysis =
-        AnalyzeAttributes(*db_, index, offline_stats_, options_.enumeration);
-    report_.timings.attribute_analysis_ms += step.ElapsedMillis();
-    step.Restart();
-
-    // Step 3: Aggregate Enumeration.
-    std::vector<LatticeSpec> lattices = EnumerateLattices(
-        *db_, index, analysis, offline_stats_, options_.enumeration);
-    report_.num_lattices += lattices.size();
-    report_.num_candidate_aggregates +=
-        CountCandidateAggregates(cfs_id, lattices);
-    report_.timings.enumeration_ms += step.ElapsedMillis();
-    step.Restart();
-
-    // Step 4: Aggregate Evaluation.
-    EvaluateCfs(cfs_id, index, lattices);
-    report_.timings.evaluation_ms += step.ElapsedMillis();
+  // One code path for both modes: a null pool makes the scheduler run every
+  // CFS inline in order. Outer parallelism is across CFSs; within a CFS, the
+  // evaluator fans the per-lattice pre-builds out on the same scheduler
+  // (nested ParallelFor). The calling thread participates in every
+  // ParallelFor, so the pool carries num_threads - 1 workers.
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads - 1);
+  TaskScheduler scheduler(pool.get());
+  std::vector<Arm> shards(num_cfs, Arm(options_.max_stored_groups));
+  std::vector<SpadeReport> partials(num_cfs);
+  scheduler.ParallelFor(num_cfs, [&](size_t cfs_id) {
+    RunOnlineCfs(static_cast<uint32_t>(cfs_id), &shards[cfs_id], &scheduler,
+                 &partials[cfs_id]);
+  });
+  for (uint32_t cfs_id = 0; cfs_id < num_cfs; ++cfs_id) {
+    MergeCfsReport(partials[cfs_id], &report_);
+    arm_->Absorb(std::move(shards[cfs_id]));
   }
   // Early-stop time is inside evaluation wall-clock; report it separately.
   report_.timings.evaluation_ms -= report_.timings.earlystop_ms;
@@ -184,6 +178,7 @@ Result<std::vector<Insight>> Spade::RunOnline() {
     insights.push_back(std::move(insight));
   }
   report_.timings.topk_ms = timer.ElapsedMillis();
+  report_.timings.online_wall_ms = online_timer.ElapsedMillis();
   return insights;
 }
 

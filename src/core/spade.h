@@ -12,21 +12,13 @@
 #include "src/core/mvdcube.h"
 #include "src/core/pgcube.h"
 #include "src/derive/derivations.h"
+#include "src/exec/cube_evaluator.h"
+#include "src/exec/thread_pool.h"
 #include "src/rdf/ontology.h"
 #include "src/summary/summary.h"
 #include "src/util/status.h"
 
 namespace spade {
-
-/// Which Aggregate Evaluation module the online pipeline uses (Section 6
-/// compares them; MVDCube is the system default).
-enum class EvalAlgorithm : uint8_t {
-  kMvdCube = 0,
-  kPgCubeStar,      ///< PostgreSQL-style cube, count(*)
-  kPgCubeDistinct,  ///< PostgreSQL-style cube, count(distinct)
-};
-
-const char* EvalAlgorithmName(EvalAlgorithm algo);
 
 /// All knobs of the end-to-end pipeline.
 struct SpadeOptions {
@@ -45,6 +37,10 @@ struct SpadeOptions {
   uint64_t seed = 42;
   /// Group tuples retained per MDA for presentation.
   size_t max_stored_groups = 64;
+  /// Online-phase worker threads: 0 = hardware concurrency, 1 = serial.
+  /// Results (top-k insights, aggregate counts) are identical at every
+  /// setting; only wall-clock changes.
+  size_t num_threads = 1;
 };
 
 /// Wall-clock per pipeline step (Figure 11's stacked bars).
@@ -71,6 +67,11 @@ struct SpadeTimings {
     return cfs_selection_ms + attribute_analysis_ms + enumeration_ms +
            earlystop_ms + evaluation_ms + topk_ms;
   }
+
+  /// Online-phase wall-clock. Equals OnlineTotal() when num_threads == 1;
+  /// under concurrency the per-step fields sum *work* time across workers,
+  /// so wall-clock is the number that measures speedup.
+  double online_wall_ms = 0;
 };
 
 /// Dataset / run profile, the source of Table 2 and the R-observations.
@@ -84,6 +85,8 @@ struct SpadeReport {
   size_t num_evaluated_aggregates = 0;
   size_t num_reused_aggregates = 0;
   size_t num_pruned_aggregates = 0;
+  size_t num_groups_emitted = 0;  ///< group tuples streamed into the ARM
+  size_t num_threads_used = 1;    ///< resolved online-phase worker count
   SpadeTimings timings;
 };
 
@@ -122,8 +125,11 @@ class Spade {
   std::string MdaToSparql(const AggregateKey& key) const;
 
  private:
-  void EvaluateCfs(uint32_t cfs_id, const CfsIndex& index,
-                   const std::vector<LatticeSpec>& lattices);
+  /// Steps 2-4 for one CFS: attribute analysis, enumeration, evaluation into
+  /// `arm` (a per-CFS shard in parallel mode, the global ARM when serial).
+  /// Timing/count deltas go to `report` (merged under the caller's control).
+  void RunOnlineCfs(uint32_t cfs_id, Arm* arm, TaskScheduler* scheduler,
+                    SpadeReport* report);
 
   Graph* graph_;
   SpadeOptions options_;

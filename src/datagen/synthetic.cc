@@ -13,7 +13,12 @@ std::unique_ptr<Graph> GenerateSynthetic(const SyntheticOptions& options) {
   Rng rng(options.seed);
 
   size_t n = options.dim_cardinality.size();
-  TermId type = dict.InternIri(synth::kFactType);
+  size_t num_types = std::max<size_t>(1, options.num_fact_types);
+  std::vector<TermId> types(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    types[t] = dict.InternIri(t == 0 ? std::string(synth::kFactType)
+                                     : synth::kFactType + std::to_string(t));
+  }
   std::vector<TermId> dim_props(n);
   for (size_t d = 0; d < n; ++d) {
     dim_props[d] = dict.InternIri(synth::kDimPrefix + std::to_string(d));
@@ -50,7 +55,7 @@ std::unique_ptr<Graph> GenerateSynthetic(const SyntheticOptions& options) {
   for (size_t f = 0; f < options.num_facts; ++f) {
     TermId fact =
         dict.InternIri("http://bench.spade/fact/" + std::to_string(f));
-    graph->Add(fact, graph->rdf_type(), type);
+    graph->Add(fact, graph->rdf_type(), types[f % num_types]);
     for (size_t d = 0; d < n; ++d) {
       if (options.missing_prob > 0 && rng.Bernoulli(options.missing_prob)) {
         continue;

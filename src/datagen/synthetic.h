@@ -36,6 +36,11 @@ struct SyntheticOptions {
   double multi_value_prob = 0.3;
   /// Fraction of facts missing each dimension/measure value (heterogeneity).
   double missing_prob = 0.0;
+  /// Facts are spread round-robin over this many rdf:type values
+  /// ("bench:Fact", "bench:Fact1", ...), yielding one CFS per type. The
+  /// paper's scalability study uses 1; the parallel-scaling bench raises it
+  /// to model multi-tenant workloads (many independent fact sets).
+  size_t num_fact_types = 1;
 };
 
 /// Generate the benchmark graph.

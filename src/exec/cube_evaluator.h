@@ -1,0 +1,104 @@
+#ifndef SPADE_EXEC_CUBE_EVALUATOR_H_
+#define SPADE_EXEC_CUBE_EVALUATOR_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/arm.h"
+#include "src/core/earlystop.h"
+#include "src/core/mvdcube.h"
+#include "src/exec/thread_pool.h"
+#include "src/stats/attr_stats.h"
+
+namespace spade {
+
+/// Which Aggregate Evaluation module the online pipeline uses (Section 6
+/// compares them; MVDCube is the system default, ArrayCube is the classical
+/// relational baseline of Section 4.2).
+enum class EvalAlgorithm : uint8_t {
+  kMvdCube = 0,
+  kPgCubeStar,      ///< PostgreSQL-style cube, count(*)
+  kPgCubeDistinct,  ///< PostgreSQL-style cube, count(distinct)
+  kArrayCube,       ///< Zhao et al. one-pass baseline (incorrect on
+                    ///< multi-valued dims, Lemma 1)
+};
+
+const char* EvalAlgorithmName(EvalAlgorithm algo);
+
+/// Evaluation knobs shared by every cube algorithm; Spade builds this from
+/// SpadeOptions so the exec layer never depends on the pipeline header.
+struct CubeEvalOptions {
+  EvalAlgorithm algorithm = EvalAlgorithm::kMvdCube;
+  MvdCubeOptions mvd;
+  EarlyStopOptions earlystop;
+  bool enable_earlystop = false;
+  InterestingnessKind interestingness = InterestingnessKind::kVariance;
+  size_t top_k = 10;
+  uint64_t seed = 42;
+};
+
+/// Everything a cube algorithm needs to evaluate one CFS: the store, the
+/// dense fact index, the enumerated lattices and the offline statistics
+/// (early-stop min/max CIs). All pointers are borrowed and must outlive the
+/// evaluator.
+struct CubeEvalInputs {
+  const Database* db = nullptr;
+  uint32_t cfs_id = 0;
+  const CfsIndex* cfs = nullptr;
+  const std::vector<LatticeSpec>* lattices = nullptr;
+  const std::vector<AttrStats>* offline_stats = nullptr;
+};
+
+/// Aggregate-evaluation outcome of one CFS, merged into SpadeReport.
+struct EvalStats {
+  size_t num_mdas_evaluated = 0;  ///< MDA keys newly evaluated
+  size_t num_mdas_reused = 0;     ///< keys already in the ARM (shared nodes)
+  size_t num_mdas_pruned = 0;     ///< unique keys skipped by early-stop
+  size_t num_groups_emitted = 0;
+  double earlystop_ms = 0;  ///< CI planning time, inside evaluation wall-clock
+};
+
+/// \brief Uniform operator interface over the cube algorithms (MVDCube,
+/// PGCube*, PGCube_d, ArrayCube) — the runtime layer's unit of scheduling.
+///
+/// Lifecycle: one evaluator instance per CFS. Prepare() builds per-CFS
+/// shared state (dimension encodings, MMSTs, translations, the early-stop
+/// prune set); independent per-lattice work inside it may be fanned out on
+/// `scheduler`. EvaluateLattice() then streams lattice `li`'s results into
+/// `arm` and must be called in ascending `li` order on a single thread —
+/// the ARM's register/reuse discipline (an MDA shared by two lattices is
+/// evaluated by the first and reused by the second) is what makes results
+/// deterministic, and it is inherently order-dependent.
+///
+/// `arm` is a per-CFS scope: AggregateKey embeds the cfs_id, so distinct
+/// CFSs never share keys and each CFS's shard can be evaluated on its own
+/// thread and merged into the global ARM afterwards (Arm::Absorb).
+class CubeEvaluator {
+ public:
+  virtual ~CubeEvaluator() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Build per-CFS shared state. `arm` provides exact scores of
+  /// already-evaluated aggregates of this CFS (empty on the standard
+  /// pipeline path); `scheduler` may be null (serial).
+  virtual void Prepare(const CubeEvalInputs& in, const Arm& arm,
+                       TaskScheduler* scheduler, EvalStats* stats);
+
+  /// Evaluate lattice `li` of `in.lattices` into `arm`. See class comment
+  /// for the ordering contract.
+  virtual void EvaluateLattice(const CubeEvalInputs& in, size_t li, Arm* arm,
+                               EvalStats* stats) = 0;
+
+  /// Convenience driver: Prepare + every lattice in order.
+  EvalStats EvaluateCfs(const CubeEvalInputs& in, Arm* arm,
+                        TaskScheduler* scheduler);
+};
+
+/// The factory replacing Spade::EvaluateCfs's algorithm switch.
+std::unique_ptr<CubeEvaluator> MakeCubeEvaluator(const CubeEvalOptions& options);
+
+}  // namespace spade
+
+#endif  // SPADE_EXEC_CUBE_EVALUATOR_H_

@@ -1,0 +1,125 @@
+#include "src/exec/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace spade {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.resize(num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    std::function<void()> task;
+    if (!queues_[index].empty()) {
+      task = std::move(queues_[index].front());
+      queues_[index].pop_front();
+    } else {
+      // Steal from the back of the fullest deque.
+      size_t victim = queues_.size();
+      size_t best = 0;
+      for (size_t q = 0; q < queues_.size(); ++q) {
+        if (queues_[q].size() > best) {
+          best = queues_[q].size();
+          victim = q;
+        }
+      }
+      if (victim < queues_.size()) {
+        task = std::move(queues_[victim].back());
+        queues_[victim].pop_back();
+      }
+    }
+    if (task) {
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;  // all queues drained
+    cv_.wait(lock);
+  }
+}
+
+void TaskScheduler::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (!parallel() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::function<void(size_t)> fn;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;  // guarded by mutex
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;
+  state->n = n;
+
+  // Each participant claims indexes until none remain. Late-running helpers
+  // (queued behind other work) find the loop drained and return immediately;
+  // the shared_ptr keeps the state alive for them past our return.
+  auto drain = [state] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) return;
+      try {
+        state->fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(n - 1, pool_->num_threads());
+  for (size_t h = 0; h < helpers; ++h) pool_->Submit(drain);
+  drain();  // the caller participates: progress even when the pool is busy
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock,
+                 [&] { return state->done.load(std::memory_order_acquire) >= n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace spade

@@ -1,0 +1,83 @@
+#ifndef SPADE_EXEC_THREAD_POOL_H_
+#define SPADE_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spade {
+
+/// \brief Fixed-size worker pool with per-worker deques and work stealing.
+///
+/// Submit() distributes tasks round-robin over the worker deques; an idle
+/// worker first drains its own deque from the front, then steals from the
+/// back of the fullest other deque. All deques share one mutex — task
+/// granularity in Spade is one CFS or one lattice (milliseconds to seconds),
+/// so queue contention is irrelevant; the per-worker structure is what
+/// matters for a later lock-free upgrade.
+///
+/// The destructor drains every queued task before joining (a task submitted
+/// is a task run), so fire-and-forget submissions never leak work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Tasks must not throw (use TaskScheduler::ParallelFor
+  /// for exception propagation).
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop(size_t index);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // guarded by mutex_
+  size_t next_queue_ = 0;                                  // guarded by mutex_
+  bool stop_ = false;                                      // guarded by mutex_
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Cooperative fork-join scheduling on top of a ThreadPool.
+///
+/// A null or single-threaded pool degrades to inline serial execution, so
+/// callers write one code path. ParallelFor is safe to nest (a task body may
+/// itself call ParallelFor on the same scheduler): the calling thread always
+/// participates in the loop, so progress never depends on a pool worker
+/// being free.
+class TaskScheduler {
+ public:
+  /// `pool` may be null: every operation then runs inline on the caller.
+  explicit TaskScheduler(ThreadPool* pool) : pool_(pool) {}
+
+  /// The calling thread always participates in ParallelFor, so a pool of K
+  /// workers gives K + 1 compute threads. Spade sizes the pool at
+  /// num_threads - 1 for this reason.
+  bool parallel() const { return pool_ != nullptr && pool_->num_threads() > 0; }
+  /// Total compute threads a ParallelFor can use, caller included.
+  size_t num_threads() const { return parallel() ? pool_->num_threads() + 1 : 1; }
+
+  /// Run fn(0) .. fn(n-1), potentially concurrently, and block until all
+  /// completed. Indexes are claimed atomically, so the distribution over
+  /// threads is dynamic. The first exception thrown by any fn is rethrown
+  /// on the calling thread after the loop drains.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_EXEC_THREAD_POOL_H_

@@ -137,7 +137,7 @@ Status ParseTerm(std::string_view line, size_t* i, bool allow_literal, Term* out
   if (c == '"') {
     if (!allow_literal) return Status::ParseError("literal not allowed here");
     std::string lex;
-    size_t close;
+    size_t close = 0;
     SPADE_RETURN_NOT_OK(DecodeQuoted(line, *i + 1, &lex, &close));
     size_t j = close + 1;
     TermId datatype = kInvalidTerm;

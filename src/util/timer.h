@@ -7,6 +7,13 @@ namespace spade {
 
 /// \brief Wall-clock stopwatch used by the pipeline instrumentation and the
 /// benchmark harnesses (Figures 9, 11, 12; Table 4 report milliseconds).
+///
+/// Concurrency: a Timer instance is not shared between threads; each worker
+/// times its own task with a local Timer and the per-task durations are
+/// merged after the parallel region. Summed fields therefore measure
+/// aggregate *work* time — wall-clock of a parallel phase must be taken by
+/// a single Timer owned by the coordinating thread (see
+/// SpadeTimings::online_wall_ms).
 class Timer {
  public:
   Timer() { Restart(); }

@@ -1,0 +1,236 @@
+// Tests of the execution layer: ThreadPool / TaskScheduler semantics, the
+// CubeEvaluator factory, and — the contract the parallel pipeline stands on —
+// bit-identical results at every thread count.
+
+#include "src/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/spade.h"
+#include "src/datagen/realworld.h"
+#include "src/datagen/synthetic.h"
+#include "src/exec/cube_evaluator.h"
+
+namespace spade {
+namespace {
+
+// --- ThreadPool / TaskScheduler ------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // Destructor drains the queues before joining.
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(TaskSchedulerTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  TaskScheduler scheduler(&pool);
+  std::vector<std::atomic<int>> hits(500);
+  scheduler.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskSchedulerTest, NullPoolRunsInlineInOrder) {
+  TaskScheduler scheduler(nullptr);
+  EXPECT_FALSE(scheduler.parallel());
+  std::vector<size_t> order;
+  scheduler.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskSchedulerTest, NestedParallelForMakesProgress) {
+  // Outer loop over "CFSs", inner loop over "lattices" on the same
+  // scheduler — the shape Spade::RunOnline produces. A pool smaller than
+  // the outer fan-out must not deadlock (callers participate).
+  ThreadPool pool(2);
+  TaskScheduler scheduler(&pool);
+  std::atomic<int> total{0};
+  scheduler.ParallelFor(8, [&](size_t) {
+    scheduler.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(TaskSchedulerTest, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  TaskScheduler scheduler(&pool);
+  EXPECT_THROW(scheduler.ParallelFor(100,
+                                     [&](size_t i) {
+                                       if (i == 37) {
+                                         throw std::runtime_error("boom");
+                                       }
+                                     }),
+               std::runtime_error);
+}
+
+// --- CubeEvaluator factory ------------------------------------------------
+
+TEST(CubeEvaluatorTest, FactoryCoversEveryAlgorithm) {
+  for (EvalAlgorithm algo :
+       {EvalAlgorithm::kMvdCube, EvalAlgorithm::kPgCubeStar,
+        EvalAlgorithm::kPgCubeDistinct, EvalAlgorithm::kArrayCube}) {
+    CubeEvalOptions options;
+    options.algorithm = algo;
+    auto evaluator = MakeCubeEvaluator(options);
+    ASSERT_NE(evaluator, nullptr);
+    EXPECT_STREQ(evaluator->name(), EvalAlgorithmName(algo));
+  }
+}
+
+// --- Pipeline determinism across thread counts ----------------------------
+
+SpadeOptions BaseOptions() {
+  SpadeOptions options;
+  options.cfs.min_size = 20;
+  options.enumeration.max_dims = 3;
+  options.enumeration.max_lattices_per_cfs = 8;
+  options.enumeration.max_measures_per_lattice = 3;
+  options.top_k = 8;
+  return options;
+}
+
+struct RunOutcome {
+  std::vector<Insight> insights;
+  SpadeReport report;
+};
+
+RunOutcome RunPipeline(Graph* graph, SpadeOptions options, size_t threads) {
+  options.num_threads = threads;
+  Spade spade(graph, options);
+  EXPECT_TRUE(spade.RunOffline().ok());
+  auto insights = spade.RunOnline();
+  EXPECT_TRUE(insights.ok()) << insights.status().ToString();
+  return RunOutcome{std::move(*insights), spade.report()};
+}
+
+/// Bit-identical comparison of a parallel run against the serial baseline:
+/// same top-k keys, scores (exact doubles), group counts, stored groups,
+/// and the same evaluated / reused / pruned aggregate counts.
+void ExpectIdentical(const RunOutcome& serial, const RunOutcome& parallel,
+                     size_t threads) {
+  SCOPED_TRACE("num_threads = " + std::to_string(threads));
+  EXPECT_EQ(serial.report.num_cfs, parallel.report.num_cfs);
+  EXPECT_EQ(serial.report.num_lattices, parallel.report.num_lattices);
+  EXPECT_EQ(serial.report.num_candidate_aggregates,
+            parallel.report.num_candidate_aggregates);
+  EXPECT_EQ(serial.report.num_evaluated_aggregates,
+            parallel.report.num_evaluated_aggregates);
+  EXPECT_EQ(serial.report.num_reused_aggregates,
+            parallel.report.num_reused_aggregates);
+  EXPECT_EQ(serial.report.num_pruned_aggregates,
+            parallel.report.num_pruned_aggregates);
+
+  ASSERT_EQ(serial.insights.size(), parallel.insights.size());
+  for (size_t i = 0; i < serial.insights.size(); ++i) {
+    const Arm::Ranked& a = serial.insights[i].ranked;
+    const Arm::Ranked& b = parallel.insights[i].ranked;
+    EXPECT_TRUE(a.key == b.key) << "insight " << i;
+    EXPECT_EQ(a.score, b.score) << "insight " << i;  // exact, not approximate
+    EXPECT_EQ(a.num_groups, b.num_groups) << "insight " << i;
+    ASSERT_EQ(a.groups.size(), b.groups.size()) << "insight " << i;
+    for (size_t g = 0; g < a.groups.size(); ++g) {
+      EXPECT_EQ(a.groups[g].dim_values, b.groups[g].dim_values);
+      EXPECT_EQ(a.groups[g].value, b.groups[g].value);
+    }
+    EXPECT_EQ(serial.insights[i].cfs_name, parallel.insights[i].cfs_name);
+    EXPECT_EQ(serial.insights[i].description, parallel.insights[i].description);
+    EXPECT_EQ(serial.insights[i].sparql, parallel.insights[i].sparql);
+  }
+}
+
+void CheckDeterminism(const std::function<std::unique_ptr<Graph>()>& make_graph,
+                      SpadeOptions options) {
+  auto baseline_graph = make_graph();
+  RunOutcome serial = RunPipeline(baseline_graph.get(), options, 1);
+  EXPECT_FALSE(serial.insights.empty());
+  for (size_t threads : {2u, 4u, 8u}) {
+    auto graph = make_graph();
+    RunOutcome parallel = RunPipeline(graph.get(), options, threads);
+    ExpectIdentical(serial, parallel, threads);
+  }
+}
+
+TEST(ParallelPipelineTest, CeosDeterministicAcrossThreadCounts) {
+  CheckDeterminism([] { return GenerateCeos(42, 0.25); }, BaseOptions());
+}
+
+TEST(ParallelPipelineTest, SyntheticDeterministicAcrossThreadCounts) {
+  SyntheticOptions sopts;
+  sopts.num_facts = 4000;
+  sopts.dim_cardinality = {40, 25, 12};
+  sopts.num_measures = 3;
+  sopts.sparsity = 0.15;
+  CheckDeterminism([&] { return GenerateSynthetic(sopts); }, BaseOptions());
+}
+
+TEST(ParallelPipelineTest, EarlyStopDeterministicAcrossThreadCounts) {
+  SpadeOptions options = BaseOptions();
+  options.enable_earlystop = true;
+  options.earlystop.sample_size = 60;
+  options.earlystop.num_batches = 2;
+  CheckDeterminism([] { return GenerateCeos(7, 0.25); }, options);
+}
+
+TEST(ParallelPipelineTest, PgCubeDeterministicAcrossThreadCounts) {
+  SpadeOptions options = BaseOptions();
+  options.algorithm = EvalAlgorithm::kPgCubeStar;
+  CheckDeterminism([] { return GenerateCeos(42, 0.2); }, options);
+}
+
+TEST(ParallelPipelineTest, ArrayCubeRunsEndToEnd) {
+  SpadeOptions options = BaseOptions();
+  options.algorithm = EvalAlgorithm::kArrayCube;
+  CheckDeterminism([] { return GenerateCeos(42, 0.2); }, options);
+}
+
+TEST(ParallelPipelineTest, ZeroMeansHardwareConcurrency) {
+  auto graph = GenerateCeos(42, 0.15);
+  RunOutcome out = RunPipeline(graph.get(), BaseOptions(), 0);
+  EXPECT_EQ(out.report.num_threads_used, ThreadPool::HardwareConcurrency());
+  EXPECT_FALSE(out.insights.empty());
+}
+
+// --- Arm::Absorb ----------------------------------------------------------
+
+TEST(ArmAbsorbTest, MovesEntriesAndKeepsFirstWriter) {
+  Arm target(8);
+  Arm shard(8);
+  AggregateKey k1{0, {1}, MeasureSpec{}};
+  AggregateKey k2{1, {2}, MeasureSpec{}};
+  Arm::Handle h1 = target.Register(k1);
+  target.AddGroup(h1, {10}, 1.0);
+  Arm::Handle h2 = shard.Register(k2);
+  shard.AddGroup(h2, {20}, 2.0);
+  // Duplicate of k1 in the shard: the target's entry must win.
+  Arm::Handle dup = shard.Register(k1);
+  shard.AddGroup(dup, {30}, 99.0);
+
+  target.Absorb(std::move(shard));
+  EXPECT_EQ(target.num_aggregates(), 2u);
+  Arm::Handle f1 = target.Find(k1);
+  ASSERT_NE(f1, Arm::kInvalidHandle);
+  ASSERT_EQ(target.stored_groups(f1).size(), 1u);
+  EXPECT_EQ(target.stored_groups(f1)[0].value, 1.0);
+  EXPECT_NE(target.Find(k2), Arm::kInvalidHandle);
+}
+
+}  // namespace
+}  // namespace spade

@@ -5,7 +5,9 @@
 //   DATA                 .nt (N-Triples), .ttl (Turtle) or .csv input
 //   --top K              number of insights to return           (default 10)
 //   --interestingness F  variance | skewness | kurtosis         (default variance)
-//   --algorithm A        mvdcube | pgcube | pgcube-distinct     (default mvdcube)
+//   --algorithm A        mvdcube | pgcube | pgcube-distinct | arraycube
+//                                                               (default mvdcube)
+//   --threads N          online-phase worker threads; 0 = all cores (default 0)
 //   --earlystop          enable confidence-interval pruning
 //   --no-derivations     disable derived properties (woD mode)
 //   --saturate           RDFS-saturate the graph before analysis
@@ -40,10 +42,12 @@ int Fail(const std::string& message) {
 int Usage() {
   std::cerr << "usage: spade_cli DATA(.nt|.ttl|.csv) [--top K] "
                "[--interestingness variance|skewness|kurtosis]\n"
-               "                 [--algorithm mvdcube|pgcube|pgcube-distinct] "
-               "[--earlystop] [--no-derivations]\n"
-               "                 [--saturate] [--max-dims N] "
-               "[--min-support R] [--json FILE] [--csv FILE] [--quiet]\n";
+               "                 [--algorithm mvdcube|pgcube|pgcube-distinct|"
+               "arraycube] [--threads N]\n"
+               "                 [--earlystop] [--no-derivations] "
+               "[--saturate] [--max-dims N]\n"
+               "                 [--min-support R] [--json FILE] [--csv FILE] "
+               "[--quiet]\n";
   return 1;
 }
 
@@ -53,6 +57,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string data_path = argv[1];
   spade::SpadeOptions options;
+  options.num_threads = 0;  // the CLI defaults to every core; results are
+                            // identical at any thread count
   std::string json_path, csv_path;
   bool quiet = false;
 
@@ -92,9 +98,18 @@ int main(int argc, char** argv) {
         options.algorithm = spade::EvalAlgorithm::kPgCubeStar;
       } else if (name == "pgcube-distinct") {
         options.algorithm = spade::EvalAlgorithm::kPgCubeDistinct;
+      } else if (name == "arraycube") {
+        options.algorithm = spade::EvalAlgorithm::kArrayCube;
       } else {
         return Fail("unknown algorithm '" + name + "'");
       }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      int64_t n;
+      if (v == nullptr || !spade::ParseInt64(v, &n) || n < 0 || n > 1024) {
+        return Fail("--threads needs an integer in [0, 1024] (0 = all cores)");
+      }
+      options.num_threads = static_cast<size_t>(n);
     } else if (arg == "--earlystop") {
       options.enable_earlystop = true;
     } else if (arg == "--no-derivations") {
@@ -166,7 +181,9 @@ int main(int argc, char** argv) {
             << report.num_pruned_aggregates << " pruned early); offline "
             << spade::FormatDouble(report.timings.OfflineTotal(), 1)
             << " ms, online "
-            << spade::FormatDouble(report.timings.OnlineTotal(), 1) << " ms\n";
+            << spade::FormatDouble(report.timings.online_wall_ms, 1) << " ms ("
+            << report.num_threads_used << " thread"
+            << (report.num_threads_used == 1 ? "" : "s") << ")\n";
 
   if (!quiet) {
     spade::RenderOptions ropt;
