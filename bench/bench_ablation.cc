@@ -19,7 +19,7 @@ namespace {
 
 struct Fixture {
   std::unique_ptr<Graph> graph;
-  std::unique_ptr<Database> db;
+  std::unique_ptr<AttributeStore> db;
   std::unique_ptr<CfsIndex> cfs;
   std::vector<DimensionEncoding> encodings;
   Mmst mmst;
@@ -35,7 +35,7 @@ Fixture MakeFixture(size_t facts, int chunk) {
   sopts.multi_valued_dims = {0, 1};
   sopts.multi_value_prob = 0.3;
   fx.graph = GenerateSynthetic(sopts);
-  fx.db = std::make_unique<Database>(fx.graph.get());
+  fx.db = std::make_unique<AttributeStore>(fx.graph.get());
   fx.db->BuildDirectAttributes();
   TermId type = fx.graph->dict().InternIri(synth::kFactType);
   fx.cfs = std::make_unique<CfsIndex>(fx.graph->NodesOfType(type));
@@ -123,7 +123,7 @@ void MeasureSharingAblation() {
   sopts.dim_cardinality = {40, 30, 20, 10};
   sopts.num_measures = 10;
   auto graph = GenerateSynthetic(sopts);
-  Database db(graph.get());
+  AttributeStore db(graph.get());
   db.BuildDirectAttributes();
   TermId type = graph->dict().InternIri(synth::kFactType);
   CfsIndex cfs(graph->NodesOfType(type));

@@ -70,9 +70,9 @@ inline Prepared PrepareDataset(RealDataset ds, const SpadeOptions& options,
   for (const auto& cfs : out.fact_sets) {
     CfsIndex index(cfs.members);
     CfsAnalysis analysis =
-        AnalyzeAttributes(out.spade->database(), index,
+        AnalyzeAttributes(out.spade->store(), index,
                           out.spade->offline_stats(), options.enumeration);
-    out.lattices.push_back(EnumerateLattices(out.spade->database(), index,
+    out.lattices.push_back(EnumerateLattices(out.spade->store(), index,
                                              analysis,
                                              out.spade->offline_stats(),
                                              options.enumeration));

@@ -27,7 +27,7 @@ Times Run(const Prepared& prep) {
       MeasureCache cache;
       for (const auto& spec : prep.lattices[cfs_id]) {
         MvdCubeStats stats =
-            EvaluateLatticeMvd(prep.spade->database(), cfs_id, index, spec,
+            EvaluateLatticeMvd(prep.spade->store(), cfs_id, index, spec,
                                MvdCubeOptions(), &arm, &cache);
         t.num_mdas += stats.num_mdas_evaluated;
       }
@@ -41,7 +41,7 @@ Times Run(const Prepared& prep) {
       CfsIndex index(prep.fact_sets[cfs_id].members);
       for (const auto& spec : prep.lattices[cfs_id]) {
         PgCubeStats stats;
-        EvaluateLatticePgCube(prep.spade->database(), cfs_id, index, spec,
+        EvaluateLatticePgCube(prep.spade->store(), cfs_id, index, spec,
                               variant, nullptr, &stats);
       }
     }

@@ -72,7 +72,7 @@ BENCHMARK(BM_RoaringIterate);
 /// Shared fixture data for the cube kernels.
 struct CubeData {
   std::unique_ptr<Graph> graph;
-  std::unique_ptr<Database> db;
+  std::unique_ptr<AttributeStore> db;
   std::unique_ptr<CfsIndex> cfs;
   LatticeSpec spec;
 };
@@ -84,7 +84,7 @@ CubeData MakeCubeData(size_t facts, size_t dims, size_t measures) {
   sopts.dim_cardinality.assign(dims, 20);
   sopts.num_measures = measures;
   out.graph = GenerateSynthetic(sopts);
-  out.db = std::make_unique<Database>(out.graph.get());
+  out.db = std::make_unique<AttributeStore>(out.graph.get());
   out.db->BuildDirectAttributes();
   TermId type = out.graph->dict().InternIri(synth::kFactType);
   out.cfs = std::make_unique<CfsIndex>(out.graph->NodesOfType(type));

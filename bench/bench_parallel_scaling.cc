@@ -1,8 +1,9 @@
 // Parallel-scaling trend line for the execution layer: online-phase
 // wall-clock at 1/2/4/8 worker threads on the Figure 12 scalability
-// dataset (largest setting: 400k facts, N=3, M=15, s=0.1), plus a
-// multi-CFS variant (same volume spread over 16 fact types) that models a
-// multi-tenant workload — the shape CFS-level parallelism is built for.
+// dataset (largest setting: 400k facts, N=3, M=15, s=0.1) — unsharded and
+// with within-CFS fact-id-range sharding — plus a multi-CFS variant (same
+// volume spread over 16 fact types) that models a multi-tenant workload,
+// the shape CFS-level parallelism is built for.
 //
 // Results are bit-identical at every thread count (see tests/exec_test.cc);
 // this bench reports only wall-clock and speedup. Speedup is bounded by the
@@ -26,7 +27,7 @@ struct RunResult {
   size_t num_evaluated = 0;
 };
 
-RunResult RunOnce(size_t facts, size_t types, size_t threads) {
+RunResult RunOnce(size_t facts, size_t types, size_t threads, size_t shards) {
   SyntheticOptions sopts;
   sopts.num_facts = facts;
   sopts.dim_cardinality.assign(3, 100);
@@ -39,6 +40,7 @@ RunResult RunOnce(size_t facts, size_t types, size_t threads) {
   options.cfs.min_size = 100;
   options.enumeration.max_dims = 3;
   options.num_threads = threads;
+  options.num_shards = shards;
   Spade spade(graph.get(), options);
   if (!spade.RunOffline().ok()) std::exit(1);
   if (!spade.RunOnline().ok()) std::exit(1);
@@ -49,13 +51,19 @@ RunResult RunOnce(size_t facts, size_t types, size_t threads) {
   return r;
 }
 
-void Scale(const char* label, size_t facts, size_t types) {
+/// `shards`: within-CFS fact-range shards (0 = auto, one per thread;
+/// 1 = unsharded). Results are bit-identical either way; only wall-clock
+/// moves.
+void Scale(const char* label, size_t facts, size_t types, size_t shards) {
   std::cout << "-- " << label << ": " << facts << " facts, " << types
-            << " fact type(s) --\n";
+            << " fact type(s), "
+            << (shards == 0 ? std::string("shards=threads")
+                            : std::to_string(shards) + " shard(s)")
+            << " --\n";
   TablePrinter table({"threads", "online ms", "speedup", "#CFS", "#A eval"});
   double base = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
-    RunResult r = RunOnce(facts, types, threads);
+    RunResult r = RunOnce(facts, types, threads, shards);
     if (threads == 1) base = r.online_wall_ms;
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
@@ -84,10 +92,15 @@ int main(int argc, char** argv) {
   std::cout << "== Parallel scaling of the online phase ("
             << spade::ThreadPool::HardwareConcurrency()
             << " hardware threads on this machine) ==\n\n";
-  // Figure 12's largest single-CFS setting: within-CFS parallelism only
-  // (per-lattice pre-builds), so this is the pessimistic line.
-  spade::bench::Scale("Fig. 12 largest (single CFS)", facts, 1);
-  // Multi-tenant shape: one shard per CFS, embarrassingly parallel.
-  spade::bench::Scale("multi-CFS", facts, types);
+  // Figure 12's largest single-CFS setting, unsharded: within-CFS
+  // parallelism is limited to the per-lattice pre-builds, so this is the
+  // pessimistic line.
+  spade::bench::Scale("Fig. 12 largest (single CFS, unsharded)", facts, 1, 1);
+  // The same single CFS with fact-id-range sharding: encoding, translation
+  // and measure loading fan out across one shard per worker and merge back
+  // exactly — the within-CFS line sharded stores were built for.
+  spade::bench::Scale("Fig. 12 largest (single CFS, sharded)", facts, 1, 0);
+  // Multi-tenant shape: one ARM shard per CFS, embarrassingly parallel.
+  spade::bench::Scale("multi-CFS", facts, types, 1);
   return 0;
 }

@@ -1,0 +1,170 @@
+// Micro-benchmark of the storage refactor: the old row-pair layout
+// (vector<pair<subject, object>>, binary-searched, allocating per lookup)
+// against the columnar CSR layout (subject column + offsets + object
+// column, span accessors) on a synthetic attribute table.
+//
+// Three access patterns, the ones the pipeline actually runs:
+//   full scan        — offline statistics, derivations (every row once)
+//   merge join       — encoding / measure loading / online stats against a
+//                      sorted CFS member list (50% selectivity here)
+//   point lookups    — path derivation's ValuesOf(mid) probes
+//
+// Usage: bench_store_scan [--subjects=N] [--values-per-subject=K] [--reps=R]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/store/attribute_store.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+namespace spade {
+namespace bench {
+namespace {
+
+/// The pre-refactor layout, kept here as the baseline under test.
+struct RowPairTable {
+  std::vector<std::pair<TermId, TermId>> rows;  // sorted by (subject, object)
+
+  std::vector<TermId> ValuesOf(TermId subject) const {
+    std::vector<TermId> out;
+    auto lo = std::lower_bound(rows.begin(), rows.end(),
+                               std::make_pair(subject, TermId(0)));
+    for (auto it = lo; it != rows.end() && it->first == subject; ++it) {
+      out.push_back(it->second);
+    }
+    return out;
+  }
+};
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spade
+
+int main(int argc, char** argv) {
+  using namespace spade;
+  size_t num_subjects = 200000;
+  size_t values_per_subject = 4;
+  size_t reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--subjects=", 11) == 0) {
+      num_subjects = static_cast<size_t>(std::atoll(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--values-per-subject=", 21) == 0) {
+      values_per_subject = static_cast<size_t>(std::atoll(argv[i] + 21));
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = static_cast<size_t>(std::atoll(argv[i] + 7));
+    }
+  }
+
+  // Synthetic table: subjects 2, 4, 6, ... (gaps model non-CFS nodes),
+  // `values_per_subject` objects each.
+  std::mt19937_64 rng(42);
+  bench::RowPairTable rows;
+  AttributeTable csr;
+  csr.name = "bench";
+  for (size_t i = 0; i < num_subjects; ++i) {
+    TermId s = static_cast<TermId>(2 * i + 2);
+    for (size_t v = 0; v < values_per_subject; ++v) {
+      TermId o = static_cast<TermId>(rng() % 100000);
+      rows.rows.emplace_back(s, o);
+      csr.AddRow(s, o);
+    }
+  }
+  std::sort(rows.rows.begin(), rows.rows.end());
+  rows.rows.erase(std::unique(rows.rows.begin(), rows.rows.end()),
+                  rows.rows.end());
+  csr.Seal();
+
+  // A sorted "CFS" of every other subject (50% selectivity) for merge joins,
+  // and random probe subjects (half present, half absent) for point lookups.
+  std::vector<TermId> members;
+  for (size_t i = 0; i < num_subjects; i += 2) {
+    members.push_back(static_cast<TermId>(2 * i + 2));
+  }
+  std::vector<TermId> probes;
+  for (size_t i = 0; i < 100000; ++i) {
+    probes.push_back(static_cast<TermId>(rng() % (2 * num_subjects + 2)));
+  }
+
+  std::cout << "== Store scan micro-benchmark: row-pair vs columnar CSR ==\n"
+            << csr.num_rows() << " rows, " << csr.num_subjects()
+            << " subjects, " << values_per_subject << " values/subject, best of "
+            << reps << " reps\n\n";
+
+  uint64_t sink = 0;
+  auto best_of = [&](auto&& fn) {
+    double best = 1e300;
+    for (size_t r = 0; r < reps; ++r) {
+      Timer t;
+      fn();
+      best = std::min(best, t.ElapsedMillis());
+    }
+    return best;
+  };
+
+  // --- Full scan: every (subject, object) pair once.
+  double scan_rows = best_of([&] {
+    for (const auto& [s, o] : rows.rows) sink += s ^ o;
+  });
+  double scan_csr = best_of([&] {
+    csr.ForEachRow([&](TermId s, TermId o) { sink += s ^ o; });
+  });
+  // The tighter columnar idiom: object column only (offline value stats).
+  double scan_csr_col = best_of([&] {
+    for (TermId o : csr.objects()) sink += o;
+  });
+
+  // --- Merge join against the sorted member list.
+  double join_rows = best_of([&] {
+    size_t mi = 0;
+    for (const auto& [s, o] : rows.rows) {
+      while (mi < members.size() && members[mi] < s) ++mi;
+      if (mi == members.size()) break;
+      if (members[mi] != s) continue;
+      sink += o;
+    }
+  });
+  double join_csr = best_of([&] {
+    // The production idiom itself, not a copy of it.
+    ForEachCfsMatch(csr, members, [&](size_t /*mi*/, size_t si) {
+      for (TermId o : csr.values(si)) sink += o;
+    });
+  });
+
+  // --- Point lookups: allocating vector vs zero-allocation span.
+  double probe_rows = best_of([&] {
+    for (TermId p : probes) {
+      for (TermId o : rows.ValuesOf(p)) sink += o;
+    }
+  });
+  double probe_csr = best_of([&] {
+    for (TermId p : probes) {
+      for (TermId o : csr.ValuesOf(p)) sink += o;
+    }
+  });
+
+  TablePrinter table({"access pattern", "row-pair ms", "columnar ms", "speedup"});
+  auto row = [&](const char* label, double old_ms, double new_ms) {
+    table.AddRow({label, bench::Fmt(old_ms), bench::Fmt(new_ms),
+                  bench::Fmt(old_ms / std::max(1e-9, new_ms)) + "x"});
+  };
+  row("full scan (pairs)", scan_rows, scan_csr);
+  row("full scan (object column)", scan_rows, scan_csr_col);
+  row("merge join vs CFS", join_rows, join_csr);
+  row("100k point lookups", probe_rows, probe_csr);
+  table.Print(std::cout);
+  std::cout << "\n(checksum " << sink << ")\n";
+  return 0;
+}

@@ -37,11 +37,11 @@ void Main() {
       CfsIndex index(prep.fact_sets[cfs_id].members);
       for (const auto& spec : prep.lattices[cfs_id]) {
         auto reference =
-            EvaluateReference(prep.spade->database(), cfs_id, index, spec);
-        auto star = EvaluateLatticePgCube(prep.spade->database(), cfs_id,
+            EvaluateReference(prep.spade->store(), cfs_id, index, spec);
+        auto star = EvaluateLatticePgCube(prep.spade->store(), cfs_id,
                                           index, spec, PgCubeVariant::kStar,
                                           nullptr, nullptr);
-        auto dist = EvaluateLatticePgCube(prep.spade->database(), cfs_id,
+        auto dist = EvaluateLatticePgCube(prep.spade->store(), cfs_id,
                                           index, spec,
                                           PgCubeVariant::kDistinct, nullptr,
                                           nullptr);

@@ -86,11 +86,11 @@ int main(int argc, char** argv) {
   int rank = 1;
   for (const auto& insight : *insights) {
     std::cout << "\n#" << rank++ << "  ";
-    spade::RenderInsight(spade.database(), insight, render, std::cout);
+    spade::RenderInsight(spade.store(), insight, render, std::cout);
   }
 
   std::ostringstream csv_export;
-  spade::ExportInsightsCsv(spade.database(), *insights, csv_export);
+  spade::ExportInsightsCsv(spade.store(), *insights, csv_export);
   std::cout << "\nFlattened CSV export of the groups ("
             << csv_export.str().size() << " bytes) ready for a spreadsheet.\n";
   return 0;

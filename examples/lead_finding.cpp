@@ -42,12 +42,12 @@ int main() {
   render.max_rows = 12;
   for (const auto& insight : *insights) {
     std::cout << "\n--- Lead #" << rank++ << " ---\n";
-    spade::RenderInsight(spade.database(), insight, render, std::cout);
+    spade::RenderInsight(spade.store(), insight, render, std::cout);
   }
 
   // Hand the leads to downstream tooling as JSON.
   std::ostringstream json;
-  spade::ExportInsightsJson(spade.database(), *insights,
+  spade::ExportInsightsJson(spade.store(), *insights,
                             options.interestingness, json);
   std::cout << "\nJSON export: " << json.str().size()
             << " bytes (ExportInsightsJson); every lead is also a SPARQL 1.1 "

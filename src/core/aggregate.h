@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "src/sparql/ast.h"
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 
 namespace spade {
 
@@ -80,7 +80,7 @@ struct AggregateResult {
 
 /// Render an MDA's identity for humans: "sum(netWorth) of type:CEO by
 /// nationality, gender".
-std::string DescribeAggregate(const Database& db, const CandidateFactSet& cfs,
+std::string DescribeAggregate(const AttributeStore& db, const CandidateFactSet& cfs,
                               const AggregateKey& key);
 
 }  // namespace spade

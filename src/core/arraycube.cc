@@ -27,7 +27,7 @@ struct ValueCell {
 }  // namespace
 
 std::vector<AggregateResult> EvaluateLatticeArrayCube(
-    const Database& db, uint32_t cfs_id, const CfsIndex& cfs,
+    const AttributeStore& db, uint32_t cfs_id, const CfsIndex& cfs,
     const LatticeSpec& spec, const MvdCubeOptions& options,
     MeasureCache* measures) {
   size_t n = spec.dims.size();

@@ -25,7 +25,7 @@ namespace spade {
 /// Results are returned per (node, measure) with the same group layout as
 /// the reference evaluator, so tests and the error benches can diff them.
 std::vector<AggregateResult> EvaluateLatticeArrayCube(
-    const Database& db, uint32_t cfs_id, const CfsIndex& cfs,
+    const AttributeStore& db, uint32_t cfs_id, const CfsIndex& cfs,
     const LatticeSpec& spec, const MvdCubeOptions& options,
     MeasureCache* measures);
 

@@ -27,7 +27,7 @@ std::vector<CandidateFactSet> SelectCandidateFactSets(
     for (TermId type : graph.AllTypes()) {
       CandidateFactSet cfs;
       cfs.origin = CandidateFactSet::Origin::kType;
-      cfs.name = "type:" + Database::LocalName(graph.dict().Get(type).lexical);
+      cfs.name = "type:" + AttributeStore::LocalName(graph.dict().Get(type).lexical);
       cfs.members = graph.NodesOfType(type);
       cfs.type = type;
       add(std::move(cfs));
@@ -43,7 +43,7 @@ std::vector<CandidateFactSet> SelectCandidateFactSets(
     std::string name = "props:";
     for (TermId p : props) {
       if (name.size() > 6) name += "+";
-      name += Database::LocalName(graph.dict().Get(p).lexical);
+      name += AttributeStore::LocalName(graph.dict().Get(p).lexical);
     }
     cfs.name = name;
     std::vector<TermId> candidates;

@@ -58,7 +58,7 @@ ScoreEstimate EstimateScore(InterestingnessKind kind,
 /// lower bound.
 class EarlyStopPlanner {
  public:
-  EarlyStopPlanner(const Database* db, uint32_t cfs_id, const CfsIndex* cfs,
+  EarlyStopPlanner(const AttributeStore* db, uint32_t cfs_id, const CfsIndex* cfs,
                    const std::vector<AttrStats>* offline,
                    const EarlyStopOptions& options)
       : db_(db), cfs_id_(cfs_id), cfs_(cfs), offline_(offline), options_(options) {}
@@ -99,7 +99,7 @@ class EarlyStopPlanner {
     std::vector<double> scales;
   };
 
-  const Database* db_;
+  const AttributeStore* db_;
   uint32_t cfs_id_;
   const CfsIndex* cfs_;
   const std::vector<AttrStats>* offline_;

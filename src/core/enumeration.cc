@@ -14,13 +14,13 @@ namespace {
 // True when one of the attributes is derived from the other: such a pair may
 // not appear together as dimensions, nor as dimension + measure
 // (e.g. nationality and count(nationality), Section 3 step 3).
-bool DerivationConflict(const Database& db, AttrId a, AttrId b) {
+bool DerivationConflict(const AttributeStore& db, AttrId a, AttrId b) {
   return db.attribute(a).derived_from == b || db.attribute(b).derived_from == a;
 }
 
 }  // namespace
 
-CfsAnalysis AnalyzeAttributes(const Database& db, const CfsIndex& cfs,
+CfsAnalysis AnalyzeAttributes(const AttributeStore& db, const CfsIndex& cfs,
                               const std::vector<AttrStats>& offline,
                               const EnumerationOptions& options) {
   CfsAnalysis analysis;
@@ -48,7 +48,7 @@ CfsAnalysis AnalyzeAttributes(const Database& db, const CfsIndex& cfs,
   return analysis;
 }
 
-std::vector<LatticeSpec> EnumerateLattices(const Database& db,
+std::vector<LatticeSpec> EnumerateLattices(const AttributeStore& db,
                                            const CfsIndex& cfs,
                                            const CfsAnalysis& analysis,
                                            const std::vector<AttrStats>& offline,
@@ -67,19 +67,10 @@ std::vector<LatticeSpec> EnumerateLattices(const Database& db,
   size_t n = cfs.size();
   std::vector<std::vector<int>> transactions(n);
   for (size_t di = 0; di < dim_attrs.size(); ++di) {
-    const AttributeTable& table = db.attribute(dim_attrs[di]);
-    const auto& members = cfs.members();
-    size_t mi = 0;
-    TermId prev = kInvalidTerm;
-    for (const auto& [s, o] : table.rows) {
-      (void)o;
-      if (s == prev) continue;
-      while (mi < members.size() && members[mi] < s) ++mi;
-      if (mi == members.size()) break;
-      if (members[mi] != s) continue;
-      transactions[mi].push_back(static_cast<int>(di));
-      prev = s;
-    }
+    ForEachCfsMatch(db.attribute(dim_attrs[di]), cfs.members(),
+                    [&](size_t mi, size_t /*si*/) {
+                      transactions[mi].push_back(static_cast<int>(di));
+                    });
   }
 
   size_t min_support =
@@ -185,7 +176,7 @@ size_t CountCandidateAggregates(uint32_t cfs_id,
   return keys.size();
 }
 
-std::string DescribeAggregate(const Database& db, const CandidateFactSet& cfs,
+std::string DescribeAggregate(const AttributeStore& db, const CandidateFactSet& cfs,
                               const AggregateKey& key) {
   std::string out;
   if (key.measure.is_count_star()) {

@@ -5,7 +5,7 @@
 
 #include "src/core/aggregate.h"
 #include "src/stats/attr_stats.h"
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 
 namespace spade {
 
@@ -53,7 +53,7 @@ struct CfsAnalysis {
 /// in the CFS is non-zero, and classify candidates as dimension / measure
 /// material. `offline` is the AttrStats array aligned with the database's
 /// attribute ids (kind and global value bounds come from it).
-CfsAnalysis AnalyzeAttributes(const Database& db, const CfsIndex& cfs,
+CfsAnalysis AnalyzeAttributes(const AttributeStore& db, const CfsIndex& cfs,
                               const std::vector<AttrStats>& offline,
                               const EnumerationOptions& options);
 
@@ -64,7 +64,7 @@ CfsAnalysis AnalyzeAttributes(const Database& db, const CfsIndex& cfs,
 ///   (c) measures = good measures minus the dimensions and attributes tied
 ///       to a dimension by derivation; every lattice also carries the
 ///       implicit count-of-facts measure (COUNT(*)).
-std::vector<LatticeSpec> EnumerateLattices(const Database& db,
+std::vector<LatticeSpec> EnumerateLattices(const AttributeStore& db,
                                            const CfsIndex& cfs,
                                            const CfsAnalysis& analysis,
                                            const std::vector<AttrStats>& offline,

@@ -63,7 +63,7 @@ std::string JsonNumber(double v) {
 
 }  // namespace
 
-void ExportInsightsJson(const Database& db, const std::vector<Insight>& insights,
+void ExportInsightsJson(const AttributeStore& db, const std::vector<Insight>& insights,
                         InterestingnessKind kind, std::ostream& os) {
   os << "{\n  \"interestingness\": \"" << InterestingnessName(kind)
      << "\",\n  \"insights\": [";
@@ -112,7 +112,7 @@ void ExportInsightsJson(const Database& db, const std::vector<Insight>& insights
   os << "]\n}\n";
 }
 
-void ExportInsightsCsv(const Database& db, const std::vector<Insight>& insights,
+void ExportInsightsCsv(const AttributeStore& db, const std::vector<Insight>& insights,
                        std::ostream& os) {
   os << "rank,score,cfs,description,group,value\n";
   for (size_t i = 0; i < insights.size(); ++i) {

@@ -15,12 +15,12 @@ namespace spade {
 /// measure / function), the recommended visualization, the SPARQL text, and
 /// the stored group tuples. Dimension values are exported as their labels
 /// plus the raw lexical form.
-void ExportInsightsJson(const Database& db, const std::vector<Insight>& insights,
+void ExportInsightsJson(const AttributeStore& db, const std::vector<Insight>& insights,
                         InterestingnessKind kind, std::ostream& os);
 
 /// One-insight-per-line CSV (rank, score, groups, cfs, description) with the
 /// group tuples flattened out — convenient for spreadsheets.
-void ExportInsightsCsv(const Database& db, const std::vector<Insight>& insights,
+void ExportInsightsCsv(const AttributeStore& db, const std::vector<Insight>& insights,
                        std::ostream& os);
 
 /// Escape a string for inclusion in a JSON document (exposed for tests).

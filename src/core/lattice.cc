@@ -5,40 +5,41 @@
 
 namespace spade {
 
-DimensionEncoding BuildDimensionEncoding(const Database& db, const CfsIndex& cfs,
+DimensionEncoding BuildDimensionEncoding(const AttributeStore& db, const CfsIndex& cfs,
                                          AttrId attr) {
   const AttributeTable& table = db.attribute(attr);
   DimensionEncoding enc;
   enc.attr = attr;
   enc.fact_codes.resize(cfs.size());
 
+  // Record the matched (member, subject-slice) pairs once, reused by both
+  // passes below.
+  std::vector<std::pair<size_t, size_t>> matches;  // (member index, subject index)
+  ForEachCfsMatch(table, cfs.members(), [&](size_t mi, size_t si) {
+    matches.emplace_back(mi, si);
+  });
+
   // Pass 1: distinct values among CFS facts.
-  const auto& members = cfs.members();
-  size_t mi = 0;
   std::vector<TermId> values;
-  for (const auto& [s, o] : table.rows) {
-    while (mi < members.size() && members[mi] < s) ++mi;
-    if (mi == members.size()) break;
-    if (members[mi] != s) continue;
-    values.push_back(o);
+  for (const auto& [mi, si] : matches) {
+    (void)mi;
+    Span<TermId> vals = table.values(si);
+    values.insert(values.end(), vals.begin(), vals.end());
   }
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
   enc.values = std::move(values);
 
-  // Pass 2: per-fact code lists.
-  mi = 0;
-  for (const auto& [s, o] : table.rows) {
-    while (mi < members.size() && members[mi] < s) ++mi;
-    if (mi == members.size()) break;
-    if (members[mi] != s) continue;
-    auto it = std::lower_bound(enc.values.begin(), enc.values.end(), o);
-    enc.fact_codes[mi].push_back(
-        static_cast<int32_t>(it - enc.values.begin()));
-  }
-  for (auto& codes : enc.fact_codes) {
-    std::sort(codes.begin(), codes.end());
-    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  // Pass 2: per-fact code lists (value slices are sorted and deduplicated,
+  // so the code lists come out sorted and unique directly).
+  for (const auto& [mi, si] : matches) {
+    std::vector<int32_t>& codes = enc.fact_codes[mi];
+    Span<TermId> vals = table.values(si);
+    codes.reserve(vals.size());
+    for (TermId o : vals) {
+      auto it = std::lower_bound(enc.values.begin(), enc.values.end(), o);
+      codes.push_back(static_cast<int32_t>(it - enc.values.begin()));
+    }
     if (codes.size() >= 2) ++enc.num_multi_facts;
   }
   return enc;
@@ -230,6 +231,9 @@ Translation TranslateData(const std::vector<DimensionEncoding>& dims,
   size_t n = dims.size();
   out.partitions.resize(layout.num_partitions);
   size_t num_facts = n == 0 ? 0 : dims[0].fact_codes.size();
+  FactId begin = options.fact_begin;
+  FactId end = static_cast<FactId>(
+      std::min<size_t>(options.fact_end, num_facts));
 
   std::vector<const std::vector<int32_t>*> lists(n);
   std::vector<int32_t> null_list_storage;
@@ -237,7 +241,7 @@ Translation TranslateData(const std::vector<DimensionEncoding>& dims,
   std::vector<int32_t> coords(n);
   std::vector<int> chunk_coords(n);
 
-  for (FactId fact = 0; fact < num_facts; ++fact) {
+  for (FactId fact = begin; fact < end; ++fact) {
     bool any_value = false;
     size_t combos = 1;
     static const std::vector<int32_t> kEmpty;
@@ -296,6 +300,32 @@ Translation TranslateData(const std::vector<DimensionEncoding>& dims,
   fact_done:;
   }
   (void)null_list_storage;
+  return out;
+}
+
+Translation MergeShardTranslations(std::vector<Translation> shards) {
+  if (shards.empty()) return Translation();
+  Translation out = std::move(shards[0]);
+  for (size_t s = 1; s < shards.size(); ++s) {
+    Translation& shard = shards[s];
+    if (shard.partitions.size() > out.partitions.size()) {
+      out.partitions.resize(shard.partitions.size());
+    }
+    for (size_t p = 0; p < shard.partitions.size(); ++p) {
+      auto& dst = out.partitions[p];
+      auto& src = shard.partitions[p];
+      if (dst.empty()) {
+        dst = std::move(src);
+      } else {
+        dst.insert(dst.end(), src.begin(), src.end());
+      }
+    }
+    for (const auto& [cell, count] : shard.root_group_count) {
+      out.root_group_count[cell] += count;
+    }
+    out.num_facts_translated += shard.num_facts_translated;
+    out.num_dropped_combos += shard.num_dropped_combos;
+  }
   return out;
 }
 

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/core/aggregate.h"
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 #include "src/util/rng.h"
 
 namespace spade {
@@ -32,7 +32,7 @@ struct DimensionEncoding {
 };
 
 /// Build the encoding of `attr` over `cfs`.
-DimensionEncoding BuildDimensionEncoding(const Database& db, const CfsIndex& cfs,
+DimensionEncoding BuildDimensionEncoding(const AttributeStore& db, const CfsIndex& cfs,
                                          AttrId attr);
 
 /// \brief Physical layout of the multidimensional space: a dimension order
@@ -132,6 +132,12 @@ struct TranslationOptions {
   /// Reservoir capacity per root group; 0 disables sampling.
   size_t sample_capacity = 0;
   Rng* rng = nullptr;  ///< required when sample_capacity > 0
+  /// Half-open fact-id range to translate; facts outside it are ignored.
+  /// {0, kInvalidFact} (the default) means every fact. Sharded evaluation
+  /// translates each range on its own worker; sampling is incompatible with
+  /// ranges (the reservoir RNG stream is sequential across all facts).
+  FactId fact_begin = 0;
+  FactId fact_end = kInvalidFact;
 };
 
 /// Translate the CFS facts into the partitioned array representation. A fact
@@ -140,6 +146,14 @@ struct TranslationOptions {
 Translation TranslateData(const std::vector<DimensionEncoding>& dims,
                           const CubeLayout& layout,
                           const TranslationOptions& options);
+
+/// Merge per-shard translations of ascending, disjoint fact ranges into the
+/// translation of the whole CFS — exactly. Partition vectors concatenate in
+/// shard order (each shard emits its facts in ascending order, so the
+/// concatenation reproduces the unsharded fact-major order bit for bit);
+/// root-group counts add; the scalar counters add. Sampling reservoirs are
+/// not merged (sharded translation never samples). Consumes `shards`.
+Translation MergeShardTranslations(std::vector<Translation> shards);
 
 /// \brief Generic one-pass lattice evaluation engine.
 ///

@@ -8,7 +8,7 @@
 
 namespace spade {
 
-const MeasureVector& MeasureCache::Get(const Database& db, const CfsIndex& cfs,
+const MeasureVector& MeasureCache::Get(const AttributeStore& db, const CfsIndex& cfs,
                                        AttrId attr) {
   auto it = cache_.find(attr);
   if (it != cache_.end()) return it->second;
@@ -16,7 +16,11 @@ const MeasureVector& MeasureCache::Get(const Database& db, const CfsIndex& cfs,
   return ins->second;
 }
 
-Mmst BuildMmstForSpec(const Database& db, const CfsIndex& cfs,
+void MeasureCache::Put(AttrId attr, MeasureVector mv) {
+  cache_.emplace(attr, std::move(mv));
+}
+
+Mmst BuildMmstForSpec(const AttributeStore& db, const CfsIndex& cfs,
                       const LatticeSpec& spec,
                       std::vector<DimensionEncoding>* encodings,
                       int partition_chunk) {
@@ -46,7 +50,7 @@ struct NodeMda {
 
 }  // namespace
 
-MvdCubeStats EvaluateLatticeMvd(const Database& db, uint32_t cfs_id,
+MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
                                 const CfsIndex& cfs, const LatticeSpec& spec,
                                 const MvdCubeOptions& options, Arm* arm,
                                 MeasureCache* measures,

@@ -18,7 +18,10 @@ namespace spade {
 /// nodes shared between lattices, enforced via the ARM).
 class MeasureCache {
  public:
-  const MeasureVector& Get(const Database& db, const CfsIndex& cfs, AttrId attr);
+  const MeasureVector& Get(const AttributeStore& db, const CfsIndex& cfs, AttrId attr);
+  /// Insert a pre-built vector (the sharded evaluator fills measure vectors
+  /// shard-parallel in Prepare). First writer wins, like Get.
+  void Put(AttrId attr, MeasureVector mv);
   size_t num_loads() const { return cache_.size(); }
 
  private:
@@ -65,7 +68,7 @@ struct MvdCubeStats {
 /// `pruned` contains MDA keys early-stop decided to skip (their nodes still
 /// propagate). Results stream into `arm`; keys already evaluated there are
 /// reused, not recomputed.
-MvdCubeStats EvaluateLatticeMvd(const Database& db, uint32_t cfs_id,
+MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
                                 const CfsIndex& cfs, const LatticeSpec& spec,
                                 const MvdCubeOptions& options, Arm* arm,
                                 MeasureCache* measures,
@@ -77,7 +80,7 @@ MvdCubeStats EvaluateLatticeMvd(const Database& db, uint32_t cfs_id,
 
 /// Build the MMST for a lattice spec (exposed so early-stop and benches can
 /// share one instance with the evaluation).
-Mmst BuildMmstForSpec(const Database& db, const CfsIndex& cfs,
+Mmst BuildMmstForSpec(const AttributeStore& db, const CfsIndex& cfs,
                       const LatticeSpec& spec,
                       std::vector<DimensionEncoding>* encodings,
                       int partition_chunk);

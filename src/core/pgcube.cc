@@ -26,7 +26,7 @@ struct PgAcc {
 
 }  // namespace
 
-std::vector<AggregateResult> EvaluateLatticePgCube(const Database& db,
+std::vector<AggregateResult> EvaluateLatticePgCube(const AttributeStore& db,
                                                    uint32_t cfs_id,
                                                    const CfsIndex& cfs,
                                                    const LatticeSpec& spec,

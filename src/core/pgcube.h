@@ -48,7 +48,7 @@ struct PgCubeStats {
 /// stream into it (keys already present are recomputed but not re-added,
 /// mirroring ARM-side dedup of result storage); the full per-node results
 /// are also returned for error measurement.
-std::vector<AggregateResult> EvaluateLatticePgCube(const Database& db,
+std::vector<AggregateResult> EvaluateLatticePgCube(const AttributeStore& db,
                                                    uint32_t cfs_id,
                                                    const CfsIndex& cfs,
                                                    const LatticeSpec& spec,

@@ -33,9 +33,9 @@ VisualizationKind RecommendVisualization(const AggregateKey& key) {
   }
 }
 
-std::string ValueLabel(const Database& db, TermId term) {
+std::string ValueLabel(const AttributeStore& db, TermId term) {
   const Term& t = db.graph().dict().Get(term);
-  std::string label = t.kind == TermKind::kIri ? Database::LocalName(t.lexical)
+  std::string label = t.kind == TermKind::kIri ? AttributeStore::LocalName(t.lexical)
                                                : t.lexical;
   return label.empty() ? "(empty)" : label;
 }
@@ -51,7 +51,7 @@ std::string Num(double v) { return FormatDouble(v, 4); }
 
 }  // namespace
 
-void RenderHistogram(const Database& db, const Insight& insight,
+void RenderHistogram(const AttributeStore& db, const Insight& insight,
                      const RenderOptions& options, std::ostream& os) {
   const auto& groups = insight.ranked.groups;
   if (groups.empty()) {
@@ -81,7 +81,7 @@ void RenderHistogram(const Database& db, const Insight& insight,
   }
 }
 
-void RenderHeatMap(const Database& db, const Insight& insight,
+void RenderHeatMap(const AttributeStore& db, const Insight& insight,
                    const RenderOptions& options, std::ostream& os) {
   const auto& groups = insight.ranked.groups;
   if (groups.empty()) {
@@ -139,7 +139,7 @@ void RenderHeatMap(const Database& db, const Insight& insight,
   os << "  scale: '.' = " << Num(min_v) << "  '#' = " << Num(max_v) << "\n";
 }
 
-void RenderTable(const Database& db, const Insight& insight,
+void RenderTable(const AttributeStore& db, const Insight& insight,
                  const RenderOptions& options, std::ostream& os) {
   const auto& groups = insight.ranked.groups;
   size_t shown = std::min(groups.size(), options.max_rows);
@@ -157,7 +157,7 @@ void RenderTable(const Database& db, const Insight& insight,
   }
 }
 
-void RenderInsight(const Database& db, const Insight& insight,
+void RenderInsight(const AttributeStore& db, const Insight& insight,
                    const RenderOptions& options, std::ostream& os) {
   VisualizationKind kind = RecommendVisualization(insight.ranked.key);
   os << insight.description << "  [score " << Num(insight.ranked.score) << ", "

@@ -33,19 +33,19 @@ struct RenderOptions {
 /// Render one insight as text: histogram, heat map (value-shaded grid), or
 /// table, per RecommendVisualization. `db` resolves dimension value terms to
 /// labels. Groups beyond the caps are summarized, never silently dropped.
-void RenderInsight(const Database& db, const Insight& insight,
+void RenderInsight(const AttributeStore& db, const Insight& insight,
                    const RenderOptions& options, std::ostream& os);
 
 /// Individual renderers (exposed for tests).
-void RenderHistogram(const Database& db, const Insight& insight,
+void RenderHistogram(const AttributeStore& db, const Insight& insight,
                      const RenderOptions& options, std::ostream& os);
-void RenderHeatMap(const Database& db, const Insight& insight,
+void RenderHeatMap(const AttributeStore& db, const Insight& insight,
                    const RenderOptions& options, std::ostream& os);
-void RenderTable(const Database& db, const Insight& insight,
+void RenderTable(const AttributeStore& db, const Insight& insight,
                  const RenderOptions& options, std::ostream& os);
 
 /// Human-readable label of a dimension value term.
-std::string ValueLabel(const Database& db, TermId term);
+std::string ValueLabel(const AttributeStore& db, TermId term);
 
 }  // namespace spade
 

@@ -45,7 +45,7 @@ void SortGroups(AggregateResult* result) {
             });
 }
 
-std::vector<AggregateResult> EvaluateReference(const Database& db,
+std::vector<AggregateResult> EvaluateReference(const AttributeStore& db,
                                                uint32_t cfs_id,
                                                const CfsIndex& cfs,
                                                const LatticeSpec& spec) {
@@ -63,7 +63,7 @@ std::vector<AggregateResult> EvaluateReference(const Database& db,
   return out;
 }
 
-AggregateResult EvaluateReferenceNode(const Database& db, uint32_t cfs_id,
+AggregateResult EvaluateReferenceNode(const AttributeStore& db, uint32_t cfs_id,
                                       const CfsIndex& cfs,
                                       const LatticeSpec& spec,
                                       const std::vector<AttrId>& dims,

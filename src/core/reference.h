@@ -25,13 +25,13 @@ namespace spade {
 ///
 /// Results are returned per node mask (bit i = spec.dims[i]) and measure, as
 /// sorted group lists so that algorithm outputs can be compared exactly.
-std::vector<AggregateResult> EvaluateReference(const Database& db,
+std::vector<AggregateResult> EvaluateReference(const AttributeStore& db,
                                                uint32_t cfs_id,
                                                const CfsIndex& cfs,
                                                const LatticeSpec& spec);
 
 /// Evaluate a single node (dims must be a subset of spec.dims).
-AggregateResult EvaluateReferenceNode(const Database& db, uint32_t cfs_id,
+AggregateResult EvaluateReferenceNode(const AttributeStore& db, uint32_t cfs_id,
                                       const CfsIndex& cfs,
                                       const LatticeSpec& spec,
                                       const std::vector<AttrId>& dims,

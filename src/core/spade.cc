@@ -6,6 +6,18 @@
 
 namespace spade {
 
+namespace {
+
+/// Element-wise add of per-shard fact counts into a report's vector,
+/// growing it to the longer length. The one definition both merge sites
+/// (per-CFS EvalStats -> partial report, partial -> total) share.
+void MergeShardCounts(const std::vector<size_t>& src, std::vector<size_t>* dst) {
+  if (dst->size() < src.size()) dst->resize(src.size());
+  for (size_t s = 0; s < src.size(); ++s) (*dst)[s] += src[s];
+}
+
+}  // namespace
+
 Spade::Spade(Graph* graph, SpadeOptions options)
     : graph_(graph), options_(std::move(options)) {
   arm_ = std::make_unique<Arm>(options_.max_stored_groups);
@@ -24,7 +36,7 @@ Status Spade::RunOffline() {
   report_.timings.summary_ms = timer.ElapsedMillis();
   timer.Restart();
 
-  db_ = std::make_unique<Database>(graph_);
+  db_ = std::make_unique<AttributeStore>(graph_);
   db_->BuildDirectAttributes();
   report_.num_direct_properties = db_->num_attributes();
   report_.timings.attribute_tables_ms = timer.ElapsedMillis();
@@ -52,8 +64,8 @@ Status Spade::RunOffline() {
   return Status::OK();
 }
 
-void Spade::RunOnlineCfs(uint32_t cfs_id, Arm* arm, TaskScheduler* scheduler,
-                         SpadeReport* report) {
+void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards, Arm* arm,
+                         TaskScheduler* scheduler, SpadeReport* report) {
   CfsIndex index(fact_sets_[cfs_id].members);
 
   // Step 2: Online Attribute Analysis.
@@ -80,6 +92,7 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, Arm* arm, TaskScheduler* scheduler,
   eval_options.interestingness = options_.interestingness;
   eval_options.top_k = options_.top_k;
   eval_options.seed = options_.seed;
+  eval_options.num_shards = num_shards;
   std::unique_ptr<CubeEvaluator> evaluator = MakeCubeEvaluator(eval_options);
 
   CubeEvalInputs inputs;
@@ -96,6 +109,8 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, Arm* arm, TaskScheduler* scheduler,
   report->num_groups_emitted += stats.num_groups_emitted;
   report->timings.earlystop_ms += stats.earlystop_ms;
   report->timings.evaluation_ms += step.ElapsedMillis();
+  report->shard_merge_ms += stats.shard_merge_ms;
+  MergeShardCounts(stats.shard_fact_counts, &report->shard_fact_counts);
 }
 
 namespace {
@@ -110,6 +125,8 @@ void MergeCfsReport(const SpadeReport& cfs, SpadeReport* total) {
   total->num_reused_aggregates += cfs.num_reused_aggregates;
   total->num_pruned_aggregates += cfs.num_pruned_aggregates;
   total->num_groups_emitted += cfs.num_groups_emitted;
+  total->shard_merge_ms += cfs.shard_merge_ms;
+  MergeShardCounts(cfs.shard_fact_counts, &total->shard_fact_counts);
   total->timings.attribute_analysis_ms += cfs.timings.attribute_analysis_ms;
   total->timings.enumeration_ms += cfs.timings.enumeration_ms;
   total->timings.earlystop_ms += cfs.timings.earlystop_ms;
@@ -139,6 +156,15 @@ Result<std::vector<Insight>> Spade::RunOnline() {
                            ? ThreadPool::HardwareConcurrency()
                            : options_.num_threads;
   report_.num_threads_used = num_threads;
+  // Within-CFS sharding: auto means one shard per worker, so a lone large
+  // CFS can still occupy the whole pool. Results are bit-identical at every
+  // shard count, so the resolution only affects wall-clock. Ineligible
+  // configurations resolve to 1 (same rule the factory dispatches on), so
+  // the report never claims sharding that did not run.
+  size_t num_shards = ResolveShardCount(options_.algorithm,
+                                        options_.enable_earlystop,
+                                        options_.num_shards, num_threads);
+  report_.num_shards_used = num_shards;
   uint32_t num_cfs = static_cast<uint32_t>(fact_sets_.size());
 
   // One code path for both modes: a null pool makes the scheduler run every
@@ -152,8 +178,8 @@ Result<std::vector<Insight>> Spade::RunOnline() {
   std::vector<Arm> shards(num_cfs, Arm(options_.max_stored_groups));
   std::vector<SpadeReport> partials(num_cfs);
   scheduler.ParallelFor(num_cfs, [&](size_t cfs_id) {
-    RunOnlineCfs(static_cast<uint32_t>(cfs_id), &shards[cfs_id], &scheduler,
-                 &partials[cfs_id]);
+    RunOnlineCfs(static_cast<uint32_t>(cfs_id), num_shards, &shards[cfs_id],
+                 &scheduler, &partials[cfs_id]);
   });
   for (uint32_t cfs_id = 0; cfs_id < num_cfs; ++cfs_id) {
     MergeCfsReport(partials[cfs_id], &report_);

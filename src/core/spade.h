@@ -41,6 +41,12 @@ struct SpadeOptions {
   /// Results (top-k insights, aggregate counts) are identical at every
   /// setting; only wall-clock changes.
   size_t num_threads = 1;
+  /// Fact-id-range shards evaluating one CFS concurrently: 0 = auto (one
+  /// shard per resolved worker thread), 1 = unsharded, N = exactly N.
+  /// Sharding applies to the MVDCube path without early-stop; other
+  /// configurations fall back to unsharded evaluation. Results are
+  /// bit-identical at every shard count (see ARCHITECTURE.md).
+  size_t num_shards = 0;
 };
 
 /// Wall-clock per pipeline step (Figure 11's stacked bars).
@@ -87,6 +93,12 @@ struct SpadeReport {
   size_t num_pruned_aggregates = 0;
   size_t num_groups_emitted = 0;  ///< group tuples streamed into the ARM
   size_t num_threads_used = 1;    ///< resolved online-phase worker count
+  size_t num_shards_used = 1;     ///< resolved within-CFS shard count
+  /// Facts owned by each fact-id-range shard, summed over all sharded CFS
+  /// evaluations (empty when every CFS ran unsharded).
+  std::vector<size_t> shard_fact_counts;
+  /// Work time spent merging per-shard partial translations (all CFSs).
+  double shard_merge_ms = 0;
   SpadeTimings timings;
 };
 
@@ -112,8 +124,8 @@ class Spade {
   Result<std::vector<Insight>> RunOnline();
 
   const SpadeReport& report() const { return report_; }
-  const Database& database() const { return *db_; }
-  Database* mutable_database() { return db_.get(); }
+  const AttributeStore& store() const { return *db_; }
+  AttributeStore* mutable_store() { return db_.get(); }
   const std::vector<CandidateFactSet>& fact_sets() const { return fact_sets_; }
   const Arm& arm() const { return *arm_; }
   const std::vector<AttrStats>& offline_stats() const { return offline_stats_; }
@@ -127,13 +139,14 @@ class Spade {
  private:
   /// Steps 2-4 for one CFS: attribute analysis, enumeration, evaluation into
   /// `arm` (a per-CFS shard in parallel mode, the global ARM when serial).
+  /// `num_shards` is the resolved within-CFS shard count (>= 1).
   /// Timing/count deltas go to `report` (merged under the caller's control).
-  void RunOnlineCfs(uint32_t cfs_id, Arm* arm, TaskScheduler* scheduler,
-                    SpadeReport* report);
+  void RunOnlineCfs(uint32_t cfs_id, size_t num_shards, Arm* arm,
+                    TaskScheduler* scheduler, SpadeReport* report);
 
   Graph* graph_;
   SpadeOptions options_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<AttributeStore> db_;
   StructuralSummary summary_;
   std::vector<AttrStats> offline_stats_;
   std::vector<CandidateFactSet> fact_sets_;

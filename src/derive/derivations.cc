@@ -98,7 +98,7 @@ std::string DetectLanguage(const std::string& text) {
   return best == nullptr ? "" : best->name;
 }
 
-size_t DeriveCounts(Database* db, const std::vector<AttrStats>& stats,
+size_t DeriveCounts(AttributeStore* db, const std::vector<AttrStats>& stats,
                     const DerivationOptions& /*options*/) {
   size_t added = 0;
   Dictionary& dict = *db->mutable_dict();
@@ -110,28 +110,18 @@ size_t DeriveCounts(Database* db, const std::vector<AttrStats>& stats,
     table.name = "count(" + src.name + ")";
     table.origin = AttrOrigin::kCount;
     table.derived_from = a;
-    TermId prev = kInvalidTerm;
-    size_t run = 0;
-    auto close = [&]() {
-      if (run > 0) table.rows.emplace_back(prev, dict.InternInteger(static_cast<int64_t>(run)));
-    };
-    for (const auto& [s, o] : src.rows) {
-      (void)o;
-      if (s != prev) {
-        close();
-        prev = s;
-        run = 0;
-      }
-      ++run;
+    // The CSR offsets are exactly the per-subject value counts.
+    for (size_t i = 0; i < src.num_subjects(); ++i) {
+      table.AddRow(src.subject(i),
+                   dict.InternInteger(static_cast<int64_t>(src.values(i).size())));
     }
-    close();
     db->AddAttribute(std::move(table));
     ++added;
   }
   return added;
 }
 
-size_t DeriveKeywords(Database* db, const std::vector<AttrStats>& stats,
+size_t DeriveKeywords(AttributeStore* db, const std::vector<AttrStats>& stats,
                       const DerivationOptions& options) {
   size_t added = 0;
   Dictionary& dict = *db->mutable_dict();
@@ -146,24 +136,28 @@ size_t DeriveKeywords(Database* db, const std::vector<AttrStats>& stats,
     table.name = "kwIn(" + src.name + ")";
     table.origin = AttrOrigin::kKeyword;
     table.derived_from = a;
-    for (const auto& [s, o] : src.rows) {
-      const Term& term = dict.Get(o);
-      if (term.kind != TermKind::kLiteral) continue;
-      for (const std::string& kw :
-           ExtractKeywords(term.lexical, options.min_keyword_length)) {
-        table.rows.emplace_back(s, dict.InternString(kw));
-        if (table.rows.size() >= options.max_keyword_rows) break;
+    for (size_t i = 0; i < src.num_subjects(); ++i) {
+      TermId s = src.subject(i);
+      for (TermId o : src.values(i)) {
+        const Term& term = dict.Get(o);
+        if (term.kind != TermKind::kLiteral) continue;
+        for (const std::string& kw :
+             ExtractKeywords(term.lexical, options.min_keyword_length)) {
+          table.AddRow(s, dict.InternString(kw));
+          if (table.num_staged() >= options.max_keyword_rows) break;
+        }
+        if (table.num_staged() >= options.max_keyword_rows) break;
       }
-      if (table.rows.size() >= options.max_keyword_rows) break;
+      if (table.num_staged() >= options.max_keyword_rows) break;
     }
-    if (table.rows.empty()) continue;
+    if (table.num_staged() == 0) continue;
     db->AddAttribute(std::move(table));
     ++added;
   }
   return added;
 }
 
-size_t DeriveLanguages(Database* db, const std::vector<AttrStats>& stats,
+size_t DeriveLanguages(AttributeStore* db, const std::vector<AttrStats>& stats,
                        const DerivationOptions& options) {
   size_t added = 0;
   Dictionary& dict = *db->mutable_dict();
@@ -178,9 +172,9 @@ size_t DeriveLanguages(Database* db, const std::vector<AttrStats>& stats,
     table.name = "langOf(" + src.name + ")";
     table.origin = AttrOrigin::kLanguage;
     table.derived_from = a;
-    for (const auto& [s, o] : src.rows) {
+    src.ForEachRow([&](TermId s, TermId o) {
       const Term& term = dict.Get(o);
-      if (term.kind != TermKind::kLiteral) continue;
+      if (term.kind != TermKind::kLiteral) return;
       std::string lang;
       if (!term.language.empty()) {
         // Explicit language tags beat detection.
@@ -192,31 +186,26 @@ size_t DeriveLanguages(Database* db, const std::vector<AttrStats>& stats,
       } else {
         lang = DetectLanguage(term.lexical);
       }
-      if (lang.empty()) continue;
-      table.rows.emplace_back(s, dict.InternString(lang));
-    }
-    if (table.rows.empty()) continue;
+      if (lang.empty()) return;
+      table.AddRow(s, dict.InternString(lang));
+    });
+    if (table.num_staged() == 0) continue;
     db->AddAttribute(std::move(table));
     ++added;
   }
   return added;
 }
 
-size_t DerivePaths(Database* db, const std::vector<AttrStats>& stats,
+size_t DerivePaths(AttributeStore* db, const std::vector<AttrStats>& stats,
                    const DerivationOptions& options) {
   size_t added = 0;
   std::vector<AttrId> direct = db->DirectAttributes();
 
-  // Index: for each direct attribute p2, the set of its subjects (sorted).
-  std::map<AttrId, std::vector<TermId>> subjects;
-  for (AttrId a : direct) subjects[a] = db->attribute(a).Subjects();
-
   for (AttrId p1 : direct) {
     if (p1 >= stats.size() || stats[p1].kind != ValueKind::kReference) continue;
-    // Copy: AddAttribute below reallocates the registry, invalidating any
-    // reference into it.
-    const std::vector<std::pair<TermId, TermId>> t1_rows = db->attribute(p1).rows;
-    const std::string t1_name = db->attribute(p1).name;
+    // References into the registry stay valid across AddAttribute (the store
+    // keeps tables in a deque), so no defensive copy of t1 is needed.
+    const AttributeTable& t1 = db->attribute(p1);
     for (AttrId p2 : direct) {
       if (added >= options.max_path_attrs) return added;
       if (p2 == p1) {
@@ -224,32 +213,35 @@ size_t DerivePaths(Database* db, const std::vector<AttrStats>& stats,
         // the paper's length-1 path enumeration over distinct properties.
         continue;
       }
-      const std::vector<TermId>& subj2 = subjects[p2];
+      const AttributeTable& t2 = db->attribute(p2);
+      Span<TermId> subj2 = t2.subjects();
       if (subj2.empty()) continue;
       // How many p1 values continue with p2?
       size_t continuing = 0;
-      for (const auto& [s, o] : t1_rows) {
-        (void)s;
+      for (TermId o : t1.objects()) {
         if (std::binary_search(subj2.begin(), subj2.end(), o)) ++continuing;
       }
       if (continuing == 0 ||
           static_cast<double>(continuing) < options.min_path_continuation *
-                                                static_cast<double>(t1_rows.size())) {
+                                                static_cast<double>(t1.num_rows())) {
         continue;
       }
-      const AttributeTable& t2 = db->attribute(p2);
       AttributeTable table;
-      table.name = t1_name + "/" + t2.name;
+      table.name = t1.name + "/" + t2.name;
       table.origin = AttrOrigin::kPath;
       table.derived_from = p1;
-      for (const auto& [s, mid] : t1_rows) {
-        for (TermId o2 : t2.ValuesOf(mid)) {
-          table.rows.emplace_back(s, o2);
-          if (table.rows.size() >= options.max_path_rows) break;
+      for (size_t i = 0; i < t1.num_subjects(); ++i) {
+        TermId s = t1.subject(i);
+        for (TermId mid : t1.values(i)) {
+          for (TermId o2 : t2.ValuesOf(mid)) {
+            table.AddRow(s, o2);
+            if (table.num_staged() >= options.max_path_rows) break;
+          }
+          if (table.num_staged() >= options.max_path_rows) break;
         }
-        if (table.rows.size() >= options.max_path_rows) break;
+        if (table.num_staged() >= options.max_path_rows) break;
       }
-      if (table.rows.empty()) continue;
+      if (table.num_staged() == 0) continue;
       db->AddAttribute(std::move(table));
       ++added;
     }
@@ -257,7 +249,7 @@ size_t DerivePaths(Database* db, const std::vector<AttrStats>& stats,
   return added;
 }
 
-DerivationReport DeriveAll(Database* db, const std::vector<AttrStats>& stats,
+DerivationReport DeriveAll(AttributeStore* db, const std::vector<AttrStats>& stats,
                            const DerivationOptions& options) {
   DerivationReport report;
   if (options.enable_counts) {

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "src/stats/attr_stats.h"
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 
 namespace spade {
 
@@ -49,17 +49,17 @@ struct DerivationReport {
 /// Run every enabled derivation over the database's *direct* attributes,
 /// using their offline statistics (parallel array indexed by AttrId covering
 /// at least the direct attributes). New attributes are registered in `db`.
-DerivationReport DeriveAll(Database* db, const std::vector<AttrStats>& stats,
+DerivationReport DeriveAll(AttributeStore* db, const std::vector<AttrStats>& stats,
                            const DerivationOptions& options);
 
 /// Individual strategies (exposed for focused tests).
-size_t DeriveCounts(Database* db, const std::vector<AttrStats>& stats,
+size_t DeriveCounts(AttributeStore* db, const std::vector<AttrStats>& stats,
                     const DerivationOptions& options);
-size_t DeriveKeywords(Database* db, const std::vector<AttrStats>& stats,
+size_t DeriveKeywords(AttributeStore* db, const std::vector<AttrStats>& stats,
                       const DerivationOptions& options);
-size_t DeriveLanguages(Database* db, const std::vector<AttrStats>& stats,
+size_t DeriveLanguages(AttributeStore* db, const std::vector<AttrStats>& stats,
                        const DerivationOptions& options);
-size_t DerivePaths(Database* db, const std::vector<AttrStats>& stats,
+size_t DerivePaths(AttributeStore* db, const std::vector<AttrStats>& stats,
                    const DerivationOptions& options);
 
 /// Tokenize a text value into keyword tokens: lower-cased alphabetic runs of

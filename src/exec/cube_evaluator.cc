@@ -5,6 +5,7 @@
 
 #include "src/core/arraycube.h"
 #include "src/core/pgcube.h"
+#include "src/exec/sharded_evaluator.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
@@ -199,9 +200,20 @@ class ArrayCubeEvaluator : public CubeEvaluator {
 
 }  // namespace
 
+size_t ResolveShardCount(EvalAlgorithm algorithm, bool enable_earlystop,
+                         size_t requested_shards, size_t num_threads) {
+  if (algorithm != EvalAlgorithm::kMvdCube || enable_earlystop) return 1;
+  size_t shards = requested_shards == 0 ? num_threads : requested_shards;
+  return std::max<size_t>(1, shards);
+}
+
 std::unique_ptr<CubeEvaluator> MakeCubeEvaluator(const CubeEvalOptions& options) {
   switch (options.algorithm) {
     case EvalAlgorithm::kMvdCube:
+      if (ResolveShardCount(options.algorithm, options.enable_earlystop,
+                            options.num_shards, /*num_threads=*/1) > 1) {
+        return MakeShardedMvdCubeEvaluator(options);
+      }
       return std::make_unique<MvdCubeEvaluator>(options);
     case EvalAlgorithm::kPgCubeStar:
       return std::make_unique<PgCubeEvaluator>(PgCubeVariant::kStar);

@@ -36,6 +36,12 @@ struct CubeEvalOptions {
   InterestingnessKind interestingness = InterestingnessKind::kVariance;
   size_t top_k = 10;
   uint64_t seed = 42;
+  /// Fact-id-range shards evaluating one CFS concurrently (resolved count,
+  /// >= 1; callers translate "auto" before building this struct). Only the
+  /// MVDCube path shards; with early-stop enabled the factory falls back to
+  /// the unsharded evaluator (the stratified reservoirs draw from one
+  /// sequential RNG stream). Results are bit-identical at every shard count.
+  size_t num_shards = 1;
 };
 
 /// Everything a cube algorithm needs to evaluate one CFS: the store, the
@@ -43,7 +49,7 @@ struct CubeEvalOptions {
 /// (early-stop min/max CIs). All pointers are borrowed and must outlive the
 /// evaluator.
 struct CubeEvalInputs {
-  const Database* db = nullptr;
+  const AttributeStore* db = nullptr;
   uint32_t cfs_id = 0;
   const CfsIndex* cfs = nullptr;
   const std::vector<LatticeSpec>* lattices = nullptr;
@@ -57,6 +63,11 @@ struct EvalStats {
   size_t num_mdas_pruned = 0;     ///< unique keys skipped by early-stop
   size_t num_groups_emitted = 0;
   double earlystop_ms = 0;  ///< CI planning time, inside evaluation wall-clock
+  /// Within-CFS sharding (empty / zero when evaluation was unsharded):
+  /// facts owned by each fact-id-range shard, and the time spent merging
+  /// per-shard partial translations back together, summed over lattices.
+  std::vector<size_t> shard_fact_counts;
+  double shard_merge_ms = 0;
 };
 
 /// \brief Uniform operator interface over the cube algorithms (MVDCube,
@@ -95,6 +106,14 @@ class CubeEvaluator {
   EvalStats EvaluateCfs(const CubeEvalInputs& in, Arm* arm,
                         TaskScheduler* scheduler);
 };
+
+/// Resolve the within-CFS shard count: 0 = auto (one per worker thread);
+/// configurations the factory cannot shard — non-MVDCube algorithms and
+/// early-stop (sequential reservoir RNG stream) — resolve to 1. The single
+/// definition of sharding eligibility, shared by the factory's dispatch and
+/// the pipeline's reporting so the two can never drift.
+size_t ResolveShardCount(EvalAlgorithm algorithm, bool enable_earlystop,
+                         size_t requested_shards, size_t num_threads);
 
 /// The factory replacing Spade::EvaluateCfs's algorithm switch.
 std::unique_ptr<CubeEvaluator> MakeCubeEvaluator(const CubeEvalOptions& options);

@@ -1,0 +1,158 @@
+#include "src/exec/sharded_evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/util/timer.h"
+
+namespace spade {
+
+namespace {
+
+/// \brief MVDCube with within-CFS parallelism: the per-fact stages of one
+/// CFS — dimension encoding, data translation and measure loading — are
+/// split into `num_shards` contiguous fact-id ranges and run concurrently on
+/// the TaskScheduler; the per-shard partials are merged back in ascending
+/// shard order before the (sequential) lattice computation streams into the
+/// per-CFS ARM shard.
+///
+/// Why this is bit-identical to unsharded evaluation, at every shard and
+/// thread count:
+///   - Translation: each shard translates facts [lo, hi) in ascending fact
+///     order, so concatenating the per-shard partition vectors in ascending
+///     shard order reproduces the unsharded fact-major append order exactly;
+///     root-group counts are integers and add exactly.
+///   - Measure vectors: slot f depends only on fact f's own rows, and every
+///     per-fact accumulation (sum/min/max over that fact's values) happens
+///     inside one shard, in the same ascending value order as the unsharded
+///     build. Disjoint ranges write disjoint slots; the table-wide flags are
+///     "no counterexample seen" properties and AND-combine exactly.
+///   - Encodings / MMSTs are pure per-lattice functions of the store and the
+///     CFS, built once and shared.
+/// EvaluateLatticeMvd therefore consumes inputs equal byte-for-byte to the
+/// unsharded ones, and its ARM stream — order included — is unchanged.
+///
+/// Aggregate-value-level merging (summing per-shard partial sums per group)
+/// was rejected: it would reorder the floating-point reductions and break
+/// the bit-identical guarantee the parallel pipeline is built on.
+///
+/// Early-stop is out of scope by construction (the factory falls back): its
+/// stratified reservoirs draw from one sequential RNG stream across all
+/// facts, which a fact-range split cannot reproduce.
+class ShardedMvdCubeEvaluator : public CubeEvaluator {
+ public:
+  explicit ShardedMvdCubeEvaluator(const CubeEvalOptions& options)
+      : options_(options), num_shards_(std::max<size_t>(1, options.num_shards)) {}
+
+  const char* name() const override { return "MVDCube/sharded"; }
+
+  void Prepare(const CubeEvalInputs& in, const Arm& /*arm*/,
+               TaskScheduler* scheduler, EvalStats* stats) override {
+    const std::vector<LatticeSpec>& lattices = *in.lattices;
+    const size_t num_lattices = lattices.size();
+    TaskScheduler inline_scheduler(nullptr);
+    if (scheduler == nullptr) scheduler = &inline_scheduler;
+
+    std::vector<FactRange> shards = MakeFactShards(in.cfs->size(), num_shards_);
+    stats->shard_fact_counts.resize(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s) {
+      stats->shard_fact_counts[s] = shards[s].size();
+    }
+
+    // Stage 1: per-lattice encodings + MMST layouts (pure, shared by every
+    // shard of that lattice).
+    encodings_.assign(num_lattices, {});
+    mmsts_.assign(num_lattices, {});
+    translations_.assign(num_lattices, {});
+    scheduler->ParallelFor(num_lattices, [&](size_t li) {
+      mmsts_[li] = BuildMmstForSpec(*in.db, *in.cfs, lattices[li],
+                                    &encodings_[li],
+                                    options_.mvd.partition_chunk);
+    });
+
+    // Stage 2: per-(lattice, shard) translation of that shard's fact range.
+    std::vector<std::vector<Translation>> partials(num_lattices);
+    for (auto& p : partials) p.resize(shards.size());
+    scheduler->ParallelFor(num_lattices * shards.size(), [&](size_t task) {
+      size_t li = task / shards.size();
+      size_t s = task % shards.size();
+      TranslationOptions topt;
+      topt.max_combos_per_fact = options_.mvd.max_combos_per_fact;
+      topt.fact_begin = shards[s].begin;
+      topt.fact_end = shards[s].end;
+      partials[li][s] = TranslateData(encodings_[li], mmsts_[li].layout(), topt);
+    });
+
+    // Stage 3: merge partials in ascending shard order (exact: concatenation
+    // plus integer addition).
+    Timer merge_timer;
+    for (size_t li = 0; li < num_lattices; ++li) {
+      translations_[li] = MergeShardTranslations(std::move(partials[li]));
+    }
+    stats->shard_merge_ms += merge_timer.ElapsedMillis();
+
+    // Stage 4: measure loading. One flat fan-out over (attribute, shard)
+    // pairs — not a barrier per attribute — so the pool stays full even
+    // when there are more workers than shards. Each task writes the
+    // disjoint slot range of its shard; flags combine by AND afterwards.
+    std::set<AttrId> measure_attr_set;
+    for (const LatticeSpec& spec : lattices) {
+      for (const MeasureSpec& m : spec.measures) {
+        if (!m.is_count_star()) measure_attr_set.insert(m.attr);
+      }
+    }
+    std::vector<AttrId> attrs(measure_attr_set.begin(), measure_attr_set.end());
+    size_t n = in.cfs->size();
+    std::vector<MeasureVector> vectors(attrs.size());
+    for (MeasureVector& mv : vectors) mv.Init(n);
+    std::vector<std::vector<MeasureFillFlags>> flags(
+        attrs.size(), std::vector<MeasureFillFlags>(shards.size()));
+    scheduler->ParallelFor(attrs.size() * shards.size(), [&](size_t task) {
+      size_t a = task / shards.size();
+      size_t s = task % shards.size();
+      flags[a][s] = FillMeasureVectorRange(*in.db, *in.cfs, attrs[a],
+                                           shards[s], &vectors[a]);
+    });
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      MeasureVector& mv = vectors[a];
+      mv.numeric = true;
+      mv.single_valued = true;
+      for (const MeasureFillFlags& f : flags[a]) {
+        mv.numeric &= f.numeric;
+        mv.single_valued &= f.single_valued;
+      }
+      measures_.Put(attrs[a], std::move(mv));
+    }
+  }
+
+  void EvaluateLattice(const CubeEvalInputs& in, size_t li, Arm* arm,
+                       EvalStats* stats) override {
+    MvdCubeStats s = EvaluateLatticeMvd(
+        *in.db, in.cfs_id, *in.cfs, (*in.lattices)[li], options_.mvd, arm,
+        &measures_, /*pruned=*/nullptr, &translations_[li], &mmsts_[li],
+        &encodings_[li]);
+    stats->num_mdas_evaluated += s.num_mdas_evaluated;
+    stats->num_mdas_reused += s.num_mdas_reused;
+    stats->num_groups_emitted += s.num_groups_emitted;
+  }
+
+ private:
+  CubeEvalOptions options_;
+  size_t num_shards_;
+  MeasureCache measures_;
+  std::vector<std::vector<DimensionEncoding>> encodings_;
+  std::vector<Mmst> mmsts_;
+  std::vector<Translation> translations_;
+};
+
+}  // namespace
+
+std::unique_ptr<CubeEvaluator> MakeShardedMvdCubeEvaluator(
+    const CubeEvalOptions& options) {
+  return std::make_unique<ShardedMvdCubeEvaluator>(options);
+}
+
+}  // namespace spade

@@ -1,0 +1,21 @@
+#ifndef SPADE_EXEC_SHARDED_EVALUATOR_H_
+#define SPADE_EXEC_SHARDED_EVALUATOR_H_
+
+#include <memory>
+
+#include "src/exec/cube_evaluator.h"
+
+namespace spade {
+
+/// Build the within-CFS sharded MVDCube evaluator: `num_shards` fact-id-range
+/// shards prepared concurrently on the TaskScheduler, merged exactly in
+/// ascending shard order (see sharded_evaluator.cc for the determinism
+/// argument). `num_shards` must be >= 2 and early-stop must be off; the
+/// MakeCubeEvaluator factory enforces both and falls back to the plain
+/// MvdCubeEvaluator otherwise.
+std::unique_ptr<CubeEvaluator> MakeShardedMvdCubeEvaluator(
+    const CubeEvalOptions& options);
+
+}  // namespace spade
+
+#endif  // SPADE_EXEC_SHARDED_EVALUATOR_H_

@@ -37,13 +37,13 @@ bool LooksLikeDate(const std::string& s) {
   return true;
 }
 
-AttrStats ComputeAttrStats(const Database& db, AttrId attr) {
+AttrStats ComputeAttrStats(const AttributeStore& db, AttrId attr) {
   const AttributeTable& table = db.attribute(attr);
   const Dictionary& dict = db.graph().dict();
 
   AttrStats st;
-  st.num_values = table.rows.size();
-  if (table.rows.empty()) return st;
+  st.num_values = table.num_rows();
+  if (table.empty()) return st;
 
   std::set<TermId> distinct;
   size_t num_int = 0, num_dec = 0, num_date = 0, num_text = 0, num_ref = 0;
@@ -51,21 +51,13 @@ AttrStats ComputeAttrStats(const Database& db, AttrId attr) {
   st.min_value = std::numeric_limits<double>::infinity();
   st.max_value = -std::numeric_limits<double>::infinity();
 
-  TermId prev_subject = kInvalidTerm;
-  size_t run = 0;
-  auto close_run = [&]() {
-    if (run > 0) {
-      ++st.num_subjects;
-      if (run >= 2) ++st.num_multi_subjects;
-    }
-  };
-  for (const auto& [s, o] : table.rows) {
-    if (s != prev_subject) {
-      close_run();
-      prev_subject = s;
-      run = 0;
-    }
-    ++run;
+  // Subject-run bookkeeping is free in the CSR layout: one offset slice per
+  // distinct subject.
+  st.num_subjects = table.num_subjects();
+  for (size_t i = 0; i < table.num_subjects(); ++i) {
+    if (table.values(i).size() >= 2) ++st.num_multi_subjects;
+  }
+  for (TermId o : table.objects()) {
     distinct.insert(o);
     const Term& term = dict.Get(o);
     if (term.kind != TermKind::kLiteral) {
@@ -89,7 +81,6 @@ AttrStats ComputeAttrStats(const Database& db, AttrId attr) {
       total_len += static_cast<double>(term.lexical.size());
     }
   }
-  close_run();
   st.num_distinct_values = distinct.size();
   if (num_text > 0) st.avg_text_length = total_len / static_cast<double>(num_text);
 
@@ -118,36 +109,20 @@ AttrStats ComputeAttrStats(const Database& db, AttrId attr) {
   return st;
 }
 
-OnlineAttrStats ComputeOnlineStats(const Database& db, const CfsIndex& cfs,
+OnlineAttrStats ComputeOnlineStats(const AttributeStore& db, const CfsIndex& cfs,
                                    AttrId attr) {
   const AttributeTable& table = db.attribute(attr);
   OnlineAttrStats st;
   std::set<TermId> distinct;
 
-  const auto& members = cfs.members();
-  size_t mi = 0;
-  TermId prev_subject = kInvalidTerm;
-  size_t run = 0;
-  auto close_run = [&]() {
-    if (run > 0) {
-      ++st.support;
-      if (run >= 2) ++st.num_multi_facts;
-    }
-  };
-  for (const auto& [s, o] : table.rows) {
-    while (mi < members.size() && members[mi] < s) ++mi;
-    if (mi == members.size()) break;
-    if (members[mi] != s) continue;
-    if (s != prev_subject) {
-      close_run();
-      prev_subject = s;
-      run = 0;
-    }
-    ++run;
-    ++st.num_values;
-    distinct.insert(o);
-  }
-  close_run();
+  // Each CFS member that is a subject contributes its whole value slice.
+  ForEachCfsMatch(table, cfs.members(), [&](size_t /*mi*/, size_t si) {
+    Span<TermId> vals = table.values(si);
+    ++st.support;
+    if (vals.size() >= 2) ++st.num_multi_facts;
+    st.num_values += vals.size();
+    for (TermId o : vals) distinct.insert(o);
+  });
   st.num_distinct_values = distinct.size();
   return st;
 }

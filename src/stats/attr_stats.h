@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 
 namespace spade {
 
@@ -42,7 +42,7 @@ struct AttrStats {
 };
 
 /// Compute offline statistics of `attr` over the whole graph.
-AttrStats ComputeAttrStats(const Database& db, AttrId attr);
+AttrStats ComputeAttrStats(const AttributeStore& db, AttrId attr);
 
 /// \brief Online (CFS-dependent) statistics (Section 3, step 2): the same
 /// attribute can be a fine dimension for one fact set and useless for
@@ -66,7 +66,7 @@ struct OnlineAttrStats {
 };
 
 /// Compute the CFS-restricted statistics of `attr`.
-OnlineAttrStats ComputeOnlineStats(const Database& db, const CfsIndex& cfs,
+OnlineAttrStats ComputeOnlineStats(const AttributeStore& db, const CfsIndex& cfs,
                                    AttrId attr);
 
 /// True if the literal's lexical form looks like an xsd:date (YYYY-MM-DD).

@@ -1,4 +1,4 @@
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 
 #include <algorithm>
 
@@ -20,27 +20,36 @@ const char* AttrOriginName(AttrOrigin origin) {
   return "?";
 }
 
-std::vector<TermId> AttributeTable::ValuesOf(TermId subject) const {
-  std::vector<TermId> out;
-  auto lo = std::lower_bound(
-      rows.begin(), rows.end(), std::make_pair(subject, TermId(0)));
-  for (auto it = lo; it != rows.end() && it->first == subject; ++it) {
-    out.push_back(it->second);
+void AttributeTable::Seal() {
+  if (sealed_) return;
+  std::sort(staging_.begin(), staging_.end());
+  staging_.erase(std::unique(staging_.begin(), staging_.end()),
+                 staging_.end());
+  // Exact reserve for the object column; the subject/offset columns grow
+  // amortized (pre-counting distinct subjects would cost a second pass).
+  objects_.reserve(staging_.size());
+  for (const auto& [s, o] : staging_) {
+    if (subjects_.empty() || subjects_.back() != s) {
+      subjects_.push_back(s);
+      offsets_.push_back(static_cast<uint32_t>(objects_.size()));
+    }
+    objects_.push_back(o);
   }
-  return out;
+  offsets_.push_back(static_cast<uint32_t>(objects_.size()));
+  std::vector<std::pair<TermId, TermId>>().swap(staging_);
+  sealed_ = true;
 }
 
-std::vector<TermId> AttributeTable::Subjects() const {
-  std::vector<TermId> out;
-  for (const auto& [s, o] : rows) {
-    if (out.empty() || out.back() != s) out.push_back(s);
-  }
-  return out;
+size_t AttributeTable::SubjectIndexOf(TermId subject) const {
+  auto it = std::lower_bound(subjects_.begin(), subjects_.end(), subject);
+  if (it == subjects_.end() || *it != subject) return kNoSubject;
+  return static_cast<size_t>(it - subjects_.begin());
 }
 
-void AttributeTable::SortRows() {
-  std::sort(rows.begin(), rows.end());
-  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+Span<TermId> AttributeTable::ValuesOf(TermId subject) const {
+  size_t i = SubjectIndexOf(subject);
+  if (i == kNoSubject) return Span<TermId>();
+  return values(i);
 }
 
 CfsIndex::CfsIndex(std::vector<TermId> members_sorted)
@@ -56,7 +65,17 @@ FactId CfsIndex::FactOf(TermId node) const {
   return static_cast<FactId>(it - members_.begin());
 }
 
-void Database::BuildDirectAttributes() {
+std::vector<FactRange> MakeFactShards(size_t num_facts, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<FactRange> shards(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards[s].begin = static_cast<FactId>(s * num_facts / num_shards);
+    shards[s].end = static_cast<FactId>((s + 1) * num_facts / num_shards);
+  }
+  return shards;
+}
+
+void AttributeStore::BuildDirectAttributes() {
   const TermId rdf_type = graph_->rdf_type();
   for (TermId p : graph_->AllProperties()) {
     if (p == rdf_type) continue;
@@ -65,14 +84,14 @@ void Database::BuildDirectAttributes() {
     table.origin = AttrOrigin::kDirect;
     table.property = p;
     graph_->Match(kInvalidTerm, p, kInvalidTerm, [&](const Triple& t) {
-      table.rows.emplace_back(t.s, t.o);
+      table.AddRow(t.s, t.o);
     });
     AddAttribute(std::move(table));
   }
 }
 
-AttrId Database::AddAttribute(AttributeTable table) {
-  table.SortRows();
+AttrId AttributeStore::AddAttribute(AttributeTable table) {
+  table.Seal();
   // Disambiguate name collisions (two IRIs with the same local name).
   std::string name = table.name;
   int suffix = 2;
@@ -86,13 +105,14 @@ AttrId Database::AddAttribute(AttributeTable table) {
   return id;
 }
 
-std::optional<AttrId> Database::FindAttribute(const std::string& name) const {
+std::optional<AttrId> AttributeStore::FindAttribute(
+    const std::string& name) const {
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
 }
 
-std::vector<AttrId> Database::DirectAttributes() const {
+std::vector<AttrId> AttributeStore::DirectAttributes() const {
   std::vector<AttrId> out;
   for (AttrId id = 0; id < attributes_.size(); ++id) {
     if (attributes_[id].origin == AttrOrigin::kDirect) out.push_back(id);
@@ -100,7 +120,7 @@ std::vector<AttrId> Database::DirectAttributes() const {
   return out;
 }
 
-std::string Database::LocalName(const std::string& iri) {
+std::string AttributeStore::LocalName(const std::string& iri) {
   size_t pos = iri.find_last_of("#/");
   if (pos == std::string::npos || pos + 1 >= iri.size()) return iri;
   return iri.substr(pos + 1);

@@ -5,38 +5,50 @@
 
 namespace spade {
 
-MeasureVector BuildMeasureVector(const Database& db, const CfsIndex& cfs,
-                                 AttrId attr) {
+void MeasureVector::Init(size_t n) {
+  count.assign(n, 0);
+  sum.assign(n, 0.0);
+  min.assign(n, std::numeric_limits<double>::infinity());
+  max.assign(n, -std::numeric_limits<double>::infinity());
+}
+
+MeasureFillFlags FillMeasureVectorRange(const AttributeStore& db,
+                                        const CfsIndex& cfs, AttrId attr,
+                                        FactRange range, MeasureVector* mv) {
   const AttributeTable& table = db.attribute(attr);
   const Dictionary& dict = db.graph().dict();
+  MeasureFillFlags flags;
 
+  // A matched subject contributes its whole value slice to one slot.
+  ForEachCfsMatch(table, cfs.members(), range.begin, range.end,
+                  [&](size_t mi, size_t si) {
+    FactId f = static_cast<FactId>(mi);
+    Span<TermId> vals = table.values(si);
+    mv->count[f] = static_cast<uint32_t>(vals.size());
+    if (vals.size() > 1) flags.single_valued = false;
+    for (TermId o : vals) {
+      double v;
+      if (dict.NumericValue(o, &v)) {
+        mv->sum[f] += v;
+        mv->min[f] = std::min(mv->min[f], v);
+        mv->max[f] = std::max(mv->max[f], v);
+      } else {
+        flags.numeric = false;
+      }
+    }
+  });
+  return flags;
+}
+
+MeasureVector BuildMeasureVector(const AttributeStore& db, const CfsIndex& cfs,
+                                 AttrId attr) {
   MeasureVector mv;
   size_t n = cfs.size();
-  mv.count.assign(n, 0);
-  mv.sum.assign(n, 0.0);
-  mv.min.assign(n, std::numeric_limits<double>::infinity());
-  mv.max.assign(n, -std::numeric_limits<double>::infinity());
-  mv.numeric = true;
-  mv.single_valued = true;
-
-  // Merge join: table rows and CFS members are both sorted by TermId.
-  const auto& members = cfs.members();
-  size_t mi = 0;
-  for (const auto& [s, o] : table.rows) {
-    while (mi < members.size() && members[mi] < s) ++mi;
-    if (mi == members.size()) break;
-    if (members[mi] != s) continue;
-    FactId f = static_cast<FactId>(mi);
-    if (++mv.count[f] > 1) mv.single_valued = false;
-    double v;
-    if (dict.NumericValue(o, &v)) {
-      mv.sum[f] += v;
-      mv.min[f] = std::min(mv.min[f], v);
-      mv.max[f] = std::max(mv.max[f], v);
-    } else {
-      mv.numeric = false;
-    }
-  }
+  mv.Init(n);
+  MeasureFillFlags flags = FillMeasureVectorRange(
+      db, cfs, attr, FactRange{0, static_cast<FactId>(n)}, &mv);
+  mv.numeric = flags.numeric;
+  mv.single_valued = flags.single_valued;
   return mv;
 }
 

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 
 namespace spade {
 
@@ -32,13 +32,35 @@ struct MeasureVector {
   bool single_valued = false;  ///< no fact has two values
 
   size_t size() const { return count.size(); }
+
+  /// Size all slots to `n` facts and reset them to the identity of the
+  /// per-fact merge (count 0, +/-inf min/max sentinels). The one definition
+  /// both the unsharded build and the sharded per-range fill initialize
+  /// from — the sharded path's bit-identical guarantee depends on it.
+  void Init(size_t n);
 };
 
 /// Build the measure vector of `attr` over the facts of `cfs`. Non-numeric
 /// values contribute to count only; `numeric` is false if any present value
 /// fails to parse.
-MeasureVector BuildMeasureVector(const Database& db, const CfsIndex& cfs,
+MeasureVector BuildMeasureVector(const AttributeStore& db, const CfsIndex& cfs,
                                  AttrId attr);
+
+/// Table-wide flags observed while filling one fact range; AND-combined
+/// across shards (both are "no counterexample seen" properties, so the
+/// combination over disjoint ranges equals the single-pass result exactly).
+struct MeasureFillFlags {
+  bool numeric = true;
+  bool single_valued = true;
+};
+
+/// Fill slots [range.begin, range.end) of `mv` (already sized to cfs.size()).
+/// Each fact's slot depends only on that fact's own rows, so disjoint ranges
+/// can be filled by concurrent workers writing disjoint slots — the
+/// within-CFS sharding path of the measure-loading stage.
+MeasureFillFlags FillMeasureVectorRange(const AttributeStore& db,
+                                        const CfsIndex& cfs, AttrId attr,
+                                        FactRange range, MeasureVector* mv);
 
 }  // namespace spade
 

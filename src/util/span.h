@@ -1,0 +1,43 @@
+#ifndef SPADE_UTIL_SPAN_H_
+#define SPADE_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace spade {
+
+/// \brief Minimal non-owning view over a contiguous array (C++17 stand-in for
+/// std::span<const T>). The columnar store hands these out from its scan
+/// accessors so hot loops never allocate.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+  // A span over a temporary would dangle at the end of the statement.
+  Span(const std::vector<T>&&) = delete;
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  constexpr Span<T> subspan(size_t offset, size_t count) const {
+    return Span<T>(data_ + offset, count);
+  }
+
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace spade
+
+#endif  // SPADE_UTIL_SPAN_H_

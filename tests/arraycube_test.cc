@@ -70,7 +70,7 @@ TEST(ArrayCubeTest, Figure4Bug) {
   add("n2", "area", "Automotive");
   add("n2", "area", "Manufacturer");
   g.Freeze();
-  Database db(&g);
+  AttributeStore db(&g);
   db.BuildDirectAttributes();
   CfsIndex cfs({d.InternIri("n1"), d.InternIri("n2")});
   LatticeSpec spec;

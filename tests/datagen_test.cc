@@ -4,7 +4,7 @@
 
 #include "src/datagen/synthetic.h"
 #include "src/stats/attr_stats.h"
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 
 namespace spade {
 namespace {
@@ -30,7 +30,7 @@ TEST(SyntheticTest, ShapeMatchesOptions) {
   opts.num_measures = 2;
   opts.sparsity = 0.0;
   auto g = GenerateSynthetic(opts);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   EXPECT_EQ(db.num_attributes(), 4u);  // 2 dims + 2 measures
   // One fact type with all facts.
@@ -51,7 +51,7 @@ TEST(SyntheticTest, SparsityShrinksValueDomain) {
   sparse.sparsity = 0.9;
   auto gd = GenerateSynthetic(dense);
   auto gs = GenerateSynthetic(sparse);
-  Database dbd(gd.get()), dbs(gs.get());
+  AttributeStore dbd(gd.get()), dbs(gs.get());
   dbd.BuildDirectAttributes();
   dbs.BuildDirectAttributes();
   AttrStats std_ = ComputeAttrStats(dbd, *dbd.FindAttribute("dim0"));
@@ -66,7 +66,7 @@ TEST(SyntheticTest, MultiValuedDimsWhenRequested) {
   opts.multi_valued_dims = {0};
   opts.multi_value_prob = 0.5;
   auto g = GenerateSynthetic(opts);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   EXPECT_GT(ComputeAttrStats(db, *db.FindAttribute("dim0")).num_multi_subjects,
             50u);
@@ -80,7 +80,7 @@ TEST(SyntheticTest, MissingProbDropsValues) {
   opts.dim_cardinality = {10};
   opts.missing_prob = 0.5;
   auto g = GenerateSynthetic(opts);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   AttrStats st = ComputeAttrStats(db, *db.FindAttribute("dim0"));
   EXPECT_NEAR(static_cast<double>(st.num_subjects), 500.0, 60.0);
@@ -101,7 +101,7 @@ TEST(RealWorldTest, AirlineIsFlatSingleType) {
   // One type, no multi-valued attributes, no IRI-to-IRI links => Table 2's
   // "no derivations apply" row.
   EXPECT_EQ(g->AllTypes().size(), 1u);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   for (AttrId a = 0; a < db.num_attributes(); ++a) {
     AttrStats st = ComputeAttrStats(db, a);
@@ -113,7 +113,7 @@ TEST(RealWorldTest, AirlineIsFlatSingleType) {
 TEST(RealWorldTest, CeosHasMultiValuedAndLinks) {
   auto g = GenerateCeos(42, 0.25);
   EXPECT_GE(g->AllTypes().size(), 5u);  // heterogeneous
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   AttrStats nat = ComputeAttrStats(db, *db.FindAttribute("nationality"));
   EXPECT_GT(nat.num_multi_subjects, 0u);
@@ -127,7 +127,7 @@ TEST(RealWorldTest, CeosHasMultiValuedAndLinks) {
 
 TEST(RealWorldTest, DblpSingleFactTypeWithText) {
   auto g = GenerateDblp(42, 0.2);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   AttrStats title = ComputeAttrStats(db, *db.FindAttribute("title"));
   EXPECT_EQ(title.kind, ValueKind::kText);
@@ -138,7 +138,7 @@ TEST(RealWorldTest, DblpSingleFactTypeWithText) {
 
 TEST(RealWorldTest, FoodistaMultilingual) {
   auto g = GenerateFoodista(42, 0.3);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   AttrStats desc = ComputeAttrStats(db, *db.FindAttribute("description"));
   EXPECT_EQ(desc.kind, ValueKind::kText);
@@ -148,7 +148,7 @@ TEST(RealWorldTest, FoodistaMultilingual) {
 
 TEST(RealWorldTest, NasaLaunchSiteSkew) {
   auto g = GenerateNasa(42, 0.5);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   // Launches link spacecraft; spacecraft link agencies: 2-hop structure.
   EXPECT_TRUE(db.FindAttribute("spacecraft").has_value());
@@ -160,7 +160,7 @@ TEST(RealWorldTest, NasaLaunchSiteSkew) {
 
 TEST(RealWorldTest, NobelSkewedAgeByCategory) {
   auto g = GenerateNobel(42, 0.3);
-  Database db(g.get());
+  AttributeStore db(g.get());
   db.BuildDirectAttributes();
   AttrStats aff = ComputeAttrStats(db, *db.FindAttribute("affiliation"));
   EXPECT_GT(aff.num_multi_subjects, 0u);

@@ -7,18 +7,22 @@ namespace {
 
 class DeriveTest : public ::testing::Test {
  protected:
+  static void AddRows(AttributeTable* t,
+                      std::initializer_list<std::pair<TermId, TermId>> rows) {
+    for (const auto& [s, o] : rows) t->AddRow(s, o);
+  }
   void Analyze() {
     stats.clear();
     for (AttrId a = 0; a < db().num_attributes(); ++a) {
       stats.push_back(ComputeAttrStats(db(), a));
     }
   }
-  Database& db() {
-    if (!db_) db_ = std::make_unique<Database>(&g);
+  AttributeStore& db() {
+    if (!db_) db_ = std::make_unique<AttributeStore>(&g);
     return *db_;
   }
   Graph g;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<AttributeStore> db_;
   std::vector<AttrStats> stats;
 };
 
@@ -27,9 +31,9 @@ TEST_F(DeriveTest, CountDerivation) {
   AttributeTable t;
   t.name = "company";
   t.property = d.InternIri("company");
-  t.rows = {{d.InternIri("ceo1"), d.InternIri("c1")},
+  AddRows(&t, {{d.InternIri("ceo1"), d.InternIri("c1")},
             {d.InternIri("ceo1"), d.InternIri("c2")},
-            {d.InternIri("ceo2"), d.InternIri("c1")}};
+            {d.InternIri("ceo2"), d.InternIri("c1")}});
   db().AddAttribute(std::move(t));
   Analyze();
 
@@ -40,7 +44,7 @@ TEST_F(DeriveTest, CountDerivation) {
   const AttributeTable& ct = db().attribute(*id);
   EXPECT_EQ(ct.origin, AttrOrigin::kCount);
   EXPECT_EQ(ct.derived_from, 0u);
-  ASSERT_EQ(ct.rows.size(), 2u);
+  ASSERT_EQ(ct.num_rows(), 2u);
   // ceo1 manages two companies, ceo2 one.
   EXPECT_EQ(g.dict().Get(ct.ValuesOf(d.InternIri("ceo1"))[0]).lexical, "2");
   EXPECT_EQ(g.dict().Get(ct.ValuesOf(d.InternIri("ceo2"))[0]).lexical, "1");
@@ -50,8 +54,8 @@ TEST_F(DeriveTest, CountSkipsSingleValued) {
   Dictionary& d = g.dict();
   AttributeTable t;
   t.name = "name";
-  t.rows = {{d.InternIri("a"), d.InternString("x")},
-            {d.InternIri("b"), d.InternString("y")}};
+  AddRows(&t, {{d.InternIri("a"), d.InternString("x")},
+            {d.InternIri("b"), d.InternString("y")}});
   db().AddAttribute(std::move(t));
   Analyze();
   EXPECT_EQ(DeriveCounts(&db(), stats, DerivationOptions()), 0u);
@@ -61,10 +65,10 @@ TEST_F(DeriveTest, KeywordDerivation) {
   Dictionary& d = g.dict();
   AttributeTable t;
   t.name = "description";
-  t.rows = {{d.InternIri("c1"),
+  AddRows(&t, {{d.InternIri("c1"),
              d.InternString("Sonangol oversees petroleum production")},
             {d.InternIri("c2"),
-             d.InternString("A diversified global manufacturing business")}};
+             d.InternString("A diversified global manufacturing business")}});
   db().AddAttribute(std::move(t));
   Analyze();
   DerivationOptions opts;
@@ -72,7 +76,7 @@ TEST_F(DeriveTest, KeywordDerivation) {
   auto id = db().FindAttribute("kwIn(description)");
   ASSERT_TRUE(id.has_value());
   const AttributeTable& kt = db().attribute(*id);
-  std::vector<TermId> kws = kt.ValuesOf(d.InternIri("c1"));
+  Span<TermId> kws = kt.ValuesOf(d.InternIri("c1"));
   std::vector<std::string> words;
   for (TermId k : kws) words.push_back(g.dict().Get(k).lexical);
   // Capitalized keywords, length >= 4, no stop words.
@@ -86,8 +90,8 @@ TEST_F(DeriveTest, KeywordsSkipShortLabels) {
   Dictionary& d = g.dict();
   AttributeTable t;
   t.name = "name";
-  t.rows = {{d.InternIri("a"), d.InternString("Bob")},
-            {d.InternIri("b"), d.InternString("Eve")}};
+  AddRows(&t, {{d.InternIri("a"), d.InternString("Bob")},
+            {d.InternIri("b"), d.InternString("Eve")}});
   db().AddAttribute(std::move(t));
   Analyze();
   EXPECT_EQ(DeriveKeywords(&db(), stats, DerivationOptions()), 0u);
@@ -103,13 +107,13 @@ TEST_F(DeriveTest, LanguageDerivationFromText) {
   Dictionary& d = g.dict();
   AttributeTable t;
   t.name = "summary";
-  t.rows = {
+  AddRows(&t, {
       {d.InternIri("r1"),
        d.InternString("the production of the petroleum is in the region")},
       {d.InternIri("r2"),
        d.InternString("la production est dans le pays avec les usines")},
       {d.InternIri("r3"),
-       d.InternString("la empresa es una de las grandes del mundo")}};
+       d.InternString("la empresa es una de las grandes del mundo")}});
   db().AddAttribute(std::move(t));
   Analyze();
   DerivationOptions opts;
@@ -124,14 +128,14 @@ TEST_F(DeriveTest, LanguageTagBeatsDetection) {
   Dictionary& d = g.dict();
   AttributeTable t;
   t.name = "bio";
-  t.rows = {{d.InternIri("r1"),
+  AddRows(&t, {{d.InternIri("r1"),
              d.Intern(Term::Literal("completely ambiguous words here always",
-                                    kInvalidTerm, "de"))}};
+                                    kInvalidTerm, "de"))}});
   db().AddAttribute(std::move(t));
   Analyze();
   DeriveLanguages(&db(), stats, DerivationOptions());
   const AttributeTable& lt = db().attribute(*db().FindAttribute("langOf(bio)"));
-  EXPECT_EQ(g.dict().Get(lt.rows[0].second).lexical, "German");
+  EXPECT_EQ(g.dict().Get(lt.values(0)[0]).lexical, "German");
 }
 
 TEST_F(DeriveTest, DetectLanguageEdgeCases) {
@@ -145,14 +149,14 @@ TEST_F(DeriveTest, PathDerivation) {
   AttributeTable company;
   company.name = "company";
   company.property = d.InternIri("company");
-  company.rows = {{d.InternIri("ceo1"), d.InternIri("c1")},
-                  {d.InternIri("ceo2"), d.InternIri("c2")}};
+  AddRows(&company, {{d.InternIri("ceo1"), d.InternIri("c1")},
+                  {d.InternIri("ceo2"), d.InternIri("c2")}});
   AttributeTable area;
   area.name = "area";
   area.property = d.InternIri("area");
-  area.rows = {{d.InternIri("c1"), d.InternString("Diamond")},
+  AddRows(&area, {{d.InternIri("c1"), d.InternString("Diamond")},
                {d.InternIri("c1"), d.InternString("Gas")},
-               {d.InternIri("c2"), d.InternString("Auto")}};
+               {d.InternIri("c2"), d.InternString("Auto")}});
   db().AddAttribute(std::move(company));
   db().AddAttribute(std::move(area));
   Analyze();
@@ -174,11 +178,11 @@ TEST_F(DeriveTest, PathRequiresContinuation) {
   AttributeTable knows;
   knows.name = "knows";
   knows.property = d.InternIri("knows");
-  knows.rows = {{d.InternIri("a"), d.InternIri("b")}};
+  AddRows(&knows, {{d.InternIri("a"), d.InternIri("b")}});
   AttributeTable unrelated;
   unrelated.name = "age";
   unrelated.property = d.InternIri("age");
-  unrelated.rows = {{d.InternIri("zzz"), d.InternString("4")}};
+  AddRows(&unrelated, {{d.InternIri("zzz"), d.InternString("4")}});
   db().AddAttribute(std::move(knows));
   db().AddAttribute(std::move(unrelated));
   Analyze();
@@ -191,14 +195,14 @@ TEST_F(DeriveTest, DeriveAllAggregatesReport) {
   AttributeTable nat;
   nat.name = "nationality";
   nat.property = d.InternIri("nationality");
-  nat.rows = {{d.InternIri("x"), d.InternIri("A")},
+  AddRows(&nat, {{d.InternIri("x"), d.InternIri("A")},
               {d.InternIri("x"), d.InternIri("B")},
-              {d.InternIri("y"), d.InternIri("A")}};
+              {d.InternIri("y"), d.InternIri("A")}});
   AttributeTable label;
   label.name = "label";
   label.property = d.InternIri("label");
-  label.rows = {{d.InternIri("A"), d.InternString("Country of A")},
-                {d.InternIri("B"), d.InternString("Country of B")}};
+  AddRows(&label, {{d.InternIri("A"), d.InternString("Country of A")},
+                {d.InternIri("B"), d.InternString("Country of B")}});
   db().AddAttribute(std::move(nat));
   db().AddAttribute(std::move(label));
   Analyze();

@@ -139,7 +139,7 @@ class PlannerFixture {
       }
     }
     g.Freeze();
-    db = std::make_unique<Database>(&g);
+    db = std::make_unique<AttributeStore>(&g);
     db->BuildDirectAttributes();
     cfs = std::make_unique<CfsIndex>(members);
     for (AttrId a = 0; a < db->num_attributes(); ++a) {
@@ -166,7 +166,7 @@ class PlannerFixture {
   }
 
   Graph g;
-  std::unique_ptr<Database> db;
+  std::unique_ptr<AttributeStore> db;
   std::unique_ptr<CfsIndex> cfs;
   std::vector<TermId> members;
   std::vector<AttrStats> offline;

@@ -208,6 +208,126 @@ TEST(ParallelPipelineTest, ZeroMeansHardwareConcurrency) {
   EXPECT_FALSE(out.insights.empty());
 }
 
+// --- Within-CFS sharding --------------------------------------------------
+
+TEST(ShardedEvaluatorTest, FactoryDispatchesOnShardsAlgorithmAndEarlyStop) {
+  CubeEvalOptions options;
+  options.num_shards = 4;
+  EXPECT_STREQ(MakeCubeEvaluator(options)->name(), "MVDCube/sharded");
+  // Early-stop falls back: its reservoir RNG stream is sequential.
+  options.enable_earlystop = true;
+  EXPECT_STREQ(MakeCubeEvaluator(options)->name(), "MVDCube");
+  options.enable_earlystop = false;
+  options.num_shards = 1;
+  EXPECT_STREQ(MakeCubeEvaluator(options)->name(), "MVDCube");
+  options.num_shards = 4;
+  options.algorithm = EvalAlgorithm::kPgCubeStar;
+  EXPECT_STREQ(MakeCubeEvaluator(options)->name(), "PGCube*");
+}
+
+// The exactness core of the sharded path: translating ascending disjoint
+// fact ranges and merging in shard order reproduces the unsharded
+// translation bit for bit — partition vectors, root-group counts, counters.
+TEST(ShardedEvaluatorTest, MergedShardTranslationsEqualUnsharded) {
+  // Two dimensions over 7 facts: multi-valued, missing, and single values.
+  std::vector<DimensionEncoding> dims(2);
+  dims[0].values = {100, 101, 102};  // domain 3 (+null)
+  dims[0].fact_codes = {{0}, {1, 2}, {}, {0, 1}, {2}, {1}, {0}};
+  dims[1].values = {200, 201, 202, 203};  // domain 4 (+null)
+  dims[1].fact_codes = {{3}, {0}, {1, 2}, {}, {0, 3}, {2}, {}};
+  for (auto& d : dims) {
+    for (const auto& codes : d.fact_codes) {
+      if (codes.size() >= 2) ++d.num_multi_facts;
+    }
+  }
+  Mmst mmst = Mmst::Build({4, 5}, 2);
+
+  TranslationOptions topt;
+  Translation full = TranslateData(dims, mmst.layout(), topt);
+
+  for (size_t k : {1u, 2u, 3u, 4u, 8u}) {
+    SCOPED_TRACE("num_shards = " + std::to_string(k));
+    std::vector<Translation> partials;
+    for (const FactRange& r : MakeFactShards(7, k)) {
+      TranslationOptions shard_opt;
+      shard_opt.fact_begin = r.begin;
+      shard_opt.fact_end = r.end;
+      partials.push_back(TranslateData(dims, mmst.layout(), shard_opt));
+    }
+    Translation merged = MergeShardTranslations(std::move(partials));
+    ASSERT_EQ(merged.partitions.size(), full.partitions.size());
+    for (size_t p = 0; p < full.partitions.size(); ++p) {
+      EXPECT_EQ(merged.partitions[p], full.partitions[p]) << "partition " << p;
+    }
+    EXPECT_EQ(merged.root_group_count.size(), full.root_group_count.size());
+    for (const auto& [cell, count] : full.root_group_count) {
+      auto it = merged.root_group_count.find(cell);
+      ASSERT_NE(it, merged.root_group_count.end());
+      EXPECT_EQ(it->second, count);
+    }
+    EXPECT_EQ(merged.num_facts_translated, full.num_facts_translated);
+    EXPECT_EQ(merged.num_dropped_combos, full.num_dropped_combos);
+  }
+}
+
+// The acceptance contract of within-CFS sharding: bit-identical top-k
+// insights for sharded vs unsharded evaluation at every (shards, threads)
+// combination — same keys, exact double scores, same group tuples.
+TEST(ShardedPipelineTest, BitIdenticalToUnshardedAcrossShardAndThreadCounts) {
+  auto make_graph = [] { return GenerateCeos(42, 0.25); };
+  SpadeOptions options = BaseOptions();
+  options.num_shards = 1;  // the unsharded baseline, serial
+  auto baseline_graph = make_graph();
+  RunOutcome unsharded = RunPipeline(baseline_graph.get(), options, 1);
+  EXPECT_FALSE(unsharded.insights.empty());
+  for (size_t shards : {1u, 2u, 4u}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("num_shards = " + std::to_string(shards));
+      options.num_shards = shards;
+      auto graph = make_graph();
+      RunOutcome sharded = RunPipeline(graph.get(), options, threads);
+      EXPECT_EQ(sharded.report.num_shards_used, shards);
+      ExpectIdentical(unsharded, sharded, threads);
+    }
+  }
+}
+
+// Same contract on a synthetic workload dense in multi-valued dimensions
+// (the case where per-fact combination explosion and the per-fact cap must
+// shard without drift).
+TEST(ShardedPipelineTest, SyntheticBitIdenticalToUnsharded) {
+  SyntheticOptions sopts;
+  sopts.num_facts = 3000;
+  sopts.dim_cardinality = {30, 20, 10};
+  sopts.num_measures = 2;
+  sopts.sparsity = 0.2;
+  auto make_graph = [&] { return GenerateSynthetic(sopts); };
+  SpadeOptions options = BaseOptions();
+  options.num_shards = 1;
+  auto baseline_graph = make_graph();
+  RunOutcome unsharded = RunPipeline(baseline_graph.get(), options, 1);
+  EXPECT_FALSE(unsharded.insights.empty());
+  for (size_t shards : {2u, 4u}) {
+    SCOPED_TRACE("num_shards = " + std::to_string(shards));
+    options.num_shards = shards;
+    auto graph = make_graph();
+    RunOutcome sharded = RunPipeline(graph.get(), options, 4);
+    ExpectIdentical(unsharded, sharded, 4);
+  }
+}
+
+TEST(ShardedPipelineTest, AutoShardsFollowResolvedThreads) {
+  auto graph = GenerateCeos(42, 0.15);
+  SpadeOptions options = BaseOptions();
+  options.num_shards = 0;  // auto: one shard per worker thread
+  RunOutcome out = RunPipeline(graph.get(), options, 4);
+  EXPECT_EQ(out.report.num_shards_used, 4u);
+  // Per-CFS shard fact counts were recorded and sum to the total facts the
+  // sharded evaluations covered.
+  EXPECT_EQ(out.report.shard_fact_counts.size(), 4u);
+  EXPECT_FALSE(out.insights.empty());
+}
+
 // --- Arm::Absorb ----------------------------------------------------------
 
 TEST(ArmAbsorbTest, MovesEntriesAndKeepsFirstWriter) {

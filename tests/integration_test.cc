@@ -91,7 +91,7 @@ TEST(IntegrationTest, SparqlOracleValidatesMvdCubeOnMultiValuedData) {
   }
   g.Freeze();
 
-  Database db(&g);
+  AttributeStore db(&g);
   db.BuildDirectAttributes();
   CfsIndex cfs(g.NodesOfType(type));
   LatticeSpec spec;
@@ -190,10 +190,10 @@ TEST(IntegrationTest, ExportRoundTripsThroughRendering) {
   std::ostringstream rendered, json, csv;
   RenderOptions render;
   for (const auto& insight : *insights) {
-    RenderInsight(spade.database(), insight, render, rendered);
+    RenderInsight(spade.store(), insight, render, rendered);
   }
-  ExportInsightsJson(spade.database(), *insights, options.interestingness, json);
-  ExportInsightsCsv(spade.database(), *insights, csv);
+  ExportInsightsJson(spade.store(), *insights, options.interestingness, json);
+  ExportInsightsCsv(spade.store(), *insights, csv);
 
   EXPECT_FALSE(rendered.str().empty());
   // Every insight appears once in the JSON.

@@ -31,13 +31,13 @@ class LatticeTest : public ::testing::Test {
     add("n2", "area", "Automotive");
     add("n2", "area", "Manufacturer");
     g.Freeze();
-    db = std::make_unique<Database>(&g);
+    db = std::make_unique<AttributeStore>(&g);
     db->BuildDirectAttributes();
     cfs = std::make_unique<CfsIndex>(
         std::vector<TermId>{d.InternIri("n1"), d.InternIri("n2")});
   }
   Graph g;
-  std::unique_ptr<Database> db;
+  std::unique_ptr<AttributeStore> db;
   std::unique_ptr<CfsIndex> cfs;
 };
 

@@ -56,7 +56,7 @@ TEST(MvdCubeTest, Figure1Example) {
   add("n2", "companyArea", "Automotive");
   add("n2", "companyArea", "Manufacturer");
   g.Freeze();
-  Database db(&g);
+  AttributeStore db(&g);
   db.BuildDirectAttributes();
   CfsIndex cfs({d.InternIri("n1"), d.InternIri("n2")});
 
@@ -110,7 +110,7 @@ TEST(MvdCubeTest, Variation1SumNetWorth) {
   g.Add(node("n2"), area, d.InternString("Manufacturer"));
   g.Add(node("n2"), nw, d.InternDouble(1.2e8));
   g.Freeze();
-  Database db(&g);
+  AttributeStore db(&g);
   db.BuildDirectAttributes();
   CfsIndex cfs({node("n1"), node("n2")});
   LatticeSpec spec;
@@ -252,7 +252,7 @@ TEST(MvdCubeTest, FactsWithNoDimensionValuesExcluded) {
   g.Add(d.InternIri("a"), m, d.InternDouble(1));
   g.Add(d.InternIri("b"), m, d.InternDouble(100));  // no dim value
   g.Freeze();
-  Database db(&g);
+  AttributeStore db(&g);
   db.BuildDirectAttributes();
   CfsIndex cfs({d.InternIri("a"), d.InternIri("b")});
   LatticeSpec spec;
@@ -308,7 +308,7 @@ TEST(MvdCubeTest, DimensionWithSingleDistinctValue) {
     g.Add(f, m, d.InternDouble(i));
   }
   g.Freeze();
-  Database db(&g);
+  AttributeStore db(&g);
   db.BuildDirectAttributes();
   CfsIndex cfs(members);
   LatticeSpec spec;

@@ -148,7 +148,7 @@ TEST(PgCubeTest, FactsWithoutAnyDimensionExcluded) {
   g.Add(d.InternIri("a"), m, d.InternDouble(2));
   g.Add(d.InternIri("b"), m, d.InternDouble(50));
   g.Freeze();
-  Database db(&g);
+  AttributeStore db(&g);
   db.BuildDirectAttributes();
   CfsIndex cfs({d.InternIri("a"), d.InternIri("b")});
   LatticeSpec spec;

@@ -9,7 +9,7 @@
 namespace spade {
 namespace {
 
-/// Minimal fixture with a real Database (labels resolve through it) and a
+/// Minimal fixture with a real AttributeStore (labels resolve through it) and a
 /// hand-built insight.
 class PresentTest : public ::testing::Test {
  protected:
@@ -27,7 +27,7 @@ class PresentTest : public ::testing::Test {
     gender.name = "gender";
     AttributeTable nw;
     nw.name = "netWorth";
-    db = std::make_unique<Database>(&graph);
+    db = std::make_unique<AttributeStore>(&graph);
     a_nat = db->AddAttribute(std::move(nat));
     a_gender = db->AddAttribute(std::move(gender));
     a_nw = db->AddAttribute(std::move(nw));
@@ -49,7 +49,7 @@ class PresentTest : public ::testing::Test {
   }
 
   Graph graph;
-  std::unique_ptr<Database> db;
+  std::unique_ptr<AttributeStore> db;
   TermId angola, brazil, france, female, male;
   AttrId a_nat, a_gender, a_nw;
 };

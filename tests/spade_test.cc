@@ -164,7 +164,7 @@ TEST(SpadeTest, SparqlEmissionRunsOnTheGraph) {
     // Only validate single-dimension direct attributes: for those the SPARQL
     // group-by semantics coincides with the MDA semantics exactly.
     if (insight.ranked.key.dims.size() != 1) continue;
-    const auto& table = spade.database().attribute(insight.ranked.key.dims[0]);
+    const auto& table = spade.store().attribute(insight.ranked.key.dims[0]);
     if (table.origin != AttrOrigin::kDirect) continue;
     auto query = sparql::ParseQuery(insight.sparql, &graph->dict());
     ASSERT_TRUE(query.ok()) << insight.sparql << "\n"

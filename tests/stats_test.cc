@@ -12,16 +12,16 @@ class StatsTest : public ::testing::Test {
     AttributeTable t;
     t.name = name;
     for (auto& [s, o] : rows) {
-      t.rows.emplace_back(g.dict().InternIri(s), g.dict().Intern(o));
+      t.AddRow(g.dict().InternIri(s), g.dict().Intern(o));
     }
     return db().AddAttribute(std::move(t));
   }
-  Database& db() {
-    if (!db_) db_ = std::make_unique<Database>(&g);
+  AttributeStore& db() {
+    if (!db_) db_ = std::make_unique<AttributeStore>(&g);
     return *db_;
   }
   Graph g;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<AttributeStore> db_;
 };
 
 TEST_F(StatsTest, IntegerKindAndBounds) {

@@ -9,7 +9,7 @@
 #include "src/core/arm.h"
 #include "src/core/reference.h"
 #include "src/rdf/graph.h"
-#include "src/store/database.h"
+#include "src/store/attribute_store.h"
 #include "src/util/rng.h"
 
 namespace spade {
@@ -32,7 +32,7 @@ struct MeasureShape {
 /// lattice spec covering all generated dimensions and measures.
 struct RandomAnalysis {
   std::unique_ptr<Graph> graph;
-  std::unique_ptr<Database> db;
+  std::unique_ptr<AttributeStore> db;
   std::unique_ptr<CfsIndex> cfs;
   LatticeSpec spec;
 };
@@ -83,7 +83,7 @@ inline RandomAnalysis MakeRandomAnalysis(uint64_t seed, size_t num_facts,
   }
   g.Freeze();
 
-  out.db = std::make_unique<Database>(out.graph.get());
+  out.db = std::make_unique<AttributeStore>(out.graph.get());
   out.db->BuildDirectAttributes();
   out.cfs = std::make_unique<CfsIndex>(members);
 

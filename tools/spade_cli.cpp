@@ -8,6 +8,8 @@
 //   --algorithm A        mvdcube | pgcube | pgcube-distinct | arraycube
 //                                                               (default mvdcube)
 //   --threads N          online-phase worker threads; 0 = all cores (default 0)
+//   --shards N           fact-id-range shards per CFS; 0 = one per thread
+//                        (default 0; >1 needs mvdcube without --earlystop)
 //   --earlystop          enable confidence-interval pruning
 //   --no-derivations     disable derived properties (woD mode)
 //   --saturate           RDFS-saturate the graph before analysis
@@ -43,7 +45,7 @@ int Usage() {
   std::cerr << "usage: spade_cli DATA(.nt|.ttl|.csv) [--top K] "
                "[--interestingness variance|skewness|kurtosis]\n"
                "                 [--algorithm mvdcube|pgcube|pgcube-distinct|"
-               "arraycube] [--threads N]\n"
+               "arraycube] [--threads N] [--shards N]\n"
                "                 [--earlystop] [--no-derivations] "
                "[--saturate] [--max-dims N]\n"
                "                 [--min-support R] [--json FILE] [--csv FILE] "
@@ -110,6 +112,13 @@ int main(int argc, char** argv) {
         return Fail("--threads needs an integer in [0, 1024] (0 = all cores)");
       }
       options.num_threads = static_cast<size_t>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      int64_t n;
+      if (v == nullptr || !spade::ParseInt64(v, &n) || n < 0 || n > 1024) {
+        return Fail("--shards needs an integer in [0, 1024] (0 = auto)");
+      }
+      options.num_shards = static_cast<size_t>(n);
     } else if (arg == "--earlystop") {
       options.enable_earlystop = true;
     } else if (arg == "--no-derivations") {
@@ -183,27 +192,36 @@ int main(int argc, char** argv) {
             << " ms, online "
             << spade::FormatDouble(report.timings.online_wall_ms, 1) << " ms ("
             << report.num_threads_used << " thread"
-            << (report.num_threads_used == 1 ? "" : "s") << ")\n";
+            << (report.num_threads_used == 1 ? "" : "s") << ")";
+  if (!report.shard_fact_counts.empty()) {
+    std::cerr << "; " << report.num_shards_used << " shards/CFS [";
+    for (size_t s = 0; s < report.shard_fact_counts.size(); ++s) {
+      std::cerr << (s == 0 ? "" : "/") << report.shard_fact_counts[s];
+    }
+    std::cerr << " facts], merge "
+              << spade::FormatDouble(report.shard_merge_ms, 1) << " ms";
+  }
+  std::cerr << "\n";
 
   if (!quiet) {
     spade::RenderOptions ropt;
     int rank = 1;
     for (const auto& insight : *insights) {
       std::cout << "\n#" << rank++ << "  ";
-      spade::RenderInsight(spade.database(), insight, ropt, std::cout);
+      spade::RenderInsight(spade.store(), insight, ropt, std::cout);
     }
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) return Fail("cannot write " + json_path);
-    spade::ExportInsightsJson(spade.database(), *insights,
+    spade::ExportInsightsJson(spade.store(), *insights,
                               options.interestingness, out);
     std::cerr << "wrote " << json_path << "\n";
   }
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
     if (!out) return Fail("cannot write " + csv_path);
-    spade::ExportInsightsCsv(spade.database(), *insights, out);
+    spade::ExportInsightsCsv(spade.store(), *insights, out);
     std::cerr << "wrote " << csv_path << "\n";
   }
   return 0;
