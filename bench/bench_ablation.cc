@@ -72,7 +72,7 @@ std::pair<double, uint64_t> RunCells(const Fixture& fx, Load load, Merge merge,
   uint64_t checksum = 0;
   CubeScaffold<Cell> scaffold(&fx.mmst);
   scaffold.Run(fx.translation, load, merge,
-               [&](uint32_t, const std::vector<int32_t>&, const Cell& cell) {
+               [&](uint32_t, Span<int32_t>, const Cell& cell) {
                  checksum += card(cell);
                });
   return {timer.ElapsedMillis(), checksum};

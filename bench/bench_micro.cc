@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
+
 #include "src/bitmap/roaring.h"
 #include "src/core/earlystop.h"
 #include "src/core/mvdcube.h"
@@ -149,6 +152,114 @@ void BM_EstimateScore(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * groups);
 }
 BENCHMARK(BM_EstimateScore)->Arg(10)->Arg(100)->Arg(1000);
+
+// --- Scaffold emit path: templated functors vs std::function ---------------
+//
+// PR 3 templatized CubeScaffold on the load/merge/emit callable types and
+// made the flush path allocation-free (flat per-node coordinate scratch
+// instead of a vector<vector<int32_t>> per flush, DecodePartitionInto
+// instead of a fresh vector per partition). Passing std::function-wrapped
+// callables instantiates the same template with indirect dispatch per
+// fact/cell — the old cost model — so the pair documents the scalar win.
+
+struct MicroCountCell {
+  uint64_t n = 0;
+  bool Empty() const { return n == 0; }
+};
+
+struct ScaffoldData {
+  std::vector<DimensionEncoding> encs;
+  Mmst mmst;
+  Translation tr;
+};
+
+ScaffoldData MakeScaffoldData(size_t num_facts, int chunk) {
+  Rng rng(11);
+  ScaffoldData out;
+  std::vector<size_t> domains = {24, 16, 8};
+  out.encs.resize(domains.size());
+  for (size_t d = 0; d < domains.size(); ++d) {
+    out.encs[d].attr = static_cast<AttrId>(d);
+    out.encs[d].fact_codes.resize(num_facts);
+    for (size_t f = 0; f < num_facts; ++f) {
+      if (rng.Bernoulli(0.15)) continue;
+      size_t k = 1 + rng.Uniform(2);
+      auto& codes = out.encs[d].fact_codes[f];
+      for (size_t i = 0; i < k; ++i) {
+        codes.push_back(static_cast<int32_t>(rng.Uniform(domains[d])));
+      }
+      std::sort(codes.begin(), codes.end());
+      codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    }
+    for (size_t v = 0; v < domains[d]; ++v) {
+      out.encs[d].values.push_back(static_cast<TermId>(v + 1));
+    }
+  }
+  out.mmst = Mmst::Build({out.encs[0].domain_size(), out.encs[1].domain_size(),
+                          out.encs[2].domain_size()},
+                         chunk);
+  out.tr = TranslateData(out.encs, out.mmst.layout(), TranslationOptions());
+  return out;
+}
+
+void BM_ScaffoldTemplatedFunctors(benchmark::State& state) {
+  ScaffoldData data = MakeScaffoldData(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    CubeScaffold<MicroCountCell> scaffold(&data.mmst);
+    scaffold.Run(
+        data.tr, [](MicroCountCell* c, FactId) { c->n += 1; },
+        [](MicroCountCell* dst, const MicroCountCell& src) { dst->n += src.n; },
+        [&](uint32_t, Span<int32_t>, const MicroCountCell& cell) {
+          checksum += cell.n;
+        });
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScaffoldTemplatedFunctors)->Arg(20000)->Arg(100000);
+
+void BM_ScaffoldStdFunction(benchmark::State& state) {
+  ScaffoldData data = MakeScaffoldData(static_cast<size_t>(state.range(0)), 4);
+  uint64_t checksum = 0;
+  std::function<void(MicroCountCell*, FactId)> load =
+      [](MicroCountCell* c, FactId) { c->n += 1; };
+  std::function<void(MicroCountCell*, const MicroCountCell&)> merge =
+      [](MicroCountCell* dst, const MicroCountCell& src) { dst->n += src.n; };
+  std::function<void(uint32_t, Span<int32_t>, const MicroCountCell&)> emit =
+      [&](uint32_t, Span<int32_t>, const MicroCountCell& cell) {
+        checksum += cell.n;
+      };
+  for (auto _ : state) {
+    checksum = 0;
+    CubeScaffold<MicroCountCell> scaffold(&data.mmst);
+    scaffold.Run(data.tr, load, merge, emit);
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScaffoldStdFunction)->Arg(20000)->Arg(100000);
+
+// The collect-and-canonical-emit protocol at one worker measures the
+// overhead the parallel path pays over direct streaming emit (the price of
+// worker-count-independent results even at 1 thread).
+void BM_ParallelLatticeRunOneWorker(benchmark::State& state) {
+  ScaffoldData data = MakeScaffoldData(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    ParallelLatticeRun<MicroCountCell>(
+        data.mmst, data.tr, /*wanted=*/nullptr, /*num_workers=*/1,
+        /*scheduler=*/nullptr, [](MicroCountCell* c, FactId) { c->n += 1; },
+        [](MicroCountCell* dst, const MicroCountCell& src) { dst->n += src.n; },
+        [](uint32_t, Span<int32_t>) { return true; },
+        [&](uint32_t, Span<int32_t>, MicroCountCell& cell) {
+          checksum += cell.n;
+        });
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelLatticeRunOneWorker)->Arg(20000)->Arg(100000);
 
 void BM_OnlineMoments(benchmark::State& state) {
   Rng rng(6);

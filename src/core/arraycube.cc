@@ -89,15 +89,15 @@ std::vector<AggregateResult> EvaluateLatticeArrayCube(
       d.max = std::max(d.max, s.max);
     }
   };
-  auto emit = [&](uint32_t mask, const std::vector<int32_t>& coords,
-                  const ValueCell& cell) {
+  auto emit = [&](uint32_t mask, Span<int32_t> coords, ValueCell& cell) {
     std::vector<TermId> dim_values;
     for (size_t d = 0; d < n; ++d) {
       if (!(mask & (1u << d))) continue;
       if (coords[d] >= encodings[d].null_code()) return;  // null group
       dim_values.push_back(encodings[d].values[coords[d]]);
     }
-    collected[{mask, std::move(dim_values)}] = cell;
+    // The scaffold clears the cell right after emit, so stealing is safe.
+    collected[{mask, std::move(dim_values)}] = std::move(cell);
   };
   scaffold.Run(translation, load, merge, emit);
 

@@ -57,12 +57,17 @@ uint64_t CubeLayout::EncodePartition(const std::vector<int>& chunk_coords) const
 
 std::vector<int> CubeLayout::DecodePartition(uint64_t p) const {
   std::vector<int> cc(order.size(), 0);
+  DecodePartitionInto(p, &cc);
+  return cc;
+}
+
+void CubeLayout::DecodePartitionInto(uint64_t p, std::vector<int>* chunk_coords) const {
+  chunk_coords->resize(order.size());
   for (size_t k = order.size(); k-- > 0;) {
     int d = order[k];
-    cc[d] = static_cast<int>(p % static_cast<uint64_t>(num_chunks[d]));
+    (*chunk_coords)[d] = static_cast<int>(p % static_cast<uint64_t>(num_chunks[d]));
     p /= static_cast<uint64_t>(num_chunks[d]);
   }
-  return cc;
 }
 
 uint64_t CubeLayout::PackCell(const std::vector<int32_t>& coords) const {
@@ -203,25 +208,23 @@ Mmst Mmst::Build(const std::vector<int>& extents, int target_chunk) {
     }
     mmst.nodes_[node.parent].children.push_back(static_cast<int>(mask));
   }
+
+  // Cache the derived views consumed per scaffold invocation: the topological
+  // order (parents first — more mask bits first) and the summed memory cells.
+  mmst.topo_order_.resize(mmst.nodes_.size());
+  std::iota(mmst.topo_order_.begin(), mmst.topo_order_.end(), 0);
+  std::sort(mmst.topo_order_.begin(), mmst.topo_order_.end(),
+            [&mmst](int a, int b) {
+              int pa = __builtin_popcount(mmst.nodes_[a].mask);
+              int pb = __builtin_popcount(mmst.nodes_[b].mask);
+              if (pa != pb) return pa > pb;
+              return a < b;
+            });
+  mmst.total_memory_cells_ = 0;
+  for (const auto& node : mmst.nodes_) {
+    mmst.total_memory_cells_ += node.memory_cells;
+  }
   return mmst;
-}
-
-uint64_t Mmst::total_memory_cells() const {
-  uint64_t total = 0;
-  for (const auto& node : nodes_) total += node.memory_cells;
-  return total;
-}
-
-std::vector<int> Mmst::TopologicalOrder() const {
-  std::vector<int> order(nodes_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [this](int a, int b) {
-    int pa = __builtin_popcount(nodes_[a].mask);
-    int pb = __builtin_popcount(nodes_[b].mask);
-    if (pa != pb) return pa > pb;
-    return a < b;
-  });
-  return order;
 }
 
 Translation TranslateData(const std::vector<DimensionEncoding>& dims,
@@ -236,20 +239,20 @@ Translation TranslateData(const std::vector<DimensionEncoding>& dims,
       std::min<size_t>(options.fact_end, num_facts));
 
   std::vector<const std::vector<int32_t>*> lists(n);
-  std::vector<int32_t> null_list_storage;
   std::vector<size_t> odo(n);
   std::vector<int32_t> coords(n);
   std::vector<int> chunk_coords(n);
+  // A fact missing dimension d maps to the constant one-element list
+  // {null_code(d)} — build those lists once, not per fact.
+  std::vector<std::vector<int32_t>> null_lists(n);
+  for (size_t d = 0; d < n; ++d) null_lists[d] = {dims[d].null_code()};
 
   for (FactId fact = begin; fact < end; ++fact) {
     bool any_value = false;
     size_t combos = 1;
-    static const std::vector<int32_t> kEmpty;
-    std::vector<std::vector<int32_t>> null_lists(n);
     for (size_t d = 0; d < n; ++d) {
       const std::vector<int32_t>& codes = dims[d].fact_codes[fact];
       if (codes.empty()) {
-        null_lists[d] = {dims[d].null_code()};
         lists[d] = &null_lists[d];
       } else {
         lists[d] = &codes;
@@ -299,7 +302,6 @@ Translation TranslateData(const std::vector<DimensionEncoding>& dims,
     }
   fact_done:;
   }
-  (void)null_list_storage;
   return out;
 }
 
@@ -326,6 +328,35 @@ Translation MergeShardTranslations(std::vector<Translation> shards) {
     out.num_facts_translated += shard.num_facts_translated;
     out.num_dropped_combos += shard.num_dropped_combos;
   }
+  return out;
+}
+
+std::vector<PartitionSlice> MakePartitionSlices(const Translation& data,
+                                                uint64_t num_partitions,
+                                                size_t num_slices) {
+  std::vector<PartitionSlice> out;
+  if (num_partitions == 0) {
+    out.push_back(PartitionSlice{0, 0});
+    return out;
+  }
+  uint64_t slices = std::min<uint64_t>(std::max<size_t>(1, num_slices),
+                                       num_partitions);
+  uint64_t total_pairs = 0;
+  for (const auto& p : data.partitions) total_pairs += p.size();
+  uint64_t target = std::max<uint64_t>(1, (total_pairs + slices - 1) / slices);
+
+  uint64_t begin = 0;
+  uint64_t acc = 0;
+  for (uint64_t p = 0; p < num_partitions; ++p) {
+    if (p < data.partitions.size()) acc += data.partitions[p].size();
+    bool last_slice = out.size() + 1 == slices;
+    if (!last_slice && acc >= target && p + 1 < num_partitions) {
+      out.push_back(PartitionSlice{begin, p + 1});
+      begin = p + 1;
+      acc = 0;
+    }
+  }
+  out.push_back(PartitionSlice{begin, num_partitions});
   return out;
 }
 

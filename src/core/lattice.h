@@ -1,15 +1,19 @@
 #ifndef SPADE_CORE_LATTICE_H_
 #define SPADE_CORE_LATTICE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/aggregate.h"
+#include "src/exec/thread_pool.h"
 #include "src/store/attribute_store.h"
 #include "src/util/rng.h"
+#include "src/util/span.h"
+#include "src/util/timer.h"
 
 namespace spade {
 
@@ -53,6 +57,9 @@ struct CubeLayout {
   uint64_t EncodePartition(const std::vector<int>& chunk_coords) const;
   /// Per-dim chunk coordinates of partition `p`.
   std::vector<int> DecodePartition(uint64_t p) const;
+  /// Allocation-free DecodePartition into a caller-owned buffer (resized to
+  /// num_dims); the scaffold's per-partition hot path.
+  void DecodePartitionInto(uint64_t p, std::vector<int>* chunk_coords) const;
   /// Pack per-dim value coordinates into a cell id (radix = extents, in dim
   /// index order — independent of `order`).
   uint64_t PackCell(const std::vector<int32_t>& coords) const;
@@ -98,15 +105,20 @@ class Mmst {
   size_t num_dims() const { return layout_.num_dims(); }
   int root() const { return static_cast<int>(nodes_.size()) - 1; }
 
-  /// Sum of memory_cells over all nodes (the minimized objective).
-  uint64_t total_memory_cells() const;
+  /// Sum of memory_cells over all nodes (the minimized objective). Cached at
+  /// Build time.
+  uint64_t total_memory_cells() const { return total_memory_cells_; }
 
-  /// Node indexes in topological order: parents before children.
-  std::vector<int> TopologicalOrder() const;
+  /// Node indexes in topological order: parents before children. Cached at
+  /// Build time — CubeScaffold::Run and SetWantedNodes consume it per
+  /// invocation and must not re-sort.
+  const std::vector<int>& TopologicalOrder() const { return topo_order_; }
 
  private:
   CubeLayout layout_;
   std::vector<MmstNode> nodes_;  // indexed by mask; root = (1<<N)-1
+  std::vector<int> topo_order_;
+  uint64_t total_memory_cells_ = 0;
 };
 
 /// \brief Result of Data Translation (Section 4.3): the partitioned array
@@ -170,17 +182,21 @@ Translation MergeShardTranslations(std::vector<Translation> shards);
 ///      finally `emit(node_mask, coords, cell)` is called for every non-empty
 ///      cell of the flushed node — exactly once per group over the whole run.
 ///
-/// `emit` receives global value coordinates (length N, null codes included);
-/// the caller decides what to do with null groups (MVDCube reports only
-/// null-free groups but propagates everything, Section 4.3).
+/// `emit` receives global value coordinates (length N, null codes included,
+/// -1 on absent dims) as a Span into scaffold-owned scratch, and a mutable
+/// reference to the cell — the cell is cleared right after emit returns, so
+/// the consumer may steal its contents (ParallelLatticeRun moves bitmaps out
+/// instead of copying). The caller decides what to do with null groups
+/// (MVDCube reports only null-free groups but propagates everything,
+/// Section 4.3).
+///
+/// The load/merge/emit callables are template parameters, not std::function:
+/// the per-fact and per-cell inner loops inline the functors instead of
+/// paying an indirect dispatch per call, and the flush path reuses
+/// scaffold-owned scratch buffers — no heap allocation per cell.
 template <typename Cell>
 class CubeScaffold {
  public:
-  using LoadFn = std::function<void(Cell*, FactId)>;
-  using MergeFn = std::function<void(Cell*, const Cell&)>;
-  using EmitFn =
-      std::function<void(uint32_t, const std::vector<int32_t>&, const Cell&)>;
-
   explicit CubeScaffold(const Mmst* mmst) : mmst_(mmst) {
     states_.resize(mmst_->nodes().size());
     subtree_needed_.assign(states_.size(), true);
@@ -194,11 +210,12 @@ class CubeScaffold {
   void SetWantedNodes(const std::vector<bool>& wanted) {
     subtree_needed_ = wanted;
     subtree_needed_.resize(states_.size(), true);
-    // Children have fewer mask bits than parents; iterate masks ascending so
-    // every child is final before its parents aggregate it.
-    for (int idx : ReverseTopological()) {
-      for (int child : mmst_->nodes()[idx].children) {
-        if (subtree_needed_[child]) subtree_needed_[idx] = true;
+    // Iterate children before parents so every child's flag is final before
+    // its parents aggregate it.
+    const std::vector<int>& topo = mmst_->TopologicalOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      for (int child : mmst_->nodes()[*it].children) {
+        if (subtree_needed_[child]) subtree_needed_[*it] = true;
       }
     }
   }
@@ -210,23 +227,39 @@ class CubeScaffold {
     return total;
   }
 
+  /// Stream every partition through the MMST (the sequential protocol).
+  template <typename LoadFn, typename MergeFn, typename EmitFn>
   void Run(const Translation& data, const LoadFn& load, const MergeFn& merge,
            const EmitFn& emit) {
+    Run(data, 0, mmst_->layout().num_partitions, load, merge, emit);
+  }
+
+  /// Process only partitions [p_begin, p_end) — one contiguous slice of the
+  /// full sequence. A contiguous slice of a non-revisiting partition
+  /// sequence is itself non-revisiting, so the flush discipline (each group
+  /// emitted at most once per Run) is preserved; groups whose region spans a
+  /// slice boundary are emitted by several slices with partial cells, which
+  /// ParallelLatticeRun reconciles by merging. The final cascade drains
+  /// whatever regions remain open at the slice boundary.
+  template <typename LoadFn, typename MergeFn, typename EmitFn>
+  void Run(const Translation& data, uint64_t p_begin, uint64_t p_end,
+           const LoadFn& load, const MergeFn& merge, const EmitFn& emit) {
     const CubeLayout& layout = mmst_->layout();
     size_t n = layout.num_dims();
     if (!subtree_needed_[mmst_->root()]) return;  // nothing to compute at all
-    for (uint64_t p = 0; p < layout.num_partitions; ++p) {
+    partition_scratch_.assign(n, 0);
+    load_coords_.assign(n, 0);
+    for (uint64_t p = p_begin; p < p_end; ++p) {
       if (p < data.partitions.size() && data.partitions[p].empty()) continue;
-      std::vector<int> pc = layout.DecodePartition(p);
+      layout.DecodePartitionInto(p, &partition_scratch_);
       // Load the partition into the root.
       int root_idx = mmst_->root();
       NodeState& root = states_[root_idx];
-      SetRegion(root_idx, pc);
+      SetRegion(root_idx, partition_scratch_);
       if (p < data.partitions.size()) {
-        std::vector<int32_t> coords(n);
         for (const auto& [cell_id, fact] : data.partitions[p]) {
-          UnpackInto(layout, cell_id, &coords);
-          uint64_t off = LocalOffset(root_idx, coords);
+          UnpackInto(layout, cell_id, &load_coords_);
+          uint64_t off = LocalOffset(root_idx, load_coords_.data());
           if (root.cells[off].Empty()) root.occupied.push_back(off);
           load(&root.cells[off], fact);
         }
@@ -245,14 +278,12 @@ class CubeScaffold {
     std::vector<Cell> cells;          ///< allocated once, reused per region
     std::vector<uint64_t> occupied;   ///< offsets of non-empty cells
     std::vector<int> region;          ///< per-dim chunk coords (-1 on full dims)
+    /// Flat [occupied x num_dims] decode buffer, reused across flushes of
+    /// this node. Per-node (not scaffold-wide) because Flush recurses into
+    /// children between decoding and consuming the coordinates.
+    std::vector<int32_t> coord_scratch;
     bool has_region = false;
   };
-
-  std::vector<int> ReverseTopological() const {
-    std::vector<int> order = mmst_->TopologicalOrder();
-    std::reverse(order.begin(), order.end());
-    return order;
-  }
 
   void SetRegion(int idx, const std::vector<int>& pc) {
     const MmstNode& node = mmst_->nodes()[idx];
@@ -282,7 +313,7 @@ class CubeScaffold {
     return false;
   }
 
-  uint64_t LocalOffset(int idx, const std::vector<int32_t>& coords) const {
+  uint64_t LocalOffset(int idx, const int32_t* coords) const {
     const MmstNode& node = mmst_->nodes()[idx];
     const NodeState& st = states_[idx];
     const CubeLayout& layout = mmst_->layout();
@@ -298,14 +329,13 @@ class CubeScaffold {
     return offset;
   }
 
-  /// Global coords of a local cell offset (nulls where dims are absent —
-  /// absent dims are reported as null only conceptually; for emission the
-  /// caller receives coords of *present* dims and null_code elsewhere).
-  std::vector<int32_t> GlobalCoords(int idx, uint64_t offset) const {
+  /// Global coords of a local cell offset, written into `out` (length
+  /// num_dims): -1 where dims are absent, value codes elsewhere.
+  void GlobalCoordsInto(int idx, uint64_t offset, int32_t* out) const {
     const MmstNode& node = mmst_->nodes()[idx];
     const NodeState& st = states_[idx];
     const CubeLayout& layout = mmst_->layout();
-    std::vector<int32_t> coords(layout.num_dims(), -1);
+    for (size_t d = 0; d < layout.num_dims(); ++d) out[d] = -1;
     for (size_t k = 0; k < node.dims.size(); ++k) {
       int d = node.dims[k];
       int32_t comp = static_cast<int32_t>((offset / node.stride[k]) %
@@ -313,20 +343,22 @@ class CubeScaffold {
       if (!(node.full_mask & (1u << d))) {
         comp += st.region[d] * layout.chunk[d];
       }
-      coords[d] = comp;
+      out[d] = comp;
     }
-    return coords;
   }
 
+  template <typename MergeFn, typename EmitFn>
   void Flush(int idx, const MergeFn& merge, const EmitFn& emit) {
     const MmstNode& node = mmst_->nodes()[idx];
     NodeState& st = states_[idx];
     if (!st.has_region) return;
+    const size_t n = mmst_->layout().num_dims();
 
     // Decode each occupied cell's coordinates once.
-    std::vector<std::vector<int32_t>> coords_of;
-    coords_of.reserve(st.occupied.size());
-    for (uint64_t off : st.occupied) coords_of.push_back(GlobalCoords(idx, off));
+    st.coord_scratch.resize(st.occupied.size() * n);
+    for (size_t i = 0; i < st.occupied.size(); ++i) {
+      GlobalCoordsInto(idx, st.occupied[i], st.coord_scratch.data() + i * n);
+    }
 
     // Propagate to children first (their regions derive from ours).
     for (int child_idx : node.children) {
@@ -334,23 +366,27 @@ class CubeScaffold {
       if (RegionChanged(child_idx, st.region)) {
         Flush(child_idx, merge, emit);
       }
-      std::vector<int> pc(st.region);
-      for (size_t i = 0; i < pc.size(); ++i) {
-        if (pc[i] < 0) pc[i] = 0;
+      // region_scratch_ is scaffold-wide: it is written after any recursive
+      // child flush returns and consumed immediately by SetRegion.
+      region_scratch_.assign(st.region.begin(), st.region.end());
+      for (size_t i = 0; i < region_scratch_.size(); ++i) {
+        if (region_scratch_[i] < 0) region_scratch_[i] = 0;
       }
-      SetRegion(child_idx, pc);
+      SetRegion(child_idx, region_scratch_);
       // Merge every non-empty cell downward.
       NodeState& child = states_[child_idx];
       for (size_t i = 0; i < st.occupied.size(); ++i) {
-        uint64_t child_off = LocalOffset(child_idx, coords_of[i]);
+        uint64_t child_off =
+            LocalOffset(child_idx, st.coord_scratch.data() + i * n);
         if (child.cells[child_off].Empty()) child.occupied.push_back(child_off);
         merge(&child.cells[child_off], st.cells[st.occupied[i]]);
       }
     }
 
-    // Emit completed cells.
+    // Emit completed cells (mutable: cleared right below, so emit may steal).
     for (size_t i = 0; i < st.occupied.size(); ++i) {
-      emit(node.mask, coords_of[i], st.cells[st.occupied[i]]);
+      emit(node.mask, Span<int32_t>(st.coord_scratch.data() + i * n, n),
+           st.cells[st.occupied[i]]);
     }
 
     // Clear only the touched cells; keep the array allocated for reuse.
@@ -362,6 +398,9 @@ class CubeScaffold {
   const Mmst* mmst_;
   std::vector<NodeState> states_;
   std::vector<bool> subtree_needed_;
+  std::vector<int> partition_scratch_;   ///< DecodePartitionInto buffer
+  std::vector<int32_t> load_coords_;     ///< UnpackInto buffer (root loading)
+  std::vector<int> region_scratch_;      ///< child-region buffer (Flush)
 
   static void UnpackInto(const CubeLayout& layout, uint64_t cell,
                          std::vector<int32_t>* coords) {
@@ -371,6 +410,202 @@ class CubeScaffold {
     }
   }
 };
+
+/// Pack a node's global coordinates into the canonical group id: absent dims
+/// (mask bit clear, coordinate -1) pack as 0, so ids are unique within a
+/// node and ascending id order is lexicographic over the present dims in
+/// dim-index significance. The radix is the full extents — independent of
+/// the layout order, so the id is stable across chunkings.
+inline uint64_t PackCellMasked(const CubeLayout& layout, uint32_t mask,
+                               Span<int32_t> coords) {
+  uint64_t cell = 0;
+  for (size_t i = 0; i < layout.extent.size(); ++i) {
+    int32_t c = (mask & (1u << i)) ? coords[i] : 0;
+    cell = cell * static_cast<uint64_t>(layout.extent[i]) +
+           static_cast<uint64_t>(c);
+  }
+  return cell;
+}
+
+/// Inverse of PackCellMasked: writes value codes on present dims and -1 on
+/// absent dims (matching the scaffold's emit convention).
+inline void UnpackCellMaskedInto(const CubeLayout& layout, uint32_t mask,
+                                 uint64_t cell, int32_t* coords) {
+  for (size_t i = layout.extent.size(); i-- > 0;) {
+    int32_t c = static_cast<int32_t>(cell % static_cast<uint64_t>(layout.extent[i]));
+    cell /= static_cast<uint64_t>(layout.extent[i]);
+    coords[i] = (mask & (1u << i)) ? c : -1;
+  }
+}
+
+/// One worker's contiguous share of the partition sequence.
+struct PartitionSlice {
+  uint64_t begin = 0;
+  uint64_t end = 0;  ///< half-open
+};
+
+/// Split [0, num_partitions) into at most `num_slices` contiguous slices,
+/// balanced by translated (cell, fact) pair count. The slicing is a pure
+/// function of its inputs; it affects only wall-clock, never results
+/// (ParallelLatticeRun's merge is slicing-independent).
+std::vector<PartitionSlice> MakePartitionSlices(const Translation& data,
+                                                uint64_t num_partitions,
+                                                size_t num_slices);
+
+/// Instrumentation of one ParallelLatticeRun.
+struct ParallelLatticeStats {
+  size_t num_slices = 0;
+  double wall_ms = 0;   ///< whole run: slices + merge + canonical emit
+  double work_ms = 0;   ///< per-worker scaffold time, summed
+  double merge_ms = 0;  ///< partial merge + canonical emit (single wall)
+  /// (node, group) partial cells collected across all slices before the
+  /// merge — the memory price of partition parallelism over streaming emit.
+  uint64_t peak_partial_cells = 0;
+};
+
+/// \brief Partition-parallel lattice computation (the PR 3 tentpole).
+///
+/// The partition sequence is split into contiguous slices, one
+/// CubeScaffold per slice run concurrently on `scheduler`. Instead of
+/// emitting, each slice collects per-node partial results keyed by the
+/// canonical packed cell id; a group whose region spans a slice boundary is
+/// collected by several slices with partial cells. The partials are then
+/// folded per node — concatenated in ascending slice order, stable-sorted
+/// by cell id, duplicates combined with `merge` — and a single thread emits
+/// every surviving group in canonical order: node mask ascending, packed
+/// cell id ascending.
+///
+/// Determinism: with set-semantics cells (MVDCube's fact bitmaps) the fold
+/// is a set union, so the merged cell of every group equals the sequential
+/// scaffold's cell exactly, for ANY slicing — and the canonical emit order
+/// is worker-count-independent by construction. Downstream FP accumulation
+/// (bitmap ForEach scans fact ids ascending; the ARM sees groups in
+/// canonical order) is therefore bit-identical at every worker count. With
+/// FP-accumulator cells the fold order is ascending-slice, deterministic
+/// for a fixed worker count but not across counts (ArrayCube keeps the
+/// sequential scaffold).
+///
+/// `keep(mask, coords)` filters at collection time (nodes with no consumer,
+/// null-coordinate groups); `emit(mask, coords, cell)` receives a mutable
+/// cell it may consume. `wanted` is forwarded to every slice's
+/// SetWantedNodes (nullptr = all nodes).
+template <typename Cell, typename LoadFn, typename MergeFn, typename KeepFn,
+          typename EmitFn>
+void ParallelLatticeRun(const Mmst& mmst, const Translation& data,
+                        const std::vector<bool>* wanted, size_t num_workers,
+                        TaskScheduler* scheduler, const LoadFn& load,
+                        const MergeFn& merge, const KeepFn& keep,
+                        const EmitFn& emit,
+                        ParallelLatticeStats* stats = nullptr) {
+  const CubeLayout& layout = mmst.layout();
+  const size_t n = layout.num_dims();
+  const size_t num_nodes = mmst.nodes().size();
+  Timer wall;
+
+  std::vector<PartitionSlice> slices = MakePartitionSlices(
+      data, layout.num_partitions, std::max<size_t>(1, num_workers));
+
+  // Stage 1: one scaffold per slice, collecting (cell id, Cell) partials
+  // per node. Within a slice each group is emitted at most once (flush
+  // discipline), so the per-node sort key is unique.
+  using NodePartial = std::vector<std::pair<uint64_t, Cell>>;
+  std::vector<std::vector<NodePartial>> partials(slices.size());
+  std::vector<double> slice_ms(slices.size(), 0.0);
+  auto run_slice = [&](size_t s) {
+    Timer t;
+    std::vector<NodePartial>& mine = partials[s];
+    mine.resize(num_nodes);
+    CubeScaffold<Cell> scaffold(&mmst);
+    if (wanted != nullptr) scaffold.SetWantedNodes(*wanted);
+    scaffold.Run(data, slices[s].begin, slices[s].end, load, merge,
+                 [&](uint32_t mask, Span<int32_t> coords, Cell& cell) {
+                   if (!keep(mask, coords)) return;
+                   mine[mask].emplace_back(PackCellMasked(layout, mask, coords),
+                                           std::move(cell));
+                 });
+    for (NodePartial& p : mine) {
+      std::sort(p.begin(), p.end(), [](const std::pair<uint64_t, Cell>& a,
+                                       const std::pair<uint64_t, Cell>& b) {
+        return a.first < b.first;
+      });
+    }
+    slice_ms[s] = t.ElapsedMillis();
+  };
+  if (scheduler != nullptr && slices.size() > 1) {
+    scheduler->ParallelFor(slices.size(), run_slice);
+  } else {
+    for (size_t s = 0; s < slices.size(); ++s) run_slice(s);
+  }
+
+  uint64_t partial_cells = 0;
+  for (const auto& slice_partials : partials) {
+    for (const NodePartial& p : slice_partials) partial_cells += p.size();
+  }
+
+  // Stage 2: fold the slices per node. Nodes are independent, so the fold
+  // fans out too; the per-node result is slicing-independent for
+  // set-semantics merges (see class comment).
+  Timer merge_timer;
+  std::vector<NodePartial> merged(num_nodes);
+  if (slices.size() == 1) {
+    merged = std::move(partials[0]);  // sorted, duplicate-free already
+  } else {
+    auto fold_node = [&](size_t mask) {
+      NodePartial& out = merged[mask];
+      size_t total = 0;
+      for (const auto& sp : partials) total += sp[mask].size();
+      if (total == 0) return;
+      out.reserve(total);
+      for (auto& sp : partials) {
+        for (auto& kv : sp[mask]) out.push_back(std::move(kv));
+      }
+      // Stable: duplicates stay in ascending slice order for the merge.
+      std::stable_sort(out.begin(), out.end(),
+                       [](const std::pair<uint64_t, Cell>& a,
+                          const std::pair<uint64_t, Cell>& b) {
+                         return a.first < b.first;
+                       });
+      size_t w = 0;
+      for (size_t r = 1; r < out.size(); ++r) {
+        if (out[r].first == out[w].first) {
+          merge(&out[w].second, out[r].second);
+        } else if (++w != r) {  // guard the no-gap case: self-move clears
+          out[w] = std::move(out[r]);
+        }
+      }
+      out.resize(w + 1);
+    };
+    if (scheduler != nullptr && scheduler->parallel() && num_nodes > 1) {
+      scheduler->ParallelFor(num_nodes, fold_node);
+    } else {
+      for (size_t mask = 0; mask < num_nodes; ++mask) fold_node(mask);
+    }
+  }
+
+  // Stage 3: canonical emit, single-threaded — node mask ascending, packed
+  // cell id ascending. This is the one ARM stream every configuration
+  // produces.
+  std::vector<int32_t> coords(n);
+  for (size_t mask = 0; mask < num_nodes; ++mask) {
+    for (auto& [cell_id, cell] : merged[mask]) {
+      UnpackCellMaskedInto(layout, static_cast<uint32_t>(mask), cell_id,
+                           coords.data());
+      emit(static_cast<uint32_t>(mask), Span<int32_t>(coords.data(), n), cell);
+    }
+  }
+
+  if (stats != nullptr) {
+    double work_ms = 0;
+    for (double ms : slice_ms) work_ms += ms;
+    // Plain assignment throughout: the struct always describes this one run
+    // (callers aggregate across runs via EvalStats::MergeLattice).
+    stats->num_slices = slices.size();
+    stats->wall_ms = wall.ElapsedMillis();
+    stats->work_ms = work_ms;
+    stats->merge_ms = merge_timer.ElapsedMillis();
+    stats->peak_partial_cells = partial_cells;
+  }
+}
 
 }  // namespace spade
 

@@ -58,7 +58,9 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
                                 const Translation* pre_translated,
                                 const Mmst* pre_built,
                                 const std::vector<DimensionEncoding>*
-                                    pre_encodings) {
+                                    pre_encodings,
+                                TaskScheduler* scheduler,
+                                size_t lattice_workers) {
   MvdCubeStats stats;
   Timer timer;
   size_t n = spec.dims.size();
@@ -134,39 +136,51 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
     }
   }
 
-  // --- Lattice Computation.
-  CubeScaffold<BitmapCell> scaffold(mmst);
-  {
-    // Skip MMST subtrees with no live MDA anywhere below them.
-    std::vector<bool> wanted(num_nodes, false);
-    for (uint32_t mask = 0; mask < num_nodes; ++mask) {
-      wanted[mask] = !node_mdas[mask].empty();
-    }
-    scaffold.SetWantedNodes(wanted);
+  // --- Lattice Computation: partition-parallel scaffold with canonical
+  // merge-and-emit (ParallelLatticeRun). The same protocol runs at every
+  // worker count — one slice, inline, at workers = 1 — so the ARM stream is
+  // identical across all thread/shard/worker configurations by construction.
+  // Skip MMST subtrees with no live MDA anywhere below them.
+  std::vector<bool> wanted(num_nodes, false);
+  for (uint32_t mask = 0; mask < num_nodes; ++mask) {
+    wanted[mask] = !node_mdas[mask].empty();
   }
   auto load = [](BitmapCell* cell, FactId fact) { cell->facts.Add(fact); };
   auto merge = [](BitmapCell* dst, const BitmapCell& src) {
     dst->facts.UnionWith(src.facts);
   };
-  auto emit = [&](uint32_t mask, const std::vector<int32_t>& coords,
-                  const BitmapCell& cell) {
+  // Collection filter: nodes nobody consumes, and null-coordinate groups —
+  // they exist only to feed descendants inside each slice's scaffold.
+  auto keep = [&](uint32_t mask, Span<int32_t> coords) {
+    if (node_mdas[mask].empty()) return false;
+    for (size_t d = 0; d < n; ++d) {
+      if ((mask & (1u << d)) && coords[d] >= encodings[d].null_code()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Per-measure accumulator of the ⊗ of Figure 5. The vectors are
+  // lattice-scoped scratch, reused across every emitted group.
+  struct Acc {
+    double count = 0, sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::vector<Acc> accs;
+  std::vector<TermId> dim_values;
+  dim_values.reserve(n);
+  auto emit = [&](uint32_t mask, Span<int32_t> coords, BitmapCell& cell) {
     const std::vector<NodeMda>& mdas = node_mdas[mask];
-    if (mdas.empty()) return;
-    // Null-coordinate groups exist only to feed descendants.
-    std::vector<TermId> dim_values;
+    dim_values.clear();
     for (size_t d = 0; d < n; ++d) {
       if (!(mask & (1u << d))) continue;
-      if (coords[d] >= encodings[d].null_code()) return;
       dim_values.push_back(encodings[d].values[coords[d]]);
     }
-    // Measure computation (the ⊗ of Figure 5): one scan of the bitmap
-    // updates the accumulators of every MDA of this node simultaneously.
-    struct Acc {
-      double count = 0, sum = 0;
-      double min = std::numeric_limits<double>::infinity();
-      double max = -std::numeric_limits<double>::infinity();
-    };
-    std::vector<Acc> accs(spec.measures.size());
+    // One scan of the bitmap updates the accumulators of every MDA of this
+    // node simultaneously; ForEach visits fact ids ascending, so the FP
+    // accumulation order is fixed no matter how the bitmap was assembled.
+    accs.assign(spec.measures.size(), Acc());
     double count_star = static_cast<double>(cell.facts.Cardinality());
     bool need_measures = false;
     for (const NodeMda& mda : mdas) {
@@ -217,7 +231,9 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
       ++stats.num_groups_emitted;
     }
   };
-  scaffold.Run(*translation, load, merge, emit);
+  ParallelLatticeRun<BitmapCell>(*mmst, *translation, &wanted, lattice_workers,
+                                 scheduler, load, merge, keep, emit,
+                                 &stats.lattice);
   stats.compute_ms = timer.ElapsedMillis();
   return stats;
 }

@@ -48,6 +48,8 @@ struct MvdCubeStats {
   double translate_ms = 0;
   double measure_load_ms = 0;
   double compute_ms = 0;
+  /// Partition-parallel lattice computation (ParallelLatticeRun).
+  ParallelLatticeStats lattice;
 };
 
 /// \brief MVDCube (Section 4.3): correct one-pass lattice evaluation.
@@ -68,6 +70,14 @@ struct MvdCubeStats {
 /// `pruned` contains MDA keys early-stop decided to skip (their nodes still
 /// propagate). Results stream into `arm`; keys already evaluated there are
 /// reused, not recomputed.
+///
+/// Lattice computation runs the partition-parallel protocol
+/// (ParallelLatticeRun) at every configuration: `lattice_workers` contiguous
+/// partition slices evaluated concurrently on `scheduler` (one slice,
+/// inline, by default), partial fact bitmaps merged by union and groups
+/// emitted in canonical order. The ARM stream — order included — is
+/// identical at every worker count, so `lattice_workers` and `scheduler`
+/// only change wall-clock.
 MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
                                 const CfsIndex& cfs, const LatticeSpec& spec,
                                 const MvdCubeOptions& options, Arm* arm,
@@ -76,7 +86,9 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
                                 const Translation* pre_translated = nullptr,
                                 const Mmst* pre_built = nullptr,
                                 const std::vector<DimensionEncoding>*
-                                    pre_encodings = nullptr);
+                                    pre_encodings = nullptr,
+                                TaskScheduler* scheduler = nullptr,
+                                size_t lattice_workers = 1);
 
 /// Build the MMST for a lattice spec (exposed so early-stop and benches can
 /// share one instance with the evaluation).

@@ -111,6 +111,12 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards, Arm* arm,
   report->timings.evaluation_ms += step.ElapsedMillis();
   report->shard_merge_ms += stats.shard_merge_ms;
   MergeShardCounts(stats.shard_fact_counts, &report->shard_fact_counts);
+  report->lattice_workers_used =
+      std::max(report->lattice_workers_used, stats.lattice_workers_used);
+  report->lattice_wall_ms += stats.lattice_wall_ms;
+  report->lattice_work_ms += stats.lattice_work_ms;
+  report->lattice_peak_partial_cells = std::max(
+      report->lattice_peak_partial_cells, stats.lattice_peak_partial_cells);
 }
 
 namespace {
@@ -127,6 +133,12 @@ void MergeCfsReport(const SpadeReport& cfs, SpadeReport* total) {
   total->num_groups_emitted += cfs.num_groups_emitted;
   total->shard_merge_ms += cfs.shard_merge_ms;
   MergeShardCounts(cfs.shard_fact_counts, &total->shard_fact_counts);
+  total->lattice_workers_used =
+      std::max(total->lattice_workers_used, cfs.lattice_workers_used);
+  total->lattice_wall_ms += cfs.lattice_wall_ms;
+  total->lattice_work_ms += cfs.lattice_work_ms;
+  total->lattice_peak_partial_cells =
+      std::max(total->lattice_peak_partial_cells, cfs.lattice_peak_partial_cells);
   total->timings.attribute_analysis_ms += cfs.timings.attribute_analysis_ms;
   total->timings.enumeration_ms += cfs.timings.enumeration_ms;
   total->timings.earlystop_ms += cfs.timings.earlystop_ms;

@@ -38,8 +38,11 @@ struct SpadeOptions {
   /// Group tuples retained per MDA for presentation.
   size_t max_stored_groups = 64;
   /// Online-phase worker threads: 0 = hardware concurrency, 1 = serial.
-  /// Results (top-k insights, aggregate counts) are identical at every
-  /// setting; only wall-clock changes.
+  /// The same pool drives all three parallelism levels — across CFSs,
+  /// across fact-id shards of one CFS, and across partition slices of one
+  /// lattice computation (ParallelLatticeRun). Results (top-k insights,
+  /// aggregate counts) are identical at every setting; only wall-clock
+  /// changes.
   size_t num_threads = 1;
   /// Fact-id-range shards evaluating one CFS concurrently: 0 = auto (one
   /// shard per resolved worker thread), 1 = unsharded, N = exactly N.
@@ -99,6 +102,15 @@ struct SpadeReport {
   std::vector<size_t> shard_fact_counts;
   /// Work time spent merging per-shard partial translations (all CFSs).
   double shard_merge_ms = 0;
+  /// Partition-parallel lattice computation (MVDCube path; zero elsewhere):
+  /// the largest slice count any lattice ran with (bounded by num_threads
+  /// and by the lattice's partition count), wall / summed-work time of the
+  /// parallel runs, and the peak partial (node, group) cell count. Results
+  /// are identical at every worker count; these report cost and overlap.
+  size_t lattice_workers_used = 0;
+  double lattice_wall_ms = 0;
+  double lattice_work_ms = 0;
+  uint64_t lattice_peak_partial_cells = 0;
   SpadeTimings timings;
 };
 

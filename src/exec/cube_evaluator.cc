@@ -33,9 +33,13 @@ EvalStats CubeEvaluator::EvaluateCfs(const CubeEvalInputs& in, Arm* arm,
   EvalStats stats;
   Prepare(in, *arm, scheduler, &stats);
   for (size_t li = 0; li < in.lattices->size(); ++li) {
-    EvaluateLattice(in, li, arm, &stats);
+    EvaluateLattice(in, li, arm, scheduler, &stats);
   }
   return stats;
+}
+
+size_t ResolveLatticeWorkers(const TaskScheduler* scheduler) {
+  return scheduler != nullptr ? scheduler->num_threads() : 1;
 }
 
 namespace {
@@ -103,16 +107,18 @@ class MvdCubeEvaluator : public CubeEvaluator {
   }
 
   void EvaluateLattice(const CubeEvalInputs& in, size_t li, Arm* arm,
-                       EvalStats* stats) override {
+                       TaskScheduler* scheduler, EvalStats* stats) override {
     MvdCubeStats s = EvaluateLatticeMvd(
         *in.db, in.cfs_id, *in.cfs, (*in.lattices)[li], options_.mvd, arm,
         &measures_, pruned_.empty() ? nullptr : &pruned_,
         pre_built_ ? &translations_[li] : nullptr,
         pre_built_ ? &mmsts_[li] : nullptr,
-        pre_built_ ? &encodings_[li] : nullptr);
+        pre_built_ ? &encodings_[li] : nullptr, scheduler,
+        ResolveLatticeWorkers(scheduler));
     stats->num_mdas_evaluated += s.num_mdas_evaluated;
     stats->num_mdas_reused += s.num_mdas_reused;
     stats->num_groups_emitted += s.num_groups_emitted;
+    stats->MergeLattice(s.lattice);
   }
 
  private:
@@ -152,7 +158,7 @@ class PgCubeEvaluator : public CubeEvaluator {
   }
 
   void EvaluateLattice(const CubeEvalInputs& in, size_t li, Arm* arm,
-                       EvalStats* stats) override {
+                       TaskScheduler* /*scheduler*/, EvalStats* stats) override {
     PgCubeStats s;
     EvaluateLatticePgCube(*in.db, in.cfs_id, *in.cfs, (*in.lattices)[li],
                           variant_, arm, &s);
@@ -176,7 +182,7 @@ class ArrayCubeEvaluator : public CubeEvaluator {
   const char* name() const override { return "ArrayCube"; }
 
   void EvaluateLattice(const CubeEvalInputs& in, size_t li, Arm* arm,
-                       EvalStats* stats) override {
+                       TaskScheduler* /*scheduler*/, EvalStats* stats) override {
     std::vector<AggregateResult> results = EvaluateLatticeArrayCube(
         *in.db, in.cfs_id, *in.cfs, (*in.lattices)[li], options_, &measures_);
     for (AggregateResult& result : results) {

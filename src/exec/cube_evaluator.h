@@ -68,6 +68,24 @@ struct EvalStats {
   /// per-shard partial translations back together, summed over lattices.
   std::vector<size_t> shard_fact_counts;
   double shard_merge_ms = 0;
+  /// Partition-parallel lattice computation (MVDCube path; zero elsewhere):
+  /// partition slices actually used (max over lattices — small lattices may
+  /// have fewer partitions than workers), wall-clock and summed per-worker
+  /// work time of the parallel runs, and the peak count of partial
+  /// (node, group) cells held before the canonical merge.
+  size_t lattice_workers_used = 0;
+  double lattice_wall_ms = 0;
+  double lattice_work_ms = 0;
+  uint64_t lattice_peak_partial_cells = 0;
+
+  /// Fold one lattice's parallel-run counters into this CFS's stats.
+  void MergeLattice(const ParallelLatticeStats& ls) {
+    lattice_workers_used = std::max(lattice_workers_used, ls.num_slices);
+    lattice_wall_ms += ls.wall_ms;
+    lattice_work_ms += ls.work_ms;
+    lattice_peak_partial_cells =
+        std::max(lattice_peak_partial_cells, ls.peak_partial_cells);
+  }
 };
 
 /// \brief Uniform operator interface over the cube algorithms (MVDCube,
@@ -98,14 +116,24 @@ class CubeEvaluator {
                        TaskScheduler* scheduler, EvalStats* stats);
 
   /// Evaluate lattice `li` of `in.lattices` into `arm`. See class comment
-  /// for the ordering contract.
+  /// for the ordering contract — calls stay in ascending `li` order on one
+  /// thread; `scheduler` (may be null) lets the implementation parallelize
+  /// *inside* the lattice (MVDCube's partition-parallel computation), which
+  /// never changes results, only wall-clock.
   virtual void EvaluateLattice(const CubeEvalInputs& in, size_t li, Arm* arm,
-                               EvalStats* stats) = 0;
+                               TaskScheduler* scheduler, EvalStats* stats) = 0;
 
   /// Convenience driver: Prepare + every lattice in order.
   EvalStats EvaluateCfs(const CubeEvalInputs& in, Arm* arm,
                         TaskScheduler* scheduler);
 };
+
+/// Resolve the lattice-computation worker count: one partition slice per
+/// compute thread of the scheduler (1 when serial). The single definition
+/// both MVDCube evaluators (plain and sharded) dispatch on. Results are
+/// worker-count-independent by construction (ParallelLatticeRun's canonical
+/// merge-and-emit), so this is purely a wall-clock knob.
+size_t ResolveLatticeWorkers(const TaskScheduler* scheduler);
 
 /// Resolve the within-CFS shard count: 0 = auto (one per worker thread);
 /// configurations the factory cannot shard — non-MVDCube algorithms and

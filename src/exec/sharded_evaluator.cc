@@ -16,7 +16,8 @@ namespace {
 /// CFS — dimension encoding, data translation and measure loading — are
 /// split into `num_shards` contiguous fact-id ranges and run concurrently on
 /// the TaskScheduler; the per-shard partials are merged back in ascending
-/// shard order before the (sequential) lattice computation streams into the
+/// shard order before the lattice computation — itself partition-parallel
+/// (ParallelLatticeRun, canonical merge-and-emit) — streams into the
 /// per-CFS ARM shard.
 ///
 /// Why this is bit-identical to unsharded evaluation, at every shard and
@@ -129,14 +130,19 @@ class ShardedMvdCubeEvaluator : public CubeEvaluator {
   }
 
   void EvaluateLattice(const CubeEvalInputs& in, size_t li, Arm* arm,
-                       EvalStats* stats) override {
+                       TaskScheduler* scheduler, EvalStats* stats) override {
+    // Lattice computation is partition-parallel: one slice per compute
+    // thread, canonical merge-and-emit (see ParallelLatticeRun) — the
+    // worker count never changes the ARM stream, only wall-clock.
+    size_t workers = ResolveLatticeWorkers(scheduler);
     MvdCubeStats s = EvaluateLatticeMvd(
         *in.db, in.cfs_id, *in.cfs, (*in.lattices)[li], options_.mvd, arm,
         &measures_, /*pruned=*/nullptr, &translations_[li], &mmsts_[li],
-        &encodings_[li]);
+        &encodings_[li], scheduler, workers);
     stats->num_mdas_evaluated += s.num_mdas_evaluated;
     stats->num_mdas_reused += s.num_mdas_reused;
     stats->num_groups_emitted += s.num_groups_emitted;
+    stats->MergeLattice(s.lattice);
   }
 
  private:

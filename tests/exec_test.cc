@@ -328,6 +328,68 @@ TEST(ShardedPipelineTest, AutoShardsFollowResolvedThreads) {
   EXPECT_FALSE(out.insights.empty());
 }
 
+// --- Partition-parallel lattice computation -------------------------------
+
+// The acceptance contract of the parallel lattice: bit-identical top-k
+// insights across every (threads, shards) combination — the lattice worker
+// count follows the resolved thread count, so this matrix exercises lattice
+// workers {1, 2, 4, 8} x shards {1, 2, 4}. partition_chunk = 2 forces many
+// partitions per lattice, so multi-slice runs really happen (the default
+// chunk of 16 often leaves small lattices with a single partition).
+TEST(LatticeParallelPipelineTest, ManyPartitionsBitIdenticalAcrossWorkersAndShards) {
+  SyntheticOptions sopts;
+  sopts.num_facts = 3000;
+  sopts.dim_cardinality = {40, 25, 12};
+  sopts.num_measures = 2;
+  sopts.sparsity = 0.15;
+  auto make_graph = [&] { return GenerateSynthetic(sopts); };
+  SpadeOptions options = BaseOptions();
+  options.mvd.partition_chunk = 2;
+  options.num_shards = 1;
+  auto baseline_graph = make_graph();
+  RunOutcome serial = RunPipeline(baseline_graph.get(), options, 1);
+  EXPECT_FALSE(serial.insights.empty());
+  for (size_t shards : {1u, 2u, 4u}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("num_shards = " + std::to_string(shards));
+      options.num_shards = shards;
+      auto graph = make_graph();
+      RunOutcome parallel = RunPipeline(graph.get(), options, threads);
+      ExpectIdentical(serial, parallel, threads);
+      EXPECT_GE(parallel.report.lattice_workers_used, 1u);
+      EXPECT_LE(parallel.report.lattice_workers_used, threads);
+    }
+  }
+}
+
+// Early-stop shares the parallel lattice path (pruning only shrinks the
+// wanted-node set); its determinism contract must survive at many
+// partitions too.
+TEST(LatticeParallelPipelineTest, EarlyStopManyPartitionsDeterministic) {
+  SpadeOptions options = BaseOptions();
+  options.mvd.partition_chunk = 2;
+  options.enable_earlystop = true;
+  options.earlystop.sample_size = 60;
+  options.earlystop.num_batches = 2;
+  CheckDeterminism([] { return GenerateCeos(7, 0.25); }, options);
+}
+
+TEST(LatticeParallelPipelineTest, LatticeStatsReported) {
+  auto graph = GenerateCeos(42, 0.25);
+  SpadeOptions options = BaseOptions();
+  options.mvd.partition_chunk = 2;
+  RunOutcome out = RunPipeline(graph.get(), options, 4);
+  ASSERT_FALSE(out.insights.empty());
+  // MVDCube ran: the parallel lattice protocol reports its slice count and
+  // the partial-cell high-water mark (>= one cell per emitted group of the
+  // largest lattice).
+  EXPECT_GE(out.report.lattice_workers_used, 1u);
+  EXPECT_LE(out.report.lattice_workers_used, 4u);
+  EXPECT_GT(out.report.lattice_peak_partial_cells, 0u);
+  EXPECT_GE(out.report.lattice_wall_ms, 0.0);
+  EXPECT_GE(out.report.lattice_work_ms, 0.0);
+}
+
 // --- Arm::Absorb ----------------------------------------------------------
 
 TEST(ArmAbsorbTest, MovesEntriesAndKeepsFirstWriter) {

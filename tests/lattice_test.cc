@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
 
 #include "src/bitmap/roaring.h"
+#include "src/exec/thread_pool.h"
 
 namespace spade {
 namespace {
@@ -252,7 +254,7 @@ TEST_F(LatticeTest, ScaffoldEmitsEachGroupExactlyOnce) {
   scaffold.Run(
       tr, [](CountCell* c, FactId) { c->n += 1; },
       [](CountCell* dst, const CountCell& src) { dst->n += src.n; },
-      [&](uint32_t mask, const std::vector<int32_t>& coords,
+      [&](uint32_t mask, Span<int32_t> coords,
           const CountCell& cell) {
         std::vector<int32_t> kept;
         for (size_t d = 0; d < 3; ++d) {
@@ -320,7 +322,7 @@ TEST_P(ScaffoldChunkTest, GroupCountsIndependentOfChunking) {
     scaffold.Run(
         tr, [](CountCell* c, FactId) { c->n += 1; },
         [](CountCell* dst, const CountCell& src) { dst->n += src.n; },
-        [&](uint32_t mask, const std::vector<int32_t>& coords,
+        [&](uint32_t mask, Span<int32_t> coords,
             const CountCell& cell) {
           std::vector<int32_t> kept;
           for (size_t d = 0; d < 2; ++d) {
@@ -364,7 +366,7 @@ TEST_F(LatticeTest, SetWantedNodesSkipsDeadSubtrees) {
   scaffold.Run(
       tr, [](CountCell* c, FactId) { c->n += 1; },
       [](CountCell* dst, const CountCell& src) { dst->n += src.n; },
-      [&](uint32_t mask, const std::vector<int32_t>&, const CountCell&) {
+      [&](uint32_t mask, Span<int32_t>, const CountCell&) {
         emitted_masks.insert(mask);
       });
   EXPECT_EQ(emitted_masks, (std::set<uint32_t>{7u}));
@@ -390,13 +392,272 @@ TEST_F(LatticeTest, SetWantedNodesKeepsAncestorsOfWantedNodes) {
     scaffold.Run(
         tr, [](CountCell* c, FactId) { c->n += 1; },
         [](CountCell* dst, const CountCell& src) { dst->n += src.n; },
-        [&](uint32_t mask, const std::vector<int32_t>& coords,
+        [&](uint32_t mask, Span<int32_t> coords,
             const CountCell& cell) {
           if (mask == 1u) node1[{coords[0]}] += cell.n;
         });
     return node1;
   };
   EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace spade
+
+// --- Partition-parallel lattice computation (ParallelLatticeRun) ----------
+
+namespace spade {
+namespace {
+
+/// The MVDCube cell shape: a set of fact ids (exact union semantics).
+struct TestBitmapCell {
+  RoaringBitmap facts;
+  bool Empty() const { return facts.Empty(); }
+};
+
+/// An ArrayCube-style FP accumulator cell.
+struct TestSumCell {
+  double sum = 0;
+  bool Empty() const { return sum == 0; }
+};
+
+/// Random multi-valued encodings with missing values — the shapes that
+/// stress region handling across slice boundaries.
+std::vector<DimensionEncoding> MakeRandomEncodings(uint64_t seed,
+                                                   size_t num_facts,
+                                                   const std::vector<size_t>& domains,
+                                                   double missing_prob) {
+  Rng rng(seed);
+  std::vector<DimensionEncoding> encs(domains.size());
+  for (size_t d = 0; d < domains.size(); ++d) {
+    encs[d].attr = static_cast<AttrId>(d);
+    encs[d].fact_codes.resize(num_facts);
+    for (size_t f = 0; f < num_facts; ++f) {
+      if (rng.Bernoulli(missing_prob)) continue;  // missing dimension
+      size_t k = 1 + rng.Uniform(2);              // often multi-valued
+      for (size_t i = 0; i < k; ++i) {
+        encs[d].fact_codes[f].push_back(
+            static_cast<int32_t>(rng.Uniform(domains[d])));
+      }
+      std::sort(encs[d].fact_codes[f].begin(), encs[d].fact_codes[f].end());
+      encs[d].fact_codes[f].erase(
+          std::unique(encs[d].fact_codes[f].begin(), encs[d].fact_codes[f].end()),
+          encs[d].fact_codes[f].end());
+      if (encs[d].fact_codes[f].size() >= 2) ++encs[d].num_multi_facts;
+    }
+    for (size_t v = 0; v < domains[d]; ++v) {
+      encs[d].values.push_back(static_cast<TermId>(v + 1));
+    }
+  }
+  return encs;
+}
+
+using GroupSets = std::map<std::pair<uint32_t, uint64_t>, std::vector<uint32_t>>;
+
+/// Sequential baseline: one scaffold over the full partition sequence,
+/// groups keyed by the same canonical cell id the parallel run uses.
+GroupSets SequentialBitmapGroups(const Mmst& mmst, const Translation& tr) {
+  GroupSets out;
+  CubeScaffold<TestBitmapCell> scaffold(&mmst);
+  scaffold.Run(
+      tr, [](TestBitmapCell* c, FactId f) { c->facts.Add(f); },
+      [](TestBitmapCell* dst, const TestBitmapCell& src) {
+        dst->facts.UnionWith(src.facts);
+      },
+      [&](uint32_t mask, Span<int32_t> coords, const TestBitmapCell& cell) {
+        uint64_t id = PackCellMasked(mmst.layout(), mask, coords);
+        auto [it, inserted] = out.try_emplace({mask, id}, cell.facts.ToVector());
+        (void)it;
+        EXPECT_TRUE(inserted) << "group emitted twice by sequential scaffold";
+      });
+  return out;
+}
+
+TEST(ParallelLatticeTest, BitmapGroupsMatchSequentialScaffoldAtEveryWorkerCount) {
+  std::vector<DimensionEncoding> encs =
+      MakeRandomEncodings(7, 500, {13, 9, 5}, 0.2);
+  Mmst mmst = Mmst::Build(
+      {encs[0].domain_size(), encs[1].domain_size(), encs[2].domain_size()}, 2);
+  ASSERT_GT(mmst.layout().num_partitions, 8u);  // real slicing, not one slice
+  Translation tr = TranslateData(encs, mmst.layout(), TranslationOptions());
+  GroupSets expected = SequentialBitmapGroups(mmst, tr);
+  ASSERT_FALSE(expected.empty());
+
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("workers = " + std::to_string(workers));
+    ThreadPool pool(workers > 1 ? workers - 1 : 1);
+    TaskScheduler scheduler(&pool);
+    GroupSets got;
+    std::vector<std::pair<uint32_t, uint64_t>> emit_order;
+    ParallelLatticeStats stats;
+    ParallelLatticeRun<TestBitmapCell>(
+        mmst, tr, /*wanted=*/nullptr, workers, &scheduler,
+        [](TestBitmapCell* c, FactId f) { c->facts.Add(f); },
+        [](TestBitmapCell* dst, const TestBitmapCell& src) {
+          dst->facts.UnionWith(src.facts);
+        },
+        [](uint32_t, Span<int32_t>) { return true; },
+        [&](uint32_t mask, Span<int32_t> coords, TestBitmapCell& cell) {
+          uint64_t id = PackCellMasked(mmst.layout(), mask, coords);
+          emit_order.push_back({mask, id});
+          got[{mask, id}] = cell.facts.ToVector();
+        },
+        &stats);
+    // The fact sets of every group equal the sequential scaffold's exactly —
+    // bitmap-union merge is exact set semantics, independent of slicing.
+    EXPECT_EQ(got, expected);
+    // Canonical emit order: node mask ascending, packed cell id ascending.
+    EXPECT_TRUE(std::is_sorted(emit_order.begin(), emit_order.end()));
+    EXPECT_EQ(emit_order.size(), got.size());  // each group exactly once
+    EXPECT_GE(stats.num_slices, 1u);
+    EXPECT_LE(stats.num_slices, workers);
+    EXPECT_GE(stats.peak_partial_cells, got.size());
+  }
+}
+
+TEST(ParallelLatticeTest, AccumulatorCellsMatchSequentialScaffold) {
+  // Integer-valued sums: FP addition over them is exact, so even the
+  // accumulator fold is value-identical to the sequential scaffold at any
+  // worker count (the bit-identity guarantee proper is for set cells).
+  std::vector<DimensionEncoding> encs = MakeRandomEncodings(21, 300, {11, 7}, 0.3);
+  Mmst mmst = Mmst::Build({encs[0].domain_size(), encs[1].domain_size()}, 3);
+  Translation tr = TranslateData(encs, mmst.layout(), TranslationOptions());
+
+  auto load = [](TestSumCell* c, FactId f) { c->sum += 1.0 + (f % 5); };
+  auto merge = [](TestSumCell* dst, const TestSumCell& src) {
+    dst->sum += src.sum;
+  };
+  std::map<std::pair<uint32_t, uint64_t>, double> expected;
+  CubeScaffold<TestSumCell> scaffold(&mmst);
+  scaffold.Run(tr, load, merge,
+               [&](uint32_t mask, Span<int32_t> coords, const TestSumCell& cell) {
+                 expected[{mask, PackCellMasked(mmst.layout(), mask, coords)}] =
+                     cell.sum;
+               });
+  ASSERT_FALSE(expected.empty());
+
+  for (size_t workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE("workers = " + std::to_string(workers));
+    ThreadPool pool(2);
+    TaskScheduler scheduler(&pool);
+    std::map<std::pair<uint32_t, uint64_t>, double> got;
+    ParallelLatticeRun<TestSumCell>(
+        mmst, tr, nullptr, workers, &scheduler, load, merge,
+        [](uint32_t, Span<int32_t>) { return true; },
+        [&](uint32_t mask, Span<int32_t> coords, TestSumCell& cell) {
+          got[{mask, PackCellMasked(mmst.layout(), mask, coords)}] = cell.sum;
+        },
+        nullptr);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(ParallelLatticeTest, KeepFilterAndWantedNodesRestrictCollection) {
+  std::vector<DimensionEncoding> encs = MakeRandomEncodings(3, 200, {9, 6}, 0.2);
+  Mmst mmst = Mmst::Build({encs[0].domain_size(), encs[1].domain_size()}, 2);
+  Translation tr = TranslateData(encs, mmst.layout(), TranslationOptions());
+
+  // Want only node {dim0}; additionally drop its null-coordinate groups —
+  // the MVDCube usage pattern.
+  std::vector<bool> wanted(4, false);
+  wanted[1] = true;
+  std::map<uint64_t, uint64_t> counts;  // code of dim0 -> count
+  ThreadPool pool(2);
+  TaskScheduler scheduler(&pool);
+  ParallelLatticeRun<TestSumCell>(
+      mmst, tr, &wanted, 4, &scheduler,
+      [](TestSumCell* c, FactId) { c->sum += 1; },
+      [](TestSumCell* dst, const TestSumCell& src) { dst->sum += src.sum; },
+      [&](uint32_t mask, Span<int32_t> coords) {
+        return mask == 1u && coords[0] < encs[0].null_code();
+      },
+      [&](uint32_t mask, Span<int32_t> coords, TestSumCell& cell) {
+        ASSERT_EQ(mask, 1u);
+        ASSERT_LT(coords[0], encs[0].null_code());
+        counts[static_cast<uint64_t>(coords[0])] =
+            static_cast<uint64_t>(cell.sum);
+      },
+      nullptr);
+
+  // Against a direct count over the translation: per dim0 code, the number
+  // of (cell, fact) pairs carrying it (the scaffold's per-cell count load).
+  std::map<uint64_t, uint64_t> direct;
+  for (const auto& part : tr.partitions) {
+    for (const auto& [cell, fact] : part) {
+      (void)fact;
+      std::vector<int32_t> coords = mmst.layout().UnpackCell(cell);
+      if (coords[0] < encs[0].null_code()) {
+        direct[static_cast<uint64_t>(coords[0])] += 1;
+      }
+    }
+  }
+  EXPECT_EQ(counts, direct);
+}
+
+TEST(PartitionSliceTest, SlicesPartitionTheSequence) {
+  std::vector<DimensionEncoding> encs = MakeRandomEncodings(5, 400, {17, 11}, 0.1);
+  Mmst mmst = Mmst::Build({encs[0].domain_size(), encs[1].domain_size()}, 2);
+  Translation tr = TranslateData(encs, mmst.layout(), TranslationOptions());
+  uint64_t P = mmst.layout().num_partitions;
+  for (size_t k : {1u, 2u, 3u, 4u, 7u, 64u, 1000u}) {
+    SCOPED_TRACE("num_slices = " + std::to_string(k));
+    std::vector<PartitionSlice> slices = MakePartitionSlices(tr, P, k);
+    ASSERT_FALSE(slices.empty());
+    EXPECT_LE(slices.size(), std::min<uint64_t>(k, P));
+    EXPECT_EQ(slices.front().begin, 0u);
+    EXPECT_EQ(slices.back().end, P);
+    for (size_t s = 0; s < slices.size(); ++s) {
+      EXPECT_LT(slices[s].begin, slices[s].end);  // non-empty
+      if (s > 0) {
+        EXPECT_EQ(slices[s].begin, slices[s - 1].end);  // contiguous
+      }
+    }
+  }
+}
+
+TEST(PartitionSliceTest, EmptyTranslationGetsOneSliceSpanningEverything) {
+  Translation empty;
+  std::vector<PartitionSlice> slices = MakePartitionSlices(empty, 12, 4);
+  // No pairs to balance: the greedy cut may still split, but coverage and
+  // contiguity must hold.
+  ASSERT_FALSE(slices.empty());
+  EXPECT_EQ(slices.front().begin, 0u);
+  EXPECT_EQ(slices.back().end, 12u);
+}
+
+TEST(CubeLayoutTest, PackCellMaskedRoundTripsAndOrdersByPresentDims) {
+  Mmst mmst = Mmst::Build({5, 4, 3}, 2);
+  const CubeLayout& layout = mmst.layout();
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    uint64_t prev_id = 0;
+    bool first = true;
+    // Enumerate present-dim coordinates lexicographically.
+    std::vector<int32_t> coords(3, -1);
+    std::function<void(size_t)> rec = [&](size_t d) {
+      if (d == 3) {
+        uint64_t id = PackCellMasked(layout, mask, Span<int32_t>(coords.data(), 3));
+        std::vector<int32_t> back(3);
+        UnpackCellMaskedInto(layout, mask, id, back.data());
+        EXPECT_EQ(back, coords);
+        if (!first) {
+          EXPECT_GT(id, prev_id);  // strictly ascending
+        }
+        prev_id = id;
+        first = false;
+        return;
+      }
+      if (!(mask & (1u << d))) {
+        coords[d] = -1;
+        rec(d + 1);
+        return;
+      }
+      for (int32_t v = 0; v < layout.extent[d]; ++v) {
+        coords[d] = v;
+        rec(d + 1);
+      }
+    };
+    rec(0);
+  }
 }
 
 }  // namespace

@@ -201,6 +201,14 @@ int main(int argc, char** argv) {
     std::cerr << " facts], merge "
               << spade::FormatDouble(report.shard_merge_ms, 1) << " ms";
   }
+  if (report.lattice_workers_used > 0) {
+    std::cerr << "; lattice compute " << report.lattice_workers_used
+              << " worker" << (report.lattice_workers_used == 1 ? "" : "s")
+              << ", wall " << spade::FormatDouble(report.lattice_wall_ms, 1)
+              << " ms (work " << spade::FormatDouble(report.lattice_work_ms, 1)
+              << " ms, peak " << report.lattice_peak_partial_cells
+              << " partial cells)";
+  }
   std::cerr << "\n";
 
   if (!quiet) {
