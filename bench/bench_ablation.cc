@@ -65,34 +65,57 @@ struct VecCell {
   bool Empty() const { return facts.empty(); }
 };
 
-template <typename Cell, typename Load, typename Merge, typename Card>
-std::pair<double, uint64_t> RunCells(const Fixture& fx, Load load, Merge merge,
-                                     Card card) {
-  Timer timer;
+/// One ablation run: wall time, cardinality checksum (equal across cell
+/// types, or the encodings disagree), and the summed per-emitted-cell memory
+/// footprint — the Section 4.3 memory model measured on live cells.
+struct CellRun {
+  double ms = 0;
   uint64_t checksum = 0;
+  uint64_t bytes = 0;
+};
+
+template <typename Cell, typename Load, typename Merge, typename Card,
+          typename Mem>
+CellRun RunCells(const Fixture& fx, Load load, Merge merge, Card card,
+                 Mem mem) {
+  Timer timer;
+  CellRun r;
   CubeScaffold<Cell> scaffold(&fx.mmst);
   scaffold.Run(fx.translation, load, merge,
                [&](uint32_t, Span<int32_t>, const Cell& cell) {
-                 checksum += card(cell);
+                 r.checksum += card(cell);
+                 r.bytes += mem(cell);
                });
-  return {timer.ElapsedMillis(), checksum};
+  r.ms = timer.ElapsedMillis();
+  return r;
 }
 
 void CellEncodingAblation() {
   std::cout << "-- Ablation A: cell encoding (200k facts, 3 dims, "
                "multi-valued) --\n";
-  Fixture fx = MakeFixture(200000, 16);
-  auto [roaring_ms, c1] = RunCells<RoaringCell>(
-      fx, [](RoaringCell* c, FactId f) { c->facts.Add(f); },
+  size_t num_facts = 200000;
+  Fixture fx = MakeFixture(num_facts, 16);
+  uint64_t paper_bound = 0;  // Section 4.3: M_RB summed over emitted cells
+  CellRun roaring = RunCells<RoaringCell>(
+      fx, [](RoaringCell* c, FactId f) { c->facts.AppendOrdered(f); },
       [](RoaringCell* d, const RoaringCell& s) { d->facts.UnionWith(s.facts); },
-      [](const RoaringCell& c) { return c.facts.Cardinality(); });
-  auto [set_ms, c2] = RunCells<SetCell>(
+      [](const RoaringCell& c) { return c.facts.Cardinality(); },
+      [&](const RoaringCell& c) {
+        paper_bound += RoaringBitmap::MemoryUpperBound(c.facts.Cardinality(),
+                                                       num_facts);
+        return c.facts.MemoryBytes();
+      });
+  CellRun set = RunCells<SetCell>(
       fx, [](SetCell* c, FactId f) { c->facts.insert(f); },
       [](SetCell* d, const SetCell& s) {
         d->facts.insert(s.facts.begin(), s.facts.end());
       },
-      [](const SetCell& c) { return static_cast<uint64_t>(c.facts.size()); });
-  auto [vec_ms, c3] = RunCells<VecCell>(
+      [](const SetCell& c) { return static_cast<uint64_t>(c.facts.size()); },
+      [](const SetCell& c) {
+        // Every rb-tree node: 3 pointers + color + the value, allocated.
+        return sizeof(std::set<uint32_t>) + c.facts.size() * 48u;
+      });
+  CellRun vec = RunCells<VecCell>(
       fx, [](VecCell* c, FactId f) { c->facts.push_back(f); },
       [](VecCell* d, const VecCell& s) {
         std::vector<uint32_t> merged;
@@ -101,17 +124,32 @@ void CellEncodingAblation() {
                        s.facts.end(), std::back_inserter(merged));
         d->facts = std::move(merged);
       },
-      [](const VecCell& c) { return static_cast<uint64_t>(c.facts.size()); });
-  if (c1 != c2 || c1 != c3) {
-    std::cout << "  CHECKSUM MISMATCH: " << c1 << " " << c2 << " " << c3
-              << "\n";
+      [](const VecCell& c) { return static_cast<uint64_t>(c.facts.size()); },
+      [](const VecCell& c) {
+        return sizeof(std::vector<uint32_t>) +
+               c.facts.capacity() * sizeof(uint32_t);
+      });
+  if (roaring.checksum != set.checksum || roaring.checksum != vec.checksum) {
+    std::cout << "  CHECKSUM MISMATCH: " << roaring.checksum << " "
+              << set.checksum << " " << vec.checksum << "\n";
   }
-  TablePrinter table({"cell type", "lattice eval ms"});
-  table.AddRow({"RoaringBitmap", Ms(roaring_ms)});
-  table.AddRow({"std::set<uint32>", Ms(set_ms)});
-  table.AddRow({"sorted vector", Ms(vec_ms)});
+  TablePrinter table({"cell type", "lattice eval ms", "cell bytes (sum)"});
+  table.AddRow({"RoaringBitmap", Ms(roaring.ms), std::to_string(roaring.bytes)});
+  table.AddRow({"std::set<uint32>", Ms(set.ms), std::to_string(set.bytes)});
+  table.AddRow({"sorted vector", Ms(vec.ms), std::to_string(vec.bytes)});
   table.Print(std::cout);
-  std::cout << "\n";
+  // The paper's 2Z + 9(u/65535 + 1) + 8 model bounds the container
+  // *payload* (2 B/value arrays, bitsets). Run containers and the inline
+  // small-set representation only ever undercut the payload term; the
+  // measured number additionally counts the object and per-container
+  // bookkeeping the model's 8 B header abstracts away, which dominates for
+  // tiny cells — so the ratio, not the absolute, is the comparable figure.
+  std::cout << "  Section 4.3 M_RB payload bound over the same cells: "
+            << paper_bound << " B; measured (incl. object overhead) "
+            << roaring.bytes << " B ("
+            << Pct(static_cast<double>(roaring.bytes) /
+                   static_cast<double>(paper_bound))
+            << ")\n\n";
 }
 
 // --- B) measure sharing ---
@@ -174,16 +212,16 @@ void ChunkSizeAblation() {
   TablePrinter table({"chunk", "partitions", "MMST cells", "eval ms"});
   for (int chunk : {2, 4, 8, 16, 64, 256}) {
     Fixture fx = MakeFixture(200000, chunk);
-    auto [ms, checksum] = RunCells<RoaringCell>(
-        fx, [](RoaringCell* c, FactId f) { c->facts.Add(f); },
+    CellRun r = RunCells<RoaringCell>(
+        fx, [](RoaringCell* c, FactId f) { c->facts.AppendOrdered(f); },
         [](RoaringCell* d, const RoaringCell& s) {
           d->facts.UnionWith(s.facts);
         },
-        [](const RoaringCell& c) { return c.facts.Cardinality(); });
-    (void)checksum;
+        [](const RoaringCell& c) { return c.facts.Cardinality(); },
+        [](const RoaringCell& c) { return c.facts.MemoryBytes(); });
     table.AddRow({std::to_string(chunk),
                   std::to_string(fx.mmst.layout().num_partitions),
-                  std::to_string(fx.mmst.total_memory_cells()), Ms(ms)});
+                  std::to_string(fx.mmst.total_memory_cells()), Ms(r.ms)});
   }
   table.Print(std::cout);
 }

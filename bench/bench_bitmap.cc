@@ -1,0 +1,292 @@
+// Microbenchmarks of the bitmap engine on the three MVDCube access patterns
+// (Section 4.3): ordered build (AppendOrdered vs Add), union folds in the
+// shapes the lattice produces (slice-merge of disjoint ranges, downward
+// propagation of many small cells, overlapping dense cells), and ordered
+// decode (per-value ForEach callback vs batched DecodeInto / ForEachBlock).
+//
+// Self-contained (no google-benchmark): best-of-reps wall time via Timer,
+// checksums printed so the compared variants are provably computing the
+// same thing.
+//
+// Usage: bench_bitmap [--n=N] [--reps=R] [--json[=FILE]]
+//
+// --json writes every measurement as a machine-readable JSON array (default
+// file: BENCH_bitmap.json) so CI can track the bitmap engine across commits.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/bitmap/roaring.h"
+#include "src/util/rng.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+namespace spade {
+namespace bench {
+namespace {
+
+struct Measurement {
+  std::string bench;
+  std::string config;
+  double ms = 0;         ///< best-of-reps wall time
+  double per_op_ns = 0;  ///< ms scaled to the op count of the bench
+  uint64_t checksum = 0;
+};
+
+std::vector<Measurement> g_results;
+
+std::string Ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+std::string Ns(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ns);
+  return buf;
+}
+
+/// Run `fn` (which returns a checksum) `reps` times, keep the best time.
+template <typename Fn>
+Measurement Measure(const std::string& bench, const std::string& config,
+                    size_t ops, size_t reps, Fn&& fn) {
+  Measurement m;
+  m.bench = bench;
+  m.config = config;
+  m.ms = 1e100;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer t;
+    m.checksum = fn();
+    m.ms = std::min(m.ms, t.ElapsedMillis());
+  }
+  m.per_op_ns = ops > 0 ? m.ms * 1e6 / static_cast<double>(ops) : 0;
+  g_results.push_back(m);
+  return m;
+}
+
+/// The id streams a lattice cell sees, ascending (the load path invariant).
+std::vector<uint32_t> MakeIds(const std::string& shape, size_t n,
+                              uint64_t seed) {
+  std::vector<uint32_t> ids;
+  ids.reserve(n);
+  if (shape == "dense") {  // contiguous fact range: run containers
+    for (uint32_t v = 0; v < n; ++v) ids.push_back(v);
+  } else if (shape == "stride4") {  // no runs: array -> bitset conversions
+    for (uint32_t v = 0; v < n; ++v) ids.push_back(4 * v);
+  } else {  // "sparse": random ascending gaps, many array containers
+    Rng rng(seed);
+    uint32_t v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(50));
+      ids.push_back(v);
+    }
+  }
+  return ids;
+}
+
+// --- A) ordered build: AppendOrdered vs Add -------------------------------
+
+void BenchAppend(size_t n, size_t reps) {
+  std::cout << "-- build: AppendOrdered vs Add, " << n
+            << " ascending ids --\n";
+  TablePrinter table({"shape", "append ms", "add ms", "add/append"});
+  for (const char* shape : {"dense", "stride4", "sparse"}) {
+    std::vector<uint32_t> ids = MakeIds(shape, n, 42);
+    Measurement append =
+        Measure("build_append", shape, n, reps, [&ids]() -> uint64_t {
+          RoaringBitmap bm;
+          for (uint32_t v : ids) bm.AppendOrdered(v);
+          return bm.Cardinality() + bm.MemoryBytes();
+        });
+    Measurement add =
+        Measure("build_add", shape, n, reps, [&ids]() -> uint64_t {
+          RoaringBitmap bm;
+          for (uint32_t v : ids) bm.Add(v);
+          return bm.Cardinality() + bm.MemoryBytes();
+        });
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                  add.ms / std::max(1e-9, append.ms));
+    table.AddRow({shape, Ms(append.ms), Ms(add.ms), ratio});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// --- B) union folds in lattice shapes -------------------------------------
+
+void BenchUnion(size_t n, size_t reps) {
+  std::cout << "-- union folds (lattice shapes) --\n";
+  TablePrinter table({"fold shape", "ms", "result card"});
+
+  // Slice merge: K disjoint contiguous fact ranges folded in order — the
+  // ParallelLatticeRun partial merge of one group spanning every slice.
+  {
+    constexpr size_t kSlices = 8;
+    std::vector<RoaringBitmap> slices(kSlices);
+    for (size_t s = 0; s < kSlices; ++s) {
+      for (uint32_t v = 0; v < n / kSlices; ++v) {
+        slices[s].AppendOrdered(static_cast<uint32_t>(s * (n / kSlices) + v));
+      }
+    }
+    Measurement m = Measure("union_slices", "8 disjoint ranges", n, reps,
+                            [&slices]() -> uint64_t {
+                              RoaringBitmap dst;
+                              for (const RoaringBitmap& s : slices) {
+                                dst.UnionWith(s);
+                              }
+                              return dst.Cardinality();
+                            });
+    table.AddRow({"8 disjoint contiguous slices", Ms(m.ms),
+                  std::to_string(m.checksum)});
+  }
+
+  // Downward propagation: many tiny cells (multi-valued fan-out) folded
+  // into one child cell — dominated by small-set handling.
+  {
+    constexpr size_t kCells = 4096;
+    Rng rng(7);
+    std::vector<RoaringBitmap> cells(kCells);
+    for (auto& c : cells) {
+      uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+      for (size_t i = 0; i < 12; ++i) {
+        v += 1 + static_cast<uint32_t>(rng.Uniform(64));
+        c.AppendOrdered(v);
+      }
+    }
+    Measurement m = Measure("union_small_cells", "4096 cells x 12 facts",
+                            kCells * 12, reps, [&cells]() -> uint64_t {
+                              RoaringBitmap dst;
+                              for (const RoaringBitmap& c : cells) {
+                                dst.UnionWith(c);
+                              }
+                              return dst.Cardinality();
+                            });
+    table.AddRow({"4096 tiny cells (12 facts each)", Ms(m.ms),
+                  std::to_string(m.checksum)});
+  }
+
+  // Overlapping dense: sibling cells sharing most of their facts — the
+  // bitset OR / run merge paths.
+  {
+    constexpr size_t kCells = 8;
+    std::vector<RoaringBitmap> cells(kCells);
+    Rng rng(11);
+    for (auto& c : cells) {
+      for (size_t i = 0; i < n / 2; ++i) {
+        c.Add(static_cast<uint32_t>(rng.Uniform(n)));
+      }
+    }
+    Measurement m = Measure("union_dense_overlap", "8 cells, n/2 random each",
+                            kCells * (n / 2), reps, [&cells]() -> uint64_t {
+                              RoaringBitmap dst;
+                              for (const RoaringBitmap& c : cells) {
+                                dst.UnionWith(c);
+                              }
+                              return dst.Cardinality();
+                            });
+    table.AddRow({"8 dense overlapping cells", Ms(m.ms),
+                  std::to_string(m.checksum)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// --- C) ordered decode: ForEach vs DecodeInto / ForEachBlock --------------
+
+void BenchDecode(size_t n, size_t reps) {
+  std::cout << "-- decode: per-value callback vs batched --\n";
+  TablePrinter table(
+      {"shape", "foreach ms", "decode ms", "blocks ms", "foreach/blocks"});
+  for (const char* shape : {"dense", "stride4", "sparse"}) {
+    std::vector<uint32_t> ids = MakeIds(shape, n, 99);
+    RoaringBitmap bm;
+    for (uint32_t v : ids) bm.AppendOrdered(v);
+    Measurement fe =
+        Measure("decode_foreach", shape, n, reps, [&bm]() -> uint64_t {
+          uint64_t sum = 0;
+          bm.ForEach([&sum](uint32_t v) { sum += v; });
+          return sum;
+        });
+    std::vector<uint32_t> buf;
+    Measurement di =
+        Measure("decode_into", shape, n, reps, [&bm, &buf]() -> uint64_t {
+          bm.DecodeInto(&buf);
+          uint64_t sum = 0;
+          for (uint32_t v : buf) sum += v;
+          return sum;
+        });
+    std::vector<uint32_t> scratch;
+    Measurement fb = Measure(
+        "decode_blocks", shape, n, reps, [&bm, &scratch]() -> uint64_t {
+          uint64_t sum = 0;
+          bm.ForEachBlock(&scratch, [&sum](const uint32_t* data, size_t m) {
+            for (size_t i = 0; i < m; ++i) sum += data[i];
+          });
+          return sum;
+        });
+    if (fe.checksum != di.checksum || fe.checksum != fb.checksum) {
+      std::cout << "  CHECKSUM MISMATCH on " << shape << "\n";
+      std::exit(1);
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                  fe.ms / std::max(1e-9, fb.ms));
+    table.AddRow({shape, Ms(fe.ms), Ms(di.ms), Ms(fb.ms), ratio});
+  }
+  table.Print(std::cout);
+  std::cout << "  (per-op costs: see --json; e.g. append "
+            << Ns(g_results.front().per_op_ns) << " ns/id)\n\n";
+}
+
+/// Minimal JSON emission — flat array of per-measurement records.
+void WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_bitmap: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "[\n";
+  for (size_t i = 0; i < g_results.size(); ++i) {
+    const Measurement& m = g_results[i];
+    out << "  {\"bench\": \"" << m.bench << "\", \"config\": \"" << m.config
+        << "\", \"ms\": " << m.ms << ", \"per_op_ns\": " << m.per_op_ns
+        << ", \"checksum\": " << m.checksum << "}"
+        << (i + 1 < g_results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << g_results.size() << " records to " << path << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spade
+
+int main(int argc, char** argv) {
+  size_t n = 1000000;
+  size_t reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      n = static_cast<size_t>(std::atoll(argv[i] + 4));
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = static_cast<size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_bitmap.json";
+    }
+  }
+  std::cout << "== Bitmap engine microbenchmarks (n = " << n << ", best of "
+            << reps << ") ==\n\n";
+  spade::bench::BenchAppend(n, reps);
+  spade::bench::BenchUnion(n, reps);
+  spade::bench::BenchDecode(n, reps);
+  if (!json_path.empty()) spade::bench::WriteJson(json_path);
+  return 0;
+}

@@ -145,7 +145,12 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
   for (uint32_t mask = 0; mask < num_nodes; ++mask) {
     wanted[mask] = !node_mdas[mask].empty();
   }
-  auto load = [](BitmapCell* cell, FactId fact) { cell->facts.Add(fact); };
+  // Translation emits each partition's (cell, fact) pairs in ascending fact
+  // order, so every cell sees its facts ascending: the O(1) ordered-append
+  // path applies (no container search, no sorted insert).
+  auto load = [](BitmapCell* cell, FactId fact) {
+    cell->facts.AppendOrdered(fact);
+  };
   auto merge = [](BitmapCell* dst, const BitmapCell& src) {
     dst->facts.UnionWith(src.facts);
   };
@@ -170,6 +175,7 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
   std::vector<Acc> accs;
   std::vector<TermId> dim_values;
   dim_values.reserve(n);
+  std::vector<uint32_t> fact_block;  ///< per-container decode buffer, reused
   auto emit = [&](uint32_t mask, Span<int32_t> coords, BitmapCell& cell) {
     const std::vector<NodeMda>& mdas = node_mdas[mask];
     dim_values.clear();
@@ -177,9 +183,14 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
       if (!(mask & (1u << d))) continue;
       dim_values.push_back(encodings[d].values[coords[d]]);
     }
+    // All emitted cells of this lattice coexist in the merged partials, so
+    // their summed footprint is the lattice's peak bitmap memory.
+    stats.bitmap_bytes_peak += cell.facts.MemoryBytes();
     // One scan of the bitmap updates the accumulators of every MDA of this
-    // node simultaneously; ForEach visits fact ids ascending, so the FP
-    // accumulation order is fixed no matter how the bitmap was assembled.
+    // node simultaneously. The bitmap decodes each container into a dense
+    // ascending id block (no per-fact callback), and the block order keeps
+    // the FP accumulation order fixed no matter how the bitmap was
+    // assembled — identical to the per-value ForEach order.
     accs.assign(spec.measures.size(), Acc());
     double count_star = static_cast<double>(cell.facts.Cardinality());
     bool need_measures = false;
@@ -187,17 +198,21 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
       need_measures |= !spec.measures[mda.measure_index].is_count_star();
     }
     if (need_measures) {
-      cell.facts.ForEach([&](uint32_t fact) {
+      cell.facts.ForEachBlock(&fact_block, [&](const uint32_t* facts,
+                                               size_t num_facts) {
         for (const NodeMda& mda : mdas) {
           size_t m = mda.measure_index;
           if (spec.measures[m].is_count_star()) continue;
           const MeasureVector& mv = *loaded[m];
-          if (mv.count[fact] == 0) continue;
           Acc& acc = accs[m];
-          acc.count += mv.count[fact];
-          acc.sum += mv.sum[fact];
-          acc.min = std::min(acc.min, mv.min[fact]);
-          acc.max = std::max(acc.max, mv.max[fact]);
+          for (size_t f = 0; f < num_facts; ++f) {
+            uint32_t fact = facts[f];
+            if (mv.count[fact] == 0) continue;
+            acc.count += mv.count[fact];
+            acc.sum += mv.sum[fact];
+            acc.min = std::min(acc.min, mv.min[fact]);
+            acc.max = std::max(acc.max, mv.max[fact]);
+          }
         }
       });
     }

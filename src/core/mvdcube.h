@@ -48,6 +48,14 @@ struct MvdCubeStats {
   double translate_ms = 0;
   double measure_load_ms = 0;
   double compute_ms = 0;
+  /// Summed RoaringBitmap::MemoryBytes() of every emitted group cell. The
+  /// canonical emit walks the merged partials, which all coexist at that
+  /// point, so this is a measured lower bound on the lattice's peak
+  /// resident bitmap footprint (Section 4.3 memory accounting) — cells
+  /// filtered before emit (null-coordinate groups, unconsumed nodes) and
+  /// not-yet-folded duplicate slice partials are resident too but not
+  /// counted.
+  uint64_t bitmap_bytes_peak = 0;
   /// Partition-parallel lattice computation (ParallelLatticeRun).
   ParallelLatticeStats lattice;
 };

@@ -117,6 +117,8 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards, Arm* arm,
   report->lattice_work_ms += stats.lattice_work_ms;
   report->lattice_peak_partial_cells = std::max(
       report->lattice_peak_partial_cells, stats.lattice_peak_partial_cells);
+  report->peak_bitmap_bytes =
+      std::max(report->peak_bitmap_bytes, stats.peak_bitmap_bytes);
 }
 
 namespace {
@@ -139,6 +141,8 @@ void MergeCfsReport(const SpadeReport& cfs, SpadeReport* total) {
   total->lattice_work_ms += cfs.lattice_work_ms;
   total->lattice_peak_partial_cells =
       std::max(total->lattice_peak_partial_cells, cfs.lattice_peak_partial_cells);
+  total->peak_bitmap_bytes =
+      std::max(total->peak_bitmap_bytes, cfs.peak_bitmap_bytes);
   total->timings.attribute_analysis_ms += cfs.timings.attribute_analysis_ms;
   total->timings.enumeration_ms += cfs.timings.enumeration_ms;
   total->timings.earlystop_ms += cfs.timings.earlystop_ms;

@@ -111,6 +111,10 @@ struct SpadeReport {
   double lattice_wall_ms = 0;
   double lattice_work_ms = 0;
   uint64_t lattice_peak_partial_cells = 0;
+  /// Fact-bitmap bytes of the largest lattice evaluation's emitted group
+  /// cells (max over CFSs; the Section 4.3 memory model, measured — a
+  /// lower bound on the true resident peak).
+  uint64_t peak_bitmap_bytes = 0;
   SpadeTimings timings;
 };
 

@@ -77,6 +77,11 @@ struct EvalStats {
   double lattice_wall_ms = 0;
   double lattice_work_ms = 0;
   uint64_t lattice_peak_partial_cells = 0;
+  /// Fact-bitmap bytes of the largest single lattice evaluation's emitted
+  /// group cells (MVDCube path; zero elsewhere) — the Section 4.3 memory
+  /// model measured on live cells rather than bounded by formula. A lower
+  /// bound on the true resident peak (see MvdCubeStats::bitmap_bytes_peak).
+  uint64_t peak_bitmap_bytes = 0;
 
   /// Fold one lattice's parallel-run counters into this CFS's stats.
   void MergeLattice(const ParallelLatticeStats& ls) {

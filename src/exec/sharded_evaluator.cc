@@ -142,6 +142,8 @@ class ShardedMvdCubeEvaluator : public CubeEvaluator {
     stats->num_mdas_evaluated += s.num_mdas_evaluated;
     stats->num_mdas_reused += s.num_mdas_reused;
     stats->num_groups_emitted += s.num_groups_emitted;
+    stats->peak_bitmap_bytes =
+        std::max(stats->peak_bitmap_bytes, s.bitmap_bytes_peak);
     stats->MergeLattice(s.lattice);
   }
 

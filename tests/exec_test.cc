@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/mvdcube.h"
 #include "src/core/spade.h"
 #include "src/datagen/realworld.h"
 #include "src/datagen/synthetic.h"
@@ -388,6 +390,190 @@ TEST(LatticeParallelPipelineTest, LatticeStatsReported) {
   EXPECT_GT(out.report.lattice_peak_partial_cells, 0u);
   EXPECT_GE(out.report.lattice_wall_ms, 0.0);
   EXPECT_GE(out.report.lattice_work_ms, 0.0);
+}
+
+// --- ARM stream vs bitmap-free reference -----------------------------------
+
+// The bitmap engine must be invisible in the results: the exact sequence of
+// (key, group, value) tuples MVDCube streams into the ARM has to match an
+// implementation that never touches RoaringBitmap — std::set cells run
+// through the same canonical ParallelLatticeRun protocol and the same
+// measure fold. This pins the ARM stream across bitmap-layer rewrites
+// (ordered append, run containers, inline sets, batched decode), at every
+// lattice worker count.
+
+struct SetRefCell {
+  std::set<uint32_t> facts;
+  bool Empty() const { return facts.empty(); }
+};
+
+void EvaluateLatticeWithSetCells(const AttributeStore& db, uint32_t cfs_id,
+                                 const CfsIndex& cfs, const LatticeSpec& spec,
+                                 int partition_chunk, Arm* arm) {
+  std::vector<DimensionEncoding> encodings;
+  Mmst mmst = BuildMmstForSpec(db, cfs, spec, &encodings, partition_chunk);
+  Translation tr =
+      TranslateData(encodings, mmst.layout(), TranslationOptions());
+  size_t n = spec.dims.size();
+  std::vector<MeasureVector> loaded(spec.measures.size());
+  for (size_t m = 0; m < spec.measures.size(); ++m) {
+    if (!spec.measures[m].is_count_star()) {
+      loaded[m] = BuildMeasureVector(db, cfs, spec.measures[m].attr);
+    }
+  }
+  size_t num_nodes = size_t{1} << n;
+  std::vector<std::vector<std::pair<size_t, Arm::Handle>>> node_mdas(num_nodes);
+  for (uint32_t mask = 0; mask < num_nodes; ++mask) {
+    std::vector<AttrId> dims;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) dims.push_back(spec.dims[i]);
+    }
+    for (size_t m = 0; m < spec.measures.size(); ++m) {
+      AggregateKey key;
+      key.cfs_id = cfs_id;
+      key.dims = dims;
+      key.measure = spec.measures[m];
+      node_mdas[mask].push_back({m, arm->Register(key)});
+    }
+  }
+  auto load = [](SetRefCell* cell, FactId fact) { cell->facts.insert(fact); };
+  auto merge = [](SetRefCell* dst, const SetRefCell& src) {
+    dst->facts.insert(src.facts.begin(), src.facts.end());
+  };
+  auto keep = [&](uint32_t mask, Span<int32_t> coords) {
+    for (size_t d = 0; d < n; ++d) {
+      if ((mask & (1u << d)) && coords[d] >= encodings[d].null_code()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  struct Acc {
+    double count = 0, sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::vector<TermId> dim_values;
+  auto emit = [&](uint32_t mask, Span<int32_t> coords, SetRefCell& cell) {
+    dim_values.clear();
+    for (size_t d = 0; d < n; ++d) {
+      if (!(mask & (1u << d))) continue;
+      dim_values.push_back(encodings[d].values[coords[d]]);
+    }
+    std::vector<Acc> accs(spec.measures.size());
+    // std::set iterates ascending — the same fact order the bitmap decodes.
+    for (uint32_t fact : cell.facts) {
+      for (size_t m = 0; m < spec.measures.size(); ++m) {
+        if (spec.measures[m].is_count_star()) continue;
+        const MeasureVector& mv = loaded[m];
+        if (mv.count[fact] == 0) continue;
+        Acc& acc = accs[m];
+        acc.count += mv.count[fact];
+        acc.sum += mv.sum[fact];
+        acc.min = std::min(acc.min, mv.min[fact]);
+        acc.max = std::max(acc.max, mv.max[fact]);
+      }
+    }
+    for (const auto& [m, handle] : node_mdas[mask]) {
+      const MeasureSpec& ms = spec.measures[m];
+      double value = 0;
+      if (ms.is_count_star()) {
+        value = static_cast<double>(cell.facts.size());
+      } else {
+        const Acc& acc = accs[m];
+        if (acc.count == 0) continue;
+        switch (ms.func) {
+          case sparql::AggFunc::kCount:
+            value = acc.count;
+            break;
+          case sparql::AggFunc::kSum:
+            value = acc.sum;
+            break;
+          case sparql::AggFunc::kAvg:
+            value = acc.sum / acc.count;
+            break;
+          case sparql::AggFunc::kMin:
+            value = acc.min;
+            break;
+          case sparql::AggFunc::kMax:
+            value = acc.max;
+            break;
+        }
+      }
+      arm->AddGroup(handle, dim_values, value);
+    }
+  };
+  std::vector<bool> wanted(num_nodes, true);
+  ParallelLatticeRun<SetRefCell>(mmst, tr, &wanted, /*num_workers=*/1,
+                                 /*scheduler=*/nullptr, load, merge, keep,
+                                 emit, nullptr);
+}
+
+void ExpectSameArmStream(const Arm& expected, const Arm& got) {
+  ASSERT_EQ(expected.num_aggregates(), got.num_aggregates());
+  for (Arm::Handle h = 0; h < expected.num_aggregates(); ++h) {
+    SCOPED_TRACE("handle " + std::to_string(h));
+    EXPECT_TRUE(expected.key(h) == got.key(h));
+    ASSERT_EQ(expected.num_groups(h), got.num_groups(h));
+    EXPECT_EQ(expected.Score(h, InterestingnessKind::kVariance),
+              got.Score(h, InterestingnessKind::kVariance));  // exact doubles
+    const std::vector<GroupResult>& ge = expected.stored_groups(h);
+    const std::vector<GroupResult>& gg = got.stored_groups(h);
+    ASSERT_EQ(ge.size(), gg.size());
+    for (size_t g = 0; g < ge.size(); ++g) {
+      EXPECT_EQ(ge[g].dim_values, gg[g].dim_values);
+      EXPECT_EQ(ge[g].value, gg[g].value);  // exact, not approximate
+    }
+  }
+}
+
+TEST(ArmStreamTest, BitmapEngineMatchesSetCellReferenceAtEveryWorkerCount) {
+  SyntheticOptions sopts;
+  sopts.num_facts = 3000;
+  sopts.dim_cardinality = {25, 12, 8};
+  sopts.num_measures = 2;
+  sopts.multi_valued_dims = {0, 1};
+  sopts.multi_value_prob = 0.3;
+  sopts.sparsity = 0.15;
+  auto graph = GenerateSynthetic(sopts);
+  AttributeStore db(graph.get());
+  db.BuildDirectAttributes();
+  TermId type = graph->dict().InternIri(synth::kFactType);
+  CfsIndex cfs(graph->NodesOfType(type));
+
+  LatticeSpec spec;
+  for (int d = 0; d < 3; ++d) {
+    spec.dims.push_back(*db.FindAttribute("dim" + std::to_string(d)));
+  }
+  std::sort(spec.dims.begin(), spec.dims.end());
+  spec.measures.push_back(MeasureSpec{});  // count(*)
+  AttrId m0 = *db.FindAttribute("measure0");
+  AttrId m1 = *db.FindAttribute("measure1");
+  spec.measures.push_back(MeasureSpec{m0, sparql::AggFunc::kSum});
+  spec.measures.push_back(MeasureSpec{m0, sparql::AggFunc::kAvg});
+  spec.measures.push_back(MeasureSpec{m1, sparql::AggFunc::kMin});
+  spec.measures.push_back(MeasureSpec{m1, sparql::AggFunc::kMax});
+
+  constexpr size_t kStoreAll = 1u << 20;
+  constexpr int kChunk = 2;  // many partitions: real multi-slice runs
+  Arm reference(kStoreAll);
+  EvaluateLatticeWithSetCells(db, 0, cfs, spec, kChunk, &reference);
+  ASSERT_GT(reference.num_aggregates(), 0u);
+
+  MvdCubeOptions options;
+  options.partition_chunk = kChunk;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("workers = " + std::to_string(workers));
+    ThreadPool pool(workers);
+    TaskScheduler scheduler(&pool);
+    Arm arm(kStoreAll);
+    MeasureCache measures;
+    EvaluateLatticeMvd(db, 0, cfs, spec, options, &arm, &measures,
+                       /*pruned=*/nullptr, /*pre_translated=*/nullptr,
+                       /*pre_built=*/nullptr, /*pre_encodings=*/nullptr,
+                       &scheduler, workers);
+    ExpectSameArmStream(reference, arm);
+  }
 }
 
 // --- Arm::Absorb ----------------------------------------------------------

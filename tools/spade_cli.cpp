@@ -207,7 +207,8 @@ int main(int argc, char** argv) {
               << ", wall " << spade::FormatDouble(report.lattice_wall_ms, 1)
               << " ms (work " << spade::FormatDouble(report.lattice_work_ms, 1)
               << " ms, peak " << report.lattice_peak_partial_cells
-              << " partial cells)";
+              << " partial cells, peak bitmaps " << report.peak_bitmap_bytes
+              << " B)";
   }
   std::cerr << "\n";
 
