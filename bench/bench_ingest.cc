@@ -1,0 +1,203 @@
+// Streaming-ingest bench: sequential vs overlapped offline phase on an
+// N-Triples corpus serialized from the synthetic generator (the shape of
+// the paper's Table 2 dataset loads). For each configuration the whole
+// offline phase runs — parse, attribute tables, offline statistics,
+// structural summary, derivations — and the numbers reported are:
+//
+//   offline_wall_ms   end-to-end offline wall-clock (the speedup metric)
+//   parse_ms          producer loop: parse + dictionary interning
+//   overlap_ms        worker time executed while the parser was producing
+//   scatter/build/stats work   per-stage work summed across workers
+//
+// Results are identical in every configuration (byte-identical store, same
+// statistics — tests/ingest_test.cc asserts it); a store checksum is
+// printed per run as a cross-check. On a 1-core container >= 2-thread
+// wall-clock shows oversubscription, not speedup; overlap_ms still reports
+// how much work the pipeline moved into the parse window.
+//
+// Usage: bench_ingest [--facts=N] [--types=K] [--chunk=N] [--json[=FILE]]
+//
+// --json writes every configuration's numbers as a machine-readable JSON
+// array (default file: BENCH_ingest.json; schema in bench/README.md) so CI
+// can track the offline-phase trajectory across commits.
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "src/datagen/synthetic.h"
+#include "src/ingest/chunk_source.h"
+#include "src/rdf/ntriples.h"
+
+namespace spade {
+namespace bench {
+namespace {
+
+struct RunResult {
+  std::string mode;  ///< "sequential" | "streaming"
+  size_t threads = 1;
+  size_t chunk_triples = 0;  ///< 0 for the sequential mode
+  double offline_wall_ms = 0;
+  double parse_ms = 0;
+  double overlap_ms = 0;
+  double scatter_work_ms = 0;
+  double build_work_ms = 0;
+  double stats_work_ms = 0;
+  size_t num_chunks = 0;
+  size_t peak_chunk_triples = 0;
+  size_t num_triples = 0;
+  uint64_t store_checksum = 0;  ///< equal across modes or the run is wrong
+};
+
+std::vector<RunResult> g_results;
+
+/// Order-insensitive content fingerprint of the sealed store: attribute
+/// count, row counts and column sums. Equal sealed stores => equal sums.
+uint64_t StoreChecksum(const AttributeStore& store) {
+  uint64_t sum = store.num_attributes();
+  for (AttrId a = 0; a < store.num_attributes(); ++a) {
+    const AttributeTable& t = store.attribute(a);
+    sum = sum * 1000003 + t.num_rows();
+    for (TermId s : t.subjects()) sum += s;
+    for (TermId o : t.objects()) sum += 31 * static_cast<uint64_t>(o);
+  }
+  return sum;
+}
+
+RunResult RunOnce(const std::string& nt, bool streaming, size_t chunk,
+                  size_t threads) {
+  Graph graph;
+  SpadeOptions options;
+  options.num_threads = threads;
+  options.ingest.enabled = streaming;
+  options.ingest.chunk_triples = chunk;
+  Spade spade(&graph, options);
+  std::istringstream in(nt);
+  NTriplesChunkSource source(in, &graph);
+  if (!spade.RunOffline(&source).ok()) {
+    std::cerr << "bench_ingest: offline phase failed\n";
+    std::exit(1);
+  }
+  RunResult r;
+  r.mode = streaming ? "streaming" : "sequential";
+  r.threads = threads;
+  r.chunk_triples = streaming ? chunk : 0;
+  r.offline_wall_ms = spade.report().timings.offline_wall_ms;
+  r.parse_ms = spade.report().ingest.parse_ms;
+  r.overlap_ms = spade.report().ingest.overlap_ms;
+  r.scatter_work_ms = spade.report().ingest.scatter_work_ms;
+  r.build_work_ms = spade.report().ingest.build_work_ms;
+  r.stats_work_ms = spade.report().ingest.stats_work_ms;
+  r.num_chunks = spade.report().ingest.num_chunks;
+  r.peak_chunk_triples = spade.report().ingest.peak_chunk_triples;
+  r.num_triples = spade.report().num_triples;
+  r.store_checksum = StoreChecksum(spade.store());
+  return r;
+}
+
+/// Minimal JSON emission — flat array of per-config records.
+void WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_ingest: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "[\n";
+  for (size_t i = 0; i < g_results.size(); ++i) {
+    const RunResult& r = g_results[i];
+    out << "  {\"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+        << ", \"chunk_triples\": " << r.chunk_triples
+        << ", \"offline_wall_ms\": " << r.offline_wall_ms
+        << ", \"parse_ms\": " << r.parse_ms
+        << ", \"overlap_ms\": " << r.overlap_ms
+        << ", \"scatter_work_ms\": " << r.scatter_work_ms
+        << ", \"build_work_ms\": " << r.build_work_ms
+        << ", \"stats_work_ms\": " << r.stats_work_ms
+        << ", \"num_chunks\": " << r.num_chunks
+        << ", \"peak_chunk_triples\": " << r.peak_chunk_triples
+        << ", \"num_triples\": " << r.num_triples
+        << ", \"store_checksum\": " << r.store_checksum << "}"
+        << (i + 1 < g_results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << g_results.size() << " records to " << path << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spade
+
+int main(int argc, char** argv) {
+  size_t facts = 120000;
+  size_t types = 8;
+  size_t chunk = 65536;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--facts=", 8) == 0) {
+      facts = static_cast<size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--types=", 8) == 0) {
+      types = static_cast<size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--chunk=", 8) == 0) {
+      chunk = static_cast<size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_ingest.json";
+    }
+  }
+
+  using spade::bench::Ms;
+  using spade::bench::RunOnce;
+
+  // The ingest corpus: a multi-type synthetic graph serialized as
+  // N-Triples, so the bench measures the real parse + intern + build path.
+  spade::SyntheticOptions sopts;
+  sopts.num_facts = facts;
+  sopts.dim_cardinality.assign(3, 100);
+  sopts.num_measures = 6;
+  sopts.num_fact_types = types;
+  auto graph = spade::GenerateSynthetic(sopts);
+  std::ostringstream nt_stream;
+  spade::NTriplesWriter::Write(*graph, nt_stream);
+  const std::string nt = nt_stream.str();
+  graph.reset();
+
+  std::cout << "== Streaming ingest: sequential vs overlapped offline phase ("
+            << spade::ThreadPool::HardwareConcurrency()
+            << " hardware threads, corpus " << nt.size() / (1024 * 1024)
+            << " MiB) ==\n\n";
+
+  spade::TablePrinter table({"mode", "threads", "chunk", "offline ms",
+                             "parse ms", "overlap ms", "chunks", "checksum"});
+  auto add = [&](const spade::bench::RunResult& r) {
+    table.AddRow({r.mode, std::to_string(r.threads),
+                  std::to_string(r.chunk_triples), Ms(r.offline_wall_ms),
+                  Ms(r.parse_ms), Ms(r.overlap_ms), std::to_string(r.num_chunks),
+                  std::to_string(r.store_checksum % 100000)});
+    spade::bench::g_results.push_back(r);
+  };
+
+  add(RunOnce(nt, /*streaming=*/false, chunk, 1));
+  for (size_t threads : {1u, 2u, 4u}) {
+    add(RunOnce(nt, /*streaming=*/true, chunk, threads));
+  }
+  // Chunk-size sensitivity at a fixed thread count.
+  for (size_t c : {chunk / 8, chunk * 4}) {
+    if (c == 0) continue;
+    add(RunOnce(nt, /*streaming=*/true, c, 2));
+  }
+  table.Print(std::cout);
+
+  bool checksums_equal = true;
+  for (const auto& r : spade::bench::g_results) {
+    checksums_equal &=
+        r.store_checksum == spade::bench::g_results.front().store_checksum;
+  }
+  std::cout << "\nstore checksums "
+            << (checksums_equal ? "identical across all modes"
+                                : "DIFFER — streamed build is wrong")
+            << "\n";
+  if (!json_path.empty()) spade::bench::WriteJson(json_path);
+  return checksums_equal ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans the given markdown files (default: every tracked *.md plus
+.github/**.md) for inline links/images `[text](target)` and reference
+definitions `[id]: target`, and fails if a relative target does not exist
+on disk. External links (scheme://, mailto:) are ignored; `#anchor`-only
+links are checked against the headings of the same file, and
+`file.md#anchor` links against the headings of the target file.
+
+Usage: scripts/check_markdown_links.py [FILE.md ...]
+Exit code 0 when every link resolves, 1 otherwise (each failure printed).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"(?<!\\)!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (enough of it for our headings)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    # Strip fenced code blocks: a `# comment` inside one is not a heading.
+    content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+    return {github_anchor(h) for h in HEADING_RE.findall(content)}
+
+
+def targets_of(path: str):
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+    yield from LINK_RE.findall(content)
+    yield from REFDEF_RE.findall(content)
+
+
+def check_file(md: str) -> list:
+    errors = []
+    base = os.path.dirname(md)
+    for target in targets_of(md):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # scheme: external
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{md}: broken link -> {target}")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md
+        if anchor and anchor_file.endswith(".md"):
+            if github_anchor(anchor) not in anchors_of(anchor_file):
+                errors.append(f"{md}: broken anchor -> {target}")
+    return errors
+
+
+def main(argv):
+    files = argv[1:]
+    if not files:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            capture_output=True, text=True, check=True)
+        files = sorted(set(out.stdout.split()))
+    errors = []
+    for md in files:
+        if not os.path.exists(md):
+            errors.append(f"{md}: file not found")
+            continue
+        errors.extend(check_file(md))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

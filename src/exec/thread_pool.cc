@@ -122,4 +122,55 @@ void TaskScheduler::ParallelFor(size_t n, const std::function<void(size_t)>& fn)
   if (state->error) std::rethrow_exception(state->error);
 }
 
+TaskGroup::~TaskGroup() {
+  // A destroyed group must not leave tasks referencing it; swallow errors —
+  // callers that care about exceptions call Wait() themselves.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  if (!scheduler_->parallel()) {
+    // Serial degradation: execute inline, but keep the parallel error
+    // contract (captured, rethrown at Wait) so callers see one behavior.
+    try {
+      task();
+    } catch (...) {
+      if (!error_) error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  scheduler_->pool()->Submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    --pending_;
+    cv_.notify_all();  // Wait and WaitPendingBelow both watch every decrement
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::WaitPendingBelow(size_t cap) {
+  if (cap == 0) cap = 1;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return pending_ < cap; });
+}
+
 }  // namespace spade

@@ -74,8 +74,55 @@ class TaskScheduler {
   /// on the calling thread after the loop drains.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// The underlying pool (null when serial). TaskGroup submits through this;
+  /// algorithm code should prefer ParallelFor / TaskGroup.
+  ThreadPool* pool() const { return pool_; }
+
  private:
   ThreadPool* pool_;
+};
+
+/// \brief A join handle over independently submitted tasks — the async
+/// counterpart of ParallelFor, built for producer/consumer pipelines where
+/// tasks are discovered one at a time (the streaming ingest submits one
+/// scatter task per parsed chunk while the parser keeps running).
+///
+/// Run() enqueues a task on the scheduler's pool; on a serial scheduler it
+/// executes inline, so pipeline code has exactly one code path. Wait()
+/// blocks until every submitted task finished and rethrows the first
+/// exception any task threw. WaitPendingBelow() is the bounded-queue
+/// backpressure primitive: a producer calls it before submitting to cap the
+/// number of in-flight tasks (and therefore buffered chunks).
+///
+/// Tasks must not themselves Wait() on this group, and the group must
+/// outlive its tasks (the destructor waits). One thread drives Run/Wait;
+/// the tasks themselves may run on any pool worker.
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskScheduler* scheduler) : scheduler_(scheduler) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit one task (inline on a serial scheduler). Exceptions are captured
+  /// and rethrown by Wait(), never propagated to the pool.
+  void Run(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished; rethrows the
+  /// first captured exception.
+  void Wait();
+
+  /// Block until fewer than `cap` submitted tasks remain unfinished
+  /// (cap >= 1; no-op on a serial scheduler, where nothing is ever pending).
+  void WaitPendingBelow(size_t cap);
+
+ private:
+  TaskScheduler* scheduler_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;               // guarded by mutex_
+  std::exception_ptr error_;         // guarded by mutex_
 };
 
 }  // namespace spade

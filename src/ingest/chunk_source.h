@@ -1,0 +1,104 @@
+#ifndef SPADE_INGEST_CHUNK_SOURCE_H_
+#define SPADE_INGEST_CHUNK_SOURCE_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "src/rdf/graph.h"
+#include "src/rdf/ntriples.h"
+#include "src/rdf/turtle.h"
+#include "src/util/status.h"
+
+namespace spade {
+
+/// \brief Producer side of the streaming ingest: a pull source of
+/// dictionary-encoded triple batches (the unit the pipeline overlaps —
+/// chunk k's store building runs on workers while chunk k+1 parses).
+///
+/// Contract shared by every implementation:
+///   - NextChunk(max, out, done) fills `out` (cleared first) with up to
+///     `max` triples whose terms are already interned in the target graph's
+///     dictionary, in document order. Statement-oriented formats (Turtle)
+///     may overflow `max` rather than split a statement.
+///   - *done = true means the source is exhausted; the final batch may
+///     arrive together with done, and `out` may legitimately be empty on
+///     any call (e.g. a comment-only stretch of input) — an empty chunk is
+///     NOT an end-of-stream signal.
+///   - An error (ParseError with an absolute line number, for the parsers)
+///     ends the stream; subsequent calls return the same error.
+///
+/// Sources are single-threaded: the pipeline's parse loop is the only
+/// caller, and it is the same thread that owns the dictionary during
+/// ingest.
+class TripleChunkSource {
+ public:
+  virtual ~TripleChunkSource() = default;
+
+  virtual Status NextChunk(size_t max_triples, std::vector<Triple>* out,
+                           bool* done) = 0;
+};
+
+/// Streams an N-Triples document line by line (never buffers the file).
+class NTriplesChunkSource : public TripleChunkSource {
+ public:
+  /// `in` and `graph` are borrowed and must outlive the source.
+  NTriplesChunkSource(std::istream& in, Graph* graph) : reader_(in, graph) {}
+
+  Status NextChunk(size_t max_triples, std::vector<Triple>* out,
+                   bool* done) override {
+    return reader_.NextChunk(max_triples, out, done);
+  }
+
+ private:
+  NTriplesChunkReader reader_;
+};
+
+/// Streams a Turtle document statement by statement (owns the text; see
+/// TurtleChunkReader for why Turtle is buffered).
+class TurtleChunkSource : public TripleChunkSource {
+ public:
+  TurtleChunkSource(std::string text, Graph* graph)
+      : reader_(std::move(text), graph) {}
+
+  Status NextChunk(size_t max_triples, std::vector<Triple>* out,
+                   bool* done) override {
+    return reader_.NextChunk(max_triples, out, done);
+  }
+
+ private:
+  TurtleChunkReader reader_;
+};
+
+/// Replays pre-encoded triples in fixed caller-chosen batches — the test
+/// and benchmark harness for the pipeline (including deliberately empty
+/// mid-stream chunks). Triple TermIds must already be interned in the
+/// target graph's dictionary.
+class VectorChunkSource : public TripleChunkSource {
+ public:
+  explicit VectorChunkSource(std::vector<std::vector<Triple>> chunks)
+      : chunks_(std::move(chunks)) {}
+
+  Status NextChunk(size_t /*max_triples*/, std::vector<Triple>* out,
+                   bool* done) override {
+    out->clear();
+    if (next_ < chunks_.size()) *out = chunks_[next_++];
+    *done = next_ >= chunks_.size();
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::vector<Triple>> chunks_;
+  size_t next_ = 0;
+};
+
+/// Drain `source` into `graph` sequentially (append every triple, then
+/// freeze) — the fallback used when streaming ingest is disabled or
+/// inapplicable (RDFS saturation rewrites the graph before the store can be
+/// built), so every caller can hold a TripleChunkSource and still run the
+/// sequential oracle path.
+Status DrainChunkSource(TripleChunkSource* source, Graph* graph);
+
+}  // namespace spade
+
+#endif  // SPADE_INGEST_CHUNK_SOURCE_H_

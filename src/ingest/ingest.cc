@@ -1,0 +1,177 @@
+#include "src/ingest/ingest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "src/util/timer.h"
+
+namespace spade {
+
+Status DrainChunkSource(TripleChunkSource* source, Graph* graph) {
+  std::vector<Triple> chunk;
+  bool done = false;
+  while (!done) {
+    SPADE_RETURN_NOT_OK(source->NextChunk(1 << 16, &chunk, &done));
+    for (const Triple& t : chunk) graph->Add(t);
+  }
+  graph->Freeze();
+  return Status::OK();
+}
+
+namespace {
+
+using Row = AttributeTable::Row;
+
+/// One parsed chunk's contribution to the store: the raw triples (freed by
+/// the scatter task) and, after scattering, one sorted deduplicated run of
+/// (subject, object) rows per property — a partial CSR builder. The parse
+/// thread appends entries to a deque (stable element addresses) and only
+/// the chunk's own scatter task writes the entry, so parse and scatter
+/// never touch the same memory without a ThreadPool happens-before edge.
+struct ChunkRuns {
+  std::vector<Triple> triples;
+  std::unordered_map<TermId, std::vector<Row>> runs;
+  double begin_ms = 0;  ///< scatter task interval, relative to pipeline t0
+  double end_ms = 0;
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Status RunStreamingIngest(TripleChunkSource* source, Graph* graph,
+                          AttributeStore* store,
+                          std::vector<AttrStats>* offline_stats,
+                          TaskScheduler* scheduler,
+                          const IngestOptions& options,
+                          std::function<void()> post_parse_task,
+                          IngestStats* stats) {
+  assert(store->num_attributes() == 0 &&
+         "streaming ingest builds the direct attributes from scratch");
+  *stats = IngestStats{};
+  const auto t0 = std::chrono::steady_clock::now();
+  const TermId rdf_type = graph->rdf_type();
+  const size_t chunk_budget = std::max<size_t>(1, options.chunk_triples);
+  const size_t inflight_cap =
+      options.max_inflight_chunks != 0
+          ? options.max_inflight_chunks
+          : std::max<size_t>(4, 2 * scheduler->num_threads());
+
+  // --- Stage 1+2: parse on this thread, scatter chunk k on workers while
+  // chunk k+1 parses. The deque gives chunk entries stable addresses across
+  // producer appends.
+  std::deque<ChunkRuns> chunks;
+  TaskGroup scatter_group(scheduler);
+  std::vector<Triple> buffer;
+  bool done = false;
+  Status parse_status = Status::OK();
+  while (!done) {
+    parse_status = source->NextChunk(chunk_budget, &buffer, &done);
+    if (!parse_status.ok()) break;
+    if (buffer.empty()) continue;  // e.g. a comment-only stretch: not an EOF
+    stats->num_raw_triples += buffer.size();
+    stats->peak_chunk_triples =
+        std::max(stats->peak_chunk_triples, buffer.size());
+    ++stats->num_chunks;
+    for (const Triple& t : buffer) graph->Add(t);
+    scatter_group.WaitPendingBelow(inflight_cap);  // bound buffered chunks
+    chunks.emplace_back();
+    ChunkRuns* chunk = &chunks.back();
+    chunk->triples.swap(buffer);
+    scatter_group.Run([chunk, rdf_type, t0] {
+      chunk->begin_ms = MsSince(t0);
+      for (const Triple& t : chunk->triples) {
+        if (t.p == rdf_type) continue;  // drives CFS selection, not analysis
+        chunk->runs[t.p].emplace_back(t.s, t.o);
+      }
+      for (auto& [p, rows] : chunk->runs) {
+        std::sort(rows.begin(), rows.end());
+        rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      }
+      std::vector<Triple>().swap(chunk->triples);
+      chunk->end_ms = MsSince(t0);
+    });
+  }
+  const double parse_end_ms = MsSince(t0);
+  stats->parse_ms = parse_end_ms;
+  scatter_group.Wait();  // tasks reference `chunks`; drain even on error
+  if (!parse_status.ok()) return parse_status;
+
+  // --- Stage 3: freeze, then run the caller's post-parse task (the
+  // structural summary) concurrently with the per-attribute merge + seal +
+  // statistics fan-out.
+  graph->Freeze();
+  TaskGroup post_group(scheduler);
+  if (post_parse_task) post_group.Run(std::move(post_parse_task));
+
+  // Ascending property-id order — the order BuildDirectAttributes iterates
+  // AllProperties() — so AttrIds and collision-suffixed names match the
+  // sequential build exactly.
+  std::vector<TermId> props;
+  for (const ChunkRuns& chunk : chunks) {
+    for (const auto& [p, rows] : chunk.runs) props.push_back(p);
+  }
+  std::sort(props.begin(), props.end());
+  props.erase(std::unique(props.begin(), props.end()), props.end());
+
+  std::vector<AttributeTable*> tables;
+  tables.reserve(props.size());
+  for (TermId p : props) tables.push_back(store->AddDirectAttributeShell(p));
+  offline_stats->assign(props.size(), AttrStats{});
+
+  std::vector<double> build_ms(props.size(), 0);
+  std::vector<double> stat_ms(props.size(), 0);
+  scheduler->ParallelFor(props.size(), [&](size_t i) {
+    Timer timer;
+    std::vector<const std::vector<Row>*> runs;
+    runs.reserve(chunks.size());
+    for (const ChunkRuns& chunk : chunks) {
+      auto it = chunk.runs.find(props[i]);
+      if (it != chunk.runs.end()) runs.push_back(&it->second);
+    }
+    tables[i]->SealFromSortedRuns(runs);  // ascending chunk order
+    build_ms[i] = timer.ElapsedMillis();
+    timer.Restart();
+    // The statistics pass starts on this sealed attribute while other
+    // attributes are still merging (and the summary still building).
+    (*offline_stats)[i] = ComputeAttrStats(*store, static_cast<AttrId>(i));
+    stat_ms[i] = timer.ElapsedMillis();
+  });
+  post_group.Wait();
+
+  for (size_t i = 0; i < props.size(); ++i) {
+    stats->build_work_ms += build_ms[i];
+    stats->stats_work_ms += stat_ms[i];
+  }
+  for (const ChunkRuns& chunk : chunks) {
+    stats->scatter_work_ms += chunk.end_ms - chunk.begin_ms;
+    if (scheduler->parallel()) {
+      // Worker time inside the parse window: the cost the overlap hid.
+      stats->overlap_ms += std::max(
+          0.0, std::min(chunk.end_ms, parse_end_ms) - chunk.begin_ms);
+    }
+  }
+  stats->wall_ms = MsSince(t0);
+  return Status::OK();
+}
+
+void ComputeAttrStatsRange(const AttributeStore& db, AttrId begin,
+                           TaskScheduler* scheduler,
+                           std::vector<AttrStats>* out) {
+  const size_t n = db.num_attributes();
+  out->resize(n);
+  if (begin >= n) return;
+  scheduler->ParallelFor(n - begin, [&](size_t i) {
+    const AttrId a = begin + static_cast<AttrId>(i);
+    (*out)[a] = ComputeAttrStats(db, a);
+  });
+}
+
+}  // namespace spade

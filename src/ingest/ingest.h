@@ -1,0 +1,97 @@
+#ifndef SPADE_INGEST_INGEST_H_
+#define SPADE_INGEST_INGEST_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+#include "src/ingest/chunk_source.h"
+#include "src/stats/attr_stats.h"
+#include "src/store/attribute_store.h"
+#include "src/util/status.h"
+
+namespace spade {
+
+/// Knobs of the streaming offline build (SpadeOptions::ingest).
+struct IngestOptions {
+  /// Master switch: off keeps the strictly sequential offline phase — the
+  /// oracle the streamed build is verified against (byte-identical store,
+  /// identical statistics and downstream results).
+  bool enabled = false;
+  /// Triple budget per parsed chunk: the granularity of parse/build overlap
+  /// and the unit of the peak-chunk statistic. Statement-oriented sources
+  /// (Turtle) may overflow a chunk rather than split a statement.
+  size_t chunk_triples = 65536;
+  /// Backpressure: at most this many scattered-but-unmerged chunks in
+  /// flight before the parser blocks (0 = auto: 2x compute threads, min 4).
+  size_t max_inflight_chunks = 0;
+};
+
+/// Cost profile of one streaming ingest run (surfaced via SpadeReport and
+/// the CLI/bench output). Work fields sum per-task time across workers;
+/// wall_ms is the single number that measures end-to-end speedup.
+struct IngestStats {
+  size_t num_chunks = 0;          ///< non-empty chunks produced by the source
+  size_t peak_chunk_triples = 0;  ///< largest single chunk
+  size_t num_raw_triples = 0;     ///< parsed triples, before graph dedup
+  double wall_ms = 0;             ///< whole pipeline: first pull to last seal
+  double parse_ms = 0;            ///< producer loop (parse + graph append)
+  double scatter_work_ms = 0;     ///< per-chunk group/sort/dedup work
+  double build_work_ms = 0;       ///< per-attribute run merge + CSR seal work
+  double stats_work_ms = 0;       ///< per-attribute offline statistics work
+  /// Worker time that executed while the parser was still producing — the
+  /// work the overlap hides entirely. 0 on a serial scheduler (nothing
+  /// overlaps when every stage runs inline on one thread).
+  double overlap_ms = 0;
+};
+
+/// \brief The streaming offline build (ROADMAP "Async ingest"): overlap RDF
+/// parsing, attribute-store construction and the offline statistics pass on
+/// one TaskScheduler.
+///
+/// Stage structure (see ARCHITECTURE.md "The ingest pipeline"):
+///   1. The calling thread pulls chunk k from `source` (parsing and
+///      dictionary interning stay single-threaded — interning order defines
+///      TermIds) and appends its triples to `graph`.
+///   2. A scatter task per chunk — running on workers while chunk k+1
+///      parses — groups the chunk's rows by property and sorts/dedups each
+///      group into a per-(chunk, attribute) sorted run: the partial CSR
+///      builders.
+///   3. After the final chunk: the graph freezes, `post_parse_task` (the
+///      pipeline hands the structural-summary build in here) starts on a
+///      worker, and a ParallelFor over the attributes — registered in
+///      ascending property-id order, exactly BuildDirectAttributes' order —
+///      merges each attribute's runs in ascending chunk order
+///      (AttributeTable::SealFromSortedRuns) and immediately computes that
+///      attribute's offline statistics: the statistics pass starts on
+///      sealed attributes while other attributes are still merging.
+///
+/// The sealed store is byte-identical to the sequential build and the
+/// statistics are identical (same pure function of the sealed table), for
+/// every chunk size and thread count; only wall-clock changes.
+///
+/// `store` must be empty and `offline_stats` is overwritten. On a parse
+/// error the stream's Status (absolute line number) is returned after
+/// in-flight tasks drain; the graph is left partially filled, the store
+/// unbuilt. `post_parse_task` may be empty.
+Status RunStreamingIngest(TripleChunkSource* source, Graph* graph,
+                          AttributeStore* store,
+                          std::vector<AttrStats>* offline_stats,
+                          TaskScheduler* scheduler,
+                          const IngestOptions& options,
+                          std::function<void()> post_parse_task,
+                          IngestStats* stats);
+
+/// Offline statistics for attributes [begin, db.num_attributes()), fanned
+/// out per attribute on `scheduler` into (*out)[begin..] (the vector is
+/// resized to num_attributes()). Each slot is an independent pure function
+/// of its sealed table, so values are identical at every thread count. The
+/// pipeline uses this for the derived attributes, whose tables only exist
+/// after the (sequential) derivation enumeration.
+void ComputeAttrStatsRange(const AttributeStore& db, AttrId begin,
+                           TaskScheduler* scheduler,
+                           std::vector<AttrStats>* out);
+
+}  // namespace spade
+
+#endif  // SPADE_INGEST_INGEST_H_

@@ -184,20 +184,43 @@ Status NTriplesReader::ParseLine(std::string_view line, Term* s, Term* p, Term* 
   return Status::OK();
 }
 
-Status NTriplesReader::Parse(std::istream& in, Graph* graph) {
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
+Status NTriplesChunkReader::NextChunk(size_t max_triples,
+                                      std::vector<Triple>* out, bool* done) {
+  out->clear();
+  *done = done_;
+  if (!error_.ok()) return error_;
+  if (done_) return Status::OK();
+  while (out->size() < max_triples && std::getline(*in_, line_)) {
+    ++lineno_;
     Term s, p, o;
-    Status st = ParseLine(line, &s, &p, &o, graph->dict(), &graph->dict());
+    Status st =
+        NTriplesReader::ParseLine(line_, &s, &p, &o, graph_->dict(),
+                                  &graph_->dict());
     if (st.code() == Status::Code::kNotFound) continue;  // blank/comment
     if (!st.ok()) {
-      return Status::ParseError("line " + std::to_string(lineno) + ": " +
-                                st.message());
+      done_ = true;
+      *done = true;
+      error_ = Status::ParseError("line " + std::to_string(lineno_) + ": " +
+                                  st.message());
+      return error_;
     }
-    graph->Add(graph->dict().Intern(s), graph->dict().Intern(p),
-               graph->dict().Intern(o));
+    out->push_back(Triple{graph_->dict().Intern(s), graph_->dict().Intern(p),
+                          graph_->dict().Intern(o)});
+  }
+  if (out->size() < max_triples) {
+    done_ = true;
+    *done = true;
+  }
+  return Status::OK();
+}
+
+Status NTriplesReader::Parse(std::istream& in, Graph* graph) {
+  NTriplesChunkReader reader(in, graph);
+  std::vector<Triple> chunk;
+  bool done = false;
+  while (!done) {
+    SPADE_RETURN_NOT_OK(reader.NextChunk(1 << 16, &chunk, &done));
+    for (const Triple& t : chunk) graph->Add(t);
   }
   graph->Freeze();
   return Status::OK();

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/rdf/graph.h"
 #include "src/util/status.h"
@@ -30,6 +31,44 @@ class NTriplesReader {
   /// lines (no triple), ParseError on bad syntax.
   static Status ParseLine(std::string_view line, Term* s, Term* p, Term* o,
                           const Dictionary& dict_for_datatypes, Dictionary* dict);
+};
+
+/// \brief Pull-based N-Triples reader: the streaming-ingest counterpart of
+/// NTriplesReader::Parse (which is itself implemented on top of this class,
+/// so the two paths cannot drift).
+///
+/// Each NextChunk() call parses up to `max_triples` triples, interning their
+/// terms into `graph->dict()` in document order — the same interning order
+/// the one-shot parse produces, which is what makes a streamed build
+/// byte-identical to a sequential one (TermIds are assigned by first
+/// appearance). The reader does NOT add triples to the graph; the caller
+/// (the ingest pipeline, or Parse) owns that, so chunks can be handed to
+/// worker tasks while the next chunk parses.
+///
+/// Errors stop the stream at the offending line with a ParseError naming the
+/// absolute line number, no matter how many chunks preceded it.
+class NTriplesChunkReader {
+ public:
+  /// `in` and `graph` are borrowed and must outlive the reader.
+  NTriplesChunkReader(std::istream& in, Graph* graph)
+      : in_(&in), graph_(graph) {}
+
+  /// Parse up to `max_triples` more triples into `out` (cleared first).
+  /// Sets *done = true once the stream is exhausted — the final batch may
+  /// arrive together with done, and a comment-only tail yields an empty
+  /// final chunk. A ParseError ends the stream (further calls re-fail).
+  Status NextChunk(size_t max_triples, std::vector<Triple>* out, bool* done);
+
+  /// Lines consumed so far (error messages use absolute line numbers).
+  size_t line_number() const { return lineno_; }
+
+ private:
+  std::istream* in_;
+  Graph* graph_;
+  std::string line_;
+  size_t lineno_ = 0;
+  bool done_ = false;
+  Status error_ = Status::OK();
 };
 
 class NTriplesWriter {

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -12,19 +13,39 @@ namespace spade {
 namespace {
 
 /// Character-level parser over the whole document (Turtle is not
-/// line-oriented: statements span lines freely).
+/// line-oriented: statements span lines freely). Parsed triples are emitted
+/// into a caller-owned buffer, not the graph: the one-shot reader drains the
+/// whole document and adds them itself, the chunk reader hands batches to
+/// the ingest pipeline. Parsing can be suspended at any statement boundary
+/// (ParseSome) and resumed — prefixes, the base IRI and the blank-node
+/// counter persist across calls.
 class TurtleParser {
  public:
   TurtleParser(std::string_view text, Graph* graph)
       : text_(text), graph_(graph), dict_(&graph->dict()) {}
 
-  Status Run() {
-    while (true) {
-      SkipWs();
-      if (AtEnd()) break;
-      SPADE_RETURN_NOT_OK(ParseStatement());
+  /// Parse whole statements into `out` until it holds >= max_triples
+  /// triples or the document ends (*done). Errors latch.
+  Status ParseSome(size_t max_triples, std::vector<Triple>* out, bool* done) {
+    out_ = out;
+    if (!error_.ok()) {  // latched: the stream ended at the error
+      *done = true;
+      return error_;
     }
-    graph_->Freeze();
+    *done = false;
+    while (out->size() < max_triples) {
+      SkipWs();
+      if (AtEnd()) {
+        *done = true;
+        break;
+      }
+      Status st = ParseStatement();
+      if (!st.ok()) {
+        error_ = st;
+        *done = true;
+        return error_;
+      }
+    }
     return Status::OK();
   }
 
@@ -178,7 +199,7 @@ class TurtleParser {
         SkipWs();
         TermId object;
         SPADE_RETURN_NOT_OK(ParseObject(&object));
-        graph_->Add(subject, predicate, object);
+        Emit(subject, predicate, object);
         SkipWs();
         if (Peek() == ',') {
           ++pos_;
@@ -237,15 +258,15 @@ class TurtleParser {
       TermId item;
       SPADE_RETURN_NOT_OK(ParseObject(&item));
       TermId cell = dict_->InternBlank("list" + std::to_string(next_anon_++));
-      graph_->Add(cell, first, item);
+      Emit(cell, first, item);
       if (tail == kInvalidTerm) {
         head = cell;
       } else {
-        graph_->Add(tail, rest, cell);
+        Emit(tail, rest, cell);
       }
       tail = cell;
     }
-    if (tail != kInvalidTerm) graph_->Add(tail, rest, nil);
+    if (tail != kInvalidTerm) Emit(tail, rest, nil);
     *out = head;
     return Status::OK();
   }
@@ -457,14 +478,18 @@ class TurtleParser {
     return Status::OK();
   }
 
+  void Emit(TermId s, TermId p, TermId o) { out_->push_back(Triple{s, p, o}); }
+
   std::string_view text_;
   Graph* graph_;
   Dictionary* dict_;
+  std::vector<Triple>* out_ = nullptr;  ///< valid during ParseSome
   size_t pos_ = 0;
   size_t line_ = 1;
   std::string base_;
   std::map<std::string, std::string> prefixes_;
   size_t next_anon_ = 0;
+  Status error_ = Status::OK();  ///< latched first parse error
 };
 
 }  // namespace
@@ -477,7 +502,31 @@ Status TurtleReader::Parse(std::istream& in, Graph* graph) {
 
 Status TurtleReader::ParseString(std::string_view text, Graph* graph) {
   TurtleParser parser(text, graph);
-  return parser.Run();
+  std::vector<Triple> triples;
+  bool done = false;
+  SPADE_RETURN_NOT_OK(
+      parser.ParseSome(std::numeric_limits<size_t>::max(), &triples, &done));
+  for (const Triple& t : triples) graph->Add(t);
+  graph->Freeze();
+  return Status::OK();
+}
+
+struct TurtleChunkReader::Impl {
+  // The parser views `text`, so the member order matters: text first.
+  std::string text;
+  TurtleParser parser;
+  Impl(std::string t, Graph* graph) : text(std::move(t)), parser(text, graph) {}
+};
+
+TurtleChunkReader::TurtleChunkReader(std::string text, Graph* graph)
+    : impl_(std::make_unique<Impl>(std::move(text), graph)) {}
+
+TurtleChunkReader::~TurtleChunkReader() = default;
+
+Status TurtleChunkReader::NextChunk(size_t max_triples,
+                                    std::vector<Triple>* out, bool* done) {
+  out->clear();
+  return impl_->parser.ParseSome(max_triples, out, done);
 }
 
 }  // namespace spade

@@ -2,7 +2,10 @@
 #define SPADE_RDF_TURTLE_H_
 
 #include <istream>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/rdf/graph.h"
 #include "src/util/status.h"
@@ -32,6 +35,42 @@ class TurtleReader {
   /// Parse a whole document into `graph`. On error, names the line.
   static Status Parse(std::istream& in, Graph* graph);
   static Status ParseString(std::string_view text, Graph* graph);
+};
+
+/// \brief Pull-based Turtle reader: the streaming-ingest counterpart of
+/// TurtleReader (whose one-shot parse runs on the same statement parser, so
+/// the two paths cannot drift).
+///
+/// Turtle is not line-oriented — statements span lines, and @prefix/@base
+/// directives scope over everything after them — so the chunk unit is the
+/// *statement*: NextChunk() parses whole statements until at least
+/// `max_triples` triples have been produced. A chunk boundary therefore
+/// never splits a directive or a statement; a single statement that expands
+/// to more triples than the budget (object lists, collections, nested blank
+/// nodes) overflows its chunk rather than being torn. Prefixes declared in
+/// one chunk stay in force for all later chunks.
+///
+/// The reader owns the document text (Turtle needs lookahead; the paper's
+/// Turtle dumps are the small ones — the DBpedia-scale inputs circulate as
+/// line-oriented N-Triples, which stream without buffering). Terms are
+/// interned into `graph->dict()` in document order, matching the one-shot
+/// parse; triples are returned to the caller, not added to the graph.
+/// Errors carry absolute line numbers and latch: after a ParseError the
+/// stream stays failed.
+class TurtleChunkReader {
+ public:
+  /// `graph` is borrowed and must outlive the reader; `text` is owned.
+  TurtleChunkReader(std::string text, Graph* graph);
+  ~TurtleChunkReader();
+
+  /// Parse whole statements into `out` (cleared first) until it holds at
+  /// least `max_triples` triples or the document ends; sets *done at the
+  /// end of the document (the final batch may arrive together with done).
+  Status NextChunk(size_t max_triples, std::vector<Triple>* out, bool* done);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// RDF collection vocabulary (used by the expansion of `( ... )`).

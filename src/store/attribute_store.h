@@ -47,6 +47,10 @@ const char* AttrOriginName(AttrOrigin origin);
 /// Span into the object column.
 class AttributeTable {
  public:
+  /// One staged (subject, object) row; sorted-run merging (the streaming
+  /// ingest's chunked build) works on slices of these.
+  using Row = std::pair<TermId, TermId>;
+
   /// Human-readable name: the property's local name for direct attributes,
   /// "count(x)" / "kwIn(x)" / "langOf(x)" / "p/q" for derived ones.
   std::string name;
@@ -73,6 +77,19 @@ class AttributeTable {
   /// freeing the staging buffer. Idempotent on an already-sealed table.
   void Seal();
   bool sealed() const { return sealed_; }
+
+  /// Seal directly from pre-sorted runs: each run must be sorted by (s, o)
+  /// and internally deduplicated (a parsed chunk's rows for this attribute,
+  /// sorted on a worker while later chunks were still parsing). The runs are
+  /// k-way-merged with cross-run deduplication straight into the CSR
+  /// columns — no staging buffer, no global sort. Because Seal() produces
+  /// the sorted deduplicated row sequence and the merge produces the same
+  /// sequence from the same row multiset, the sealed columns are
+  /// byte-identical to a single-shot AddRow+Seal build, for any chunking
+  /// (the ingest keeps runs in ascending chunk order regardless, which also
+  /// makes the merge's tie-break order deterministic). Must be the table's
+  /// first and only seal; null/empty runs are permitted.
+  void SealFromSortedRuns(const std::vector<const std::vector<Row>*>& runs);
 
   // --- Columnar read accessors (sealed tables only; none allocates).
 
@@ -111,7 +128,7 @@ class AttributeTable {
   }
 
  private:
-  std::vector<std::pair<TermId, TermId>> staging_;
+  std::vector<Row> staging_;
   std::vector<TermId> subjects_;   ///< sorted distinct subjects
   std::vector<uint32_t> offsets_;  ///< size num_subjects()+1; objects_ slices
   std::vector<TermId> objects_;    ///< values grouped by subject, sorted
@@ -200,6 +217,16 @@ class AttributeStore {
   /// Register a derived attribute table (seals it). Returns its id.
   AttrId AddAttribute(AttributeTable table);
 
+  /// Register an *unsealed* direct-attribute shell for `property` — name,
+  /// origin and collision-suffix assigned exactly as BuildDirectAttributes
+  /// would — and return a pointer for the caller to fill and seal. The
+  /// streaming ingest registers shells in ascending property-id order (the
+  /// order BuildDirectAttributes iterates AllProperties()), then seals them
+  /// in parallel; registration order is what keeps names, ids and therefore
+  /// the whole store identical to the sequential build. The pointer stays
+  /// valid across later registrations (deque storage).
+  AttributeTable* AddDirectAttributeShell(TermId property);
+
   const AttributeTable& attribute(AttrId id) const { return attributes_[id]; }
   size_t num_attributes() const { return attributes_.size(); }
 
@@ -217,6 +244,12 @@ class AttributeStore {
   static std::string LocalName(const std::string& iri);
 
  private:
+  /// Apply the shared collision-suffix discipline ("name", "name#2", ...)
+  /// and record the table in the registry. Both registration paths
+  /// (AddAttribute, AddDirectAttributeShell) go through here, so sequential
+  /// and chunked builds can never disagree on naming.
+  AttrId Register(AttributeTable table);
+
   Graph* graph_;
   std::deque<AttributeTable> attributes_;  ///< deque: stable references
   std::unordered_map<std::string, AttrId> by_name_;
