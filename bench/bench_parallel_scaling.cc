@@ -11,14 +11,24 @@
 // this bench reports only wall-clock and speedup. Speedup is bounded by the
 // machine: on an M-core box the ideal line is min(threads, M)x.
 //
+// A final section measures the scheduler itself: raw tasks/sec under
+// fine-grained slicing (parents fanning out tiny children) at 1/2/4/8
+// threads — the path the per-worker Chase-Lev deques exist for. External
+// submits go through the injection queue; the children ride each worker's
+// own deque, so the hot loop is PushBottom/PopBottom/Steal.
+//
 // Usage: bench_parallel_scaling [--facts=N] [--types=K] [--json[=FILE]]
 //
 // --json writes every configuration's numbers as a machine-readable JSON
 // array (default file: BENCH_parallel.json) so CI can track the perf
-// trajectory across commits.
+// trajectory across commits. Scaling records carry online/lattice wall
+// times; deque records ({"config": "deque_fine_grained", ...}) carry
+// tasks/sec.
 
+#include <atomic>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "src/datagen/synthetic.h"
@@ -42,6 +52,15 @@ struct RunResult {
 };
 
 std::vector<RunResult> g_results;  // every RunOnce, for --json
+
+struct DequeRecord {
+  size_t threads = 1;
+  size_t tasks = 0;
+  double wall_ms = 0;
+  double tasks_per_sec = 0;
+};
+
+std::vector<DequeRecord> g_deque_records;
 
 RunResult RunOnce(const char* label, size_t facts, size_t types,
                   size_t threads, size_t shards) {
@@ -102,6 +121,47 @@ void Scale(const char* label, size_t facts, size_t types, size_t shards) {
   std::cout << "\n";
 }
 
+/// Scheduler throughput under fine-grained slicing: parents arrive through
+/// the injection queue, each fans out 7 near-empty children onto its
+/// worker's own deque. Tasks/sec here is the number the Chase-Lev swap
+/// moves — the old single-mutex pool serialized every push and pop.
+void DequeThroughput() {
+  constexpr size_t kParents = 20000;
+  constexpr size_t kChildrenPerParent = 7;
+  constexpr size_t kTotal = kParents * (1 + kChildrenPerParent);
+  std::cout << "-- scheduler: fine-grained tasks/sec (" << kTotal
+            << " tasks, 7 children per parent) --\n";
+  TablePrinter table({"threads", "wall ms", "tasks/sec"});
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::atomic<size_t> ran{0};
+    ThreadPool pool(threads);
+    Timer timer;
+    for (size_t p = 0; p < kParents; ++p) {
+      pool.Submit([&ran, &pool] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        for (size_t c = 0; c < kChildrenPerParent; ++c) {
+          pool.Submit(
+              [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    while (ran.load(std::memory_order_acquire) < kTotal) {
+      std::this_thread::yield();
+    }
+    DequeRecord r;
+    r.threads = threads;
+    r.tasks = kTotal;
+    r.wall_ms = timer.ElapsedMillis();
+    r.tasks_per_sec = kTotal / (r.wall_ms / 1e3);
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.0f", r.tasks_per_sec);
+    table.AddRow({std::to_string(threads), Ms(r.wall_ms), rate});
+    g_deque_records.push_back(r);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
 /// Minimal JSON emission — flat array of per-config records.
 void WriteJson(const std::string& path) {
   std::ofstream out(path);
@@ -120,10 +180,19 @@ void WriteJson(const std::string& path) {
         << ", \"lattice_workers\": " << r.lattice_workers
         << ", \"speedup\": " << r.speedup << ", \"num_cfs\": " << r.num_cfs
         << ", \"num_evaluated\": " << r.num_evaluated << "}"
-        << (i + 1 < g_results.size() ? "," : "") << "\n";
+        << (i + 1 < g_results.size() || !g_deque_records.empty() ? "," : "")
+        << "\n";
+  }
+  for (size_t i = 0; i < g_deque_records.size(); ++i) {
+    const DequeRecord& r = g_deque_records[i];
+    out << "  {\"config\": \"deque_fine_grained\", \"threads\": " << r.threads
+        << ", \"tasks\": " << r.tasks << ", \"wall_ms\": " << r.wall_ms
+        << ", \"tasks_per_sec\": " << r.tasks_per_sec << "}"
+        << (i + 1 < g_deque_records.size() ? "," : "") << "\n";
   }
   out << "]\n";
-  std::cout << "wrote " << g_results.size() << " records to " << path << "\n";
+  std::cout << "wrote " << g_results.size() + g_deque_records.size()
+            << " records to " << path << "\n";
 }
 
 }  // namespace
@@ -158,6 +227,8 @@ int main(int argc, char** argv) {
   spade::bench::Scale("fig12_single_cfs_sharded", facts, 1, 0);
   // Multi-tenant shape: one ARM shard per CFS, embarrassingly parallel.
   spade::bench::Scale("multi_cfs", facts, types, 1);
+  // Scheduler-only: raw task throughput on the work-stealing deques.
+  spade::bench::DequeThroughput();
   if (!json_path.empty()) spade::bench::WriteJson(json_path);
   return 0;
 }

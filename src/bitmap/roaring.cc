@@ -775,6 +775,11 @@ void RoaringBitmap::DecodeContainer(const Container& c, uint32_t* out) {
 }
 
 void RoaringBitmap::DecodeInto(std::vector<uint32_t>* out) const {
+  // Reserve from the O(1) cached cardinality first: when `out` is a reused
+  // scratch buffer growing across calls, resize alone would re-grow it
+  // geometrically (copying the stale prefix); reserve makes the single
+  // exact-size allocation up front and resize then never reallocates.
+  out->reserve(cardinality_);
   out->resize(cardinality_);
   if (cardinality_ == 0) return;
   uint32_t* p = out->data();

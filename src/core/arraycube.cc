@@ -1,7 +1,9 @@
 #include "src/core/arraycube.h"
 
 #include "src/core/reference.h"
+#include "src/simd/measure_fold.h"
 
+#include <cassert>
 #include <algorithm>
 #include <limits>
 #include <map>
@@ -20,6 +22,14 @@ struct ValueAcc {
 
 struct ValueCell {
   double count_star = 0;
+  /// Root fact buffer (strictly ascending: translation emits facts in id
+  /// order and a fact's distinct value combinations land in distinct
+  /// cells). Folded lazily through the shared measure-fold kernel
+  /// (src/simd) on first merge/emit, then dropped — ArrayCube's root fold
+  /// is the same gather-accumulate the MVDCube emit runs, so both
+  /// algorithms vectorize through one kernel.
+  std::vector<uint32_t> facts;
+  bool folded = false;
   std::vector<ValueAcc> accs;  ///< one per measure attribute
   bool Empty() const { return count_star == 0; }
 };
@@ -60,25 +70,44 @@ std::vector<AggregateResult> EvaluateLatticeArrayCube(
   // Group accumulators per (node mask, dim values).
   std::map<std::pair<uint32_t, std::vector<TermId>>, ValueCell> collected;
 
+  const simd::FoldKernel fold_kernel = simd::ResolveFoldKernel(options.simd);
+
   CubeScaffold<ValueCell> scaffold(&mmst);
   auto load = [&](ValueCell* cell, FactId fact) {
-    // Root loading = one relational join row: the fact's pre-aggregated
-    // measures land in the cell once per dimension-value combination.
-    if (cell->accs.empty()) cell->accs.resize(measure_attrs.size());
+    // Root loading = one relational join row: the fact joins the cell once
+    // per dimension-value combination. Only the fact id is recorded here;
+    // the measure gather-accumulate is deferred so it runs as one
+    // kernel-call fold per (cell, measure attr).
+    assert(cell->facts.empty() || fact > cell->facts.back());
     cell->count_star += 1;
+    cell->facts.push_back(fact);
+  };
+  // Fold a root cell's fact buffer into value accumulators via the shared
+  // kernel, then drop the buffer. Idempotent; cells that only ever received
+  // merges (every non-root node) have no buffer and fold to identity accs.
+  auto fold_cell = [&](ValueCell* cell) {
+    if (cell->folded) return;
+    cell->folded = true;
+    cell->accs.assign(measure_attrs.size(), ValueAcc());
+    simd::FoldAcc lanes;
     for (size_t a = 0; a < measure_attrs.size(); ++a) {
       const MeasureVector& mv = *loaded[a];
-      if (mv.count[fact] == 0) continue;
-      ValueAcc& acc = cell->accs[a];
-      acc.count += mv.count[fact];
-      acc.sum += mv.sum[fact];
-      acc.min = std::min(acc.min, mv.min[fact]);
-      acc.max = std::max(acc.max, mv.max[fact]);
+      lanes.Reset();
+      fold_kernel.fn(cell->facts.data(), cell->facts.size(), mv.count.data(),
+                     mv.sum.data(), mv.min.data(), mv.max.data(), &lanes);
+      const simd::FoldResult r = simd::Reduce(lanes);
+      cell->accs[a] = ValueAcc{r.count, r.sum, r.min, r.max};
     }
+    cell->facts.clear();
+    cell->facts.shrink_to_fit();
   };
-  auto merge = [&](ValueCell* dst, const ValueCell& src) {
+  auto merge = [&](ValueCell* dst, ValueCell& src) {
     // The incorrect step: combining aggregated values, not fact sets.
-    if (dst->accs.empty()) dst->accs.resize(measure_attrs.size());
+    // Folding src here (not at load) keeps the root pass allocation-light;
+    // dst is always a sub-node cell built purely from merges, folded only
+    // to normalize its acc layout.
+    fold_cell(&src);
+    fold_cell(dst);
     dst->count_star += src.count_star;
     for (size_t a = 0; a < src.accs.size(); ++a) {
       ValueAcc& d = dst->accs[a];
@@ -90,6 +119,7 @@ std::vector<AggregateResult> EvaluateLatticeArrayCube(
     }
   };
   auto emit = [&](uint32_t mask, Span<int32_t> coords, ValueCell& cell) {
+    fold_cell(&cell);
     std::vector<TermId> dim_values;
     for (size_t d = 0; d < n; ++d) {
       if (!(mask & (1u << d))) continue;

@@ -182,6 +182,14 @@ Translation MergeShardTranslations(std::vector<Translation> shards);
 ///      finally `emit(node_mask, coords, cell)` is called for every non-empty
 ///      cell of the flushed node — exactly once per group over the whole run.
 ///
+/// `merge`'s src is passed as a MUTABLE lvalue, so a MergeFn may take
+/// `Cell&` and normalize src in place — ArrayCube uses this to lazily fold
+/// root fact buffers through the measure-fold kernels on first touch. The
+/// same src cell is merged into every child and then emitted before the
+/// scaffold resets it, so mutations must preserve the cell's logical value
+/// (convert representation, don't consume). Functors taking `const Cell&`
+/// work unchanged.
+///
 /// `emit` receives global value coordinates (length N, null codes included,
 /// -1 on absent dims) as a Span into scaffold-owned scratch, and a mutable
 /// reference to the cell — the cell is cleared right after emit returns, so

@@ -1,7 +1,6 @@
 #include "src/core/mvdcube.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "src/bitmap/roaring.h"
 #include "src/util/timer.h"
@@ -46,6 +45,11 @@ struct BitmapCell {
 struct NodeMda {
   size_t measure_index;  ///< into the lattice's measure list
   Arm::Handle handle;
+  /// Index into the node's fold-slot list (the distinct measure attrs this
+  /// node folds, computed once per node), or -1 for count(*). Several MDAs
+  /// over the same attr (count/sum/avg/min/max) share one slot — the
+  /// measure column is folded once per group, not once per MDA.
+  int fold_slot = -1;
 };
 
 }  // namespace
@@ -131,8 +135,27 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
         continue;
       }
       Arm::Handle handle = arm->Register(key);
-      node_mdas[mask].push_back(NodeMda{m, handle});
+      node_mdas[mask].push_back(NodeMda{m, handle, -1});
       ++stats.num_mdas_evaluated;
+    }
+  }
+
+  // --- Per-node fold plan, built once outside the emit loop (PR 6): the
+  // distinct measure columns each node touches. The emit fold then runs one
+  // kernel call per (group, distinct attr); the old path re-tested
+  // is_count_star per decoded block and re-folded the column once per MDA.
+  const simd::FoldKernel fold_kernel = simd::ResolveFoldKernel(options.simd);
+  stats.fold_kernel = fold_kernel.kind;
+  std::vector<std::vector<const MeasureVector*>> node_slots(num_nodes);
+  for (uint32_t mask = 0; mask < num_nodes; ++mask) {
+    for (NodeMda& mda : node_mdas[mask]) {
+      if (spec.measures[mda.measure_index].is_count_star()) continue;
+      const MeasureVector* mv = loaded[mda.measure_index];
+      std::vector<const MeasureVector*>& slots = node_slots[mask];
+      size_t s = 0;
+      while (s < slots.size() && slots[s] != mv) ++s;
+      if (s == slots.size()) slots.push_back(mv);
+      mda.fold_slot = static_cast<int>(s);
     }
   }
 
@@ -165,19 +188,15 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
     }
     return true;
   };
-  // Per-measure accumulator of the ⊗ of Figure 5. The vectors are
-  // lattice-scoped scratch, reused across every emitted group.
-  struct Acc {
-    double count = 0, sum = 0;
-    double min = std::numeric_limits<double>::infinity();
-    double max = -std::numeric_limits<double>::infinity();
-  };
-  std::vector<Acc> accs;
+  // Emit-side scratch, lattice-scoped and reused across every group.
   std::vector<TermId> dim_values;
   dim_values.reserve(n);
-  std::vector<uint32_t> fact_block;  ///< per-container decode buffer, reused
+  std::vector<uint32_t> fact_span;  ///< full-cell decode buffer, reused
+  std::vector<simd::FoldResult> fold_results;
+  simd::FoldAcc fold_acc;
   auto emit = [&](uint32_t mask, Span<int32_t> coords, BitmapCell& cell) {
     const std::vector<NodeMda>& mdas = node_mdas[mask];
+    const std::vector<const MeasureVector*>& slots = node_slots[mask];
     dim_values.clear();
     for (size_t d = 0; d < n; ++d) {
       if (!(mask & (1u << d))) continue;
@@ -186,35 +205,23 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
     // All emitted cells of this lattice coexist in the merged partials, so
     // their summed footprint is the lattice's peak bitmap memory.
     stats.bitmap_bytes_peak += cell.facts.MemoryBytes();
-    // One scan of the bitmap updates the accumulators of every MDA of this
-    // node simultaneously. The bitmap decodes each container into a dense
-    // ascending id block (no per-fact callback), and the block order keeps
-    // the FP accumulation order fixed no matter how the bitmap was
-    // assembled — identical to the per-value ForEach order.
-    accs.assign(spec.measures.size(), Acc());
     double count_star = static_cast<double>(cell.facts.Cardinality());
-    bool need_measures = false;
-    for (const NodeMda& mda : mdas) {
-      need_measures |= !spec.measures[mda.measure_index].is_count_star();
-    }
-    if (need_measures) {
-      cell.facts.ForEachBlock(&fact_block, [&](const uint32_t* facts,
-                                               size_t num_facts) {
-        for (const NodeMda& mda : mdas) {
-          size_t m = mda.measure_index;
-          if (spec.measures[m].is_count_star()) continue;
-          const MeasureVector& mv = *loaded[m];
-          Acc& acc = accs[m];
-          for (size_t f = 0; f < num_facts; ++f) {
-            uint32_t fact = facts[f];
-            if (mv.count[fact] == 0) continue;
-            acc.count += mv.count[fact];
-            acc.sum += mv.sum[fact];
-            acc.min = std::min(acc.min, mv.min[fact]);
-            acc.max = std::max(acc.max, mv.max[fact]);
-          }
-        }
-      });
+    // One full-cell decode feeds one kernel call per distinct measure attr
+    // of this node (the ⊗ of Figure 5, Section 4.3's intersect-and-fold).
+    // The span is the group's sorted fact-id set — a pure function of the
+    // group, independent of how the bitmap was assembled — and the kernel's
+    // lane order is fixed, so the folded values are bit-identical at every
+    // thread/shard/worker/kernel configuration.
+    if (!slots.empty()) {
+      cell.facts.DecodeInto(&fact_span);
+      fold_results.resize(slots.size());
+      for (size_t s = 0; s < slots.size(); ++s) {
+        const MeasureVector& mv = *slots[s];
+        fold_acc.Reset();
+        fold_kernel.fn(fact_span.data(), fact_span.size(), mv.count.data(),
+                       mv.sum.data(), mv.min.data(), mv.max.data(), &fold_acc);
+        fold_results[s] = simd::Reduce(fold_acc);
+      }
     }
     for (const NodeMda& mda : mdas) {
       const MeasureSpec& m = spec.measures[mda.measure_index];
@@ -222,7 +229,7 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
       if (m.is_count_star()) {
         value = count_star;
       } else {
-        const Acc& acc = accs[mda.measure_index];
+        const simd::FoldResult& acc = fold_results[mda.fold_slot];
         if (acc.count == 0) continue;  // no fact in the group has the measure
         switch (m.func) {
           case sparql::AggFunc::kCount:

@@ -7,6 +7,7 @@
 
 #include "src/core/arm.h"
 #include "src/core/lattice.h"
+#include "src/simd/measure_fold.h"
 #include "src/store/preagg.h"
 #include "src/util/rng.h"
 
@@ -34,6 +35,11 @@ struct MvdCubeOptions {
   int partition_chunk = 16;
   /// Cap on cells a single fact may occupy (multi-value cross product).
   size_t max_combos_per_fact = 4096;
+  /// Measure-fold kernel selection (src/simd): kAuto dispatches to the best
+  /// kernel the CPU supports, kScalar forces the portable lane-strided
+  /// kernel. Bit-identical results either way — this knob only exists for
+  /// the differential tests, the CI dispatch-independence job, and benches.
+  simd::SimdMode simd = simd::SimdMode::kAuto;
 };
 
 /// Statistics of one lattice evaluation, reported by benches and tests.
@@ -56,6 +62,8 @@ struct MvdCubeStats {
   /// not-yet-folded duplicate slice partials are resident too but not
   /// counted.
   uint64_t bitmap_bytes_peak = 0;
+  /// Measure-fold kernel the dispatcher picked (scalar / avx2 / neon).
+  simd::FoldKernelKind fold_kernel = simd::FoldKernelKind::kScalar;
   /// Partition-parallel lattice computation (ParallelLatticeRun).
   ParallelLatticeStats lattice;
 };

@@ -240,6 +240,8 @@ Result<std::vector<Insight>> Spade::RunOnline() {
                            ? ThreadPool::HardwareConcurrency()
                            : options_.num_threads;
   report_.num_threads_used = num_threads;
+  report_.simd_kernel = simd::FoldKernelKindName(
+      simd::ResolveFoldKernel(options_.mvd.simd).kind);
   // Within-CFS sharding: auto means one shard per worker, so a lone large
   // CFS can still occupy the whole pool. Results are bit-identical at every
   // shard count, so the resolution only affects wall-clock. Ineligible

@@ -111,6 +111,10 @@ struct SpadeReport {
   size_t num_groups_emitted = 0;  ///< group tuples streamed into the ARM
   size_t num_threads_used = 1;    ///< resolved online-phase worker count
   size_t num_shards_used = 1;     ///< resolved within-CFS shard count
+  /// Measure-fold kernel the runtime dispatcher picked for the online phase
+  /// ("scalar" / "avx2" / "neon"); results are bit-identical across kernels,
+  /// this reports what actually ran (--simd / SpadeOptions::mvd.simd).
+  const char* simd_kernel = "scalar";
   /// Facts owned by each fact-id-range shard, summed over all sharded CFS
   /// evaluations (empty when every CFS ran unsharded).
   std::vector<size_t> shard_fact_counts;

@@ -1,6 +1,7 @@
 #ifndef SPADE_EXEC_THREAD_POOL_H_
 #define SPADE_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -8,19 +9,32 @@
 #include <thread>
 #include <vector>
 
+#include "src/exec/work_deque.h"
+
 namespace spade {
 
-/// \brief Fixed-size worker pool with per-worker deques and work stealing.
+/// \brief Fixed-size worker pool over per-worker Chase–Lev lock-free deques.
 ///
-/// Submit() distributes tasks round-robin over the worker deques; an idle
-/// worker first drains its own deque from the front, then steals from the
-/// back of the fullest other deque. All deques share one mutex — task
-/// granularity in Spade is one CFS or one lattice (milliseconds to seconds),
-/// so queue contention is irrelevant; the per-worker structure is what
-/// matters for a later lock-free upgrade.
+/// Every worker owns one WorkStealingDeque. A task submitted FROM a pool
+/// worker (nested ParallelFor helpers, TaskGroup fan-out from inside a
+/// task) is pushed lock-free onto that worker's own deque — the
+/// overwhelmingly common case once lattice slices, ingest chunks, and fold
+/// tasks nest. External threads (the caller driving the pipeline) submit
+/// through a small mutex-guarded injection queue. An idle worker pops its
+/// own deque LIFO, then takes from the injection queue, then steals FIFO
+/// from the other workers' deques — no global lock anywhere on the
+/// task-transfer path (the old pool serialized every push, pop, and steal
+/// on one mutex).
+///
+/// Sleep/wake uses the enqueue-then-lock-then-notify protocol: a submitter
+/// enqueues, then acquires the sleep mutex (empty critical section) and
+/// notifies. A worker only blocks after re-checking, under that mutex, that
+/// every queue looks empty — so either the worker's check sees the enqueue
+/// (mutex ordering) or the submitter's notify reaches the worker's wait.
 ///
 /// The destructor drains every queued task before joining (a task submitted
-/// is a task run), so fire-and-forget submissions never leak work.
+/// is a task run, including tasks submitted by running tasks), so
+/// fire-and-forget submissions never leak work.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -40,12 +54,23 @@ class ThreadPool {
 
  private:
   void WorkerLoop(size_t index);
+  /// Own deque -> injection queue -> steal sweep. Null when nothing found.
+  WorkStealingDeque::Task* TryAcquire(size_t index);
+  /// Accurate for every task enqueued before the call (used under
+  /// sleep_mutex_ to decide blocking).
+  bool HasQueuedWork();
 
-  std::mutex mutex_;
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques_;
+  std::mutex inject_mutex_;
+  std::deque<WorkStealingDeque::Task*> injection_;  // guarded by inject_mutex_
+
+  /// Tasks enqueued but not yet finished running. Workers may only exit
+  /// when stop_ is set AND this is zero — tasks spawned by running tasks
+  /// keep the pool alive until the whole chain drains.
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mutex_;
   std::condition_variable cv_;
-  std::vector<std::deque<std::function<void()>>> queues_;  // guarded by mutex_
-  size_t next_queue_ = 0;                                  // guarded by mutex_
-  bool stop_ = false;                                      // guarded by mutex_
   std::vector<std::thread> workers_;
 };
 

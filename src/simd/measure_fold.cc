@@ -1,0 +1,250 @@
+#include "src/simd/measure_fold.h"
+
+#include <cstdlib>
+#include <limits>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SPADE_SIMD_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define SPADE_SIMD_NEON 1
+#endif
+
+namespace spade {
+namespace simd {
+
+namespace {
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+void FoldAcc::Reset() {
+  for (size_t l = 0; l < kFoldLanes; ++l) {
+    count[l] = 0.0;
+    sum[l] = 0.0;
+    min[l] = kPosInf;
+    max[l] = kNegInf;
+  }
+}
+
+FoldResult Reduce(const FoldAcc& acc) {
+  // The one fixed order: ((l0 op l1) op l2) op l3, comparison-form min/max.
+  FoldResult r;
+  r.count = acc.count[0];
+  r.sum = acc.sum[0];
+  r.min = acc.min[0];
+  r.max = acc.max[0];
+  for (size_t l = 1; l < kFoldLanes; ++l) {
+    r.count += acc.count[l];
+    r.sum += acc.sum[l];
+    r.min = r.min < acc.min[l] ? r.min : acc.min[l];
+    r.max = r.max > acc.max[l] ? r.max : acc.max[l];
+  }
+  return r;
+}
+
+// Portable kernel. Written in the blend form the vector backends use —
+// missing facts (count==0) contribute the identity to their lane instead of
+// being skipped, and min/max are the comparison-select of MINPD/MAXPD —
+// so every backend produces the same bits.
+void FoldMeasureScalar(const uint32_t* facts, size_t n, const uint32_t* count,
+                       const double* sum, const double* min, const double* max,
+                       FoldAcc* acc) {
+  static_assert(kFoldLanes == 4, "lane striding below assumes 4 lanes");
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lane = i & (kFoldLanes - 1);
+    const uint32_t f = facts[i];
+    const bool present = count[f] != 0;
+    // count==0 converts to +0.0, so the count lane needs no blend; the
+    // int32_t hop documents the vector paths' signed-convert precondition.
+    const double c = static_cast<double>(static_cast<int32_t>(count[f]));
+    const double s = present ? sum[f] : 0.0;
+    const double lo = present ? min[f] : kPosInf;
+    const double hi = present ? max[f] : kNegInf;
+    acc->count[lane] += c;
+    acc->sum[lane] += s;
+    acc->min[lane] = acc->min[lane] < lo ? acc->min[lane] : lo;
+    acc->max[lane] = acc->max[lane] > hi ? acc->max[lane] : hi;
+  }
+}
+
+#ifdef SPADE_SIMD_X86
+// AVX2 kernel, compiled with a per-function target attribute so the
+// translation unit needs no special flags and the binary stays runnable on
+// pre-AVX2 CPUs (the resolver never hands this pointer out without CPUID).
+// One 4-wide register per accumulator = the 4 logical lanes exactly.
+__attribute__((target("avx2"))) void FoldMeasureAvx2(
+    const uint32_t* facts, size_t n, const uint32_t* count, const double* sum,
+    const double* min, const double* max, FoldAcc* acc) {
+  // Tiny spans (most lattice cells hold a handful of facts) lose to the
+  // fixed cost of spilling/reloading the 16 accumulator lanes; the scalar
+  // kernel computes the identical bits, so fall through to it.
+  if (n < 16) {
+    FoldMeasureScalar(facts, n, count, sum, min, max, acc);
+    return;
+  }
+  const __m256d id_sum = _mm256_setzero_pd();
+  const __m256d id_min = _mm256_set1_pd(kPosInf);
+  const __m256d id_max = _mm256_set1_pd(kNegInf);
+  __m256d acc_count = _mm256_load_pd(acc->count);
+  __m256d acc_sum = _mm256_load_pd(acc->sum);
+  __m256d acc_min = _mm256_load_pd(acc->min);
+  __m256d acc_max = _mm256_load_pd(acc->max);
+  size_t i = 0;
+  for (; i + kFoldLanes <= n; i += kFoldLanes) {
+    __m128i cnt32;
+    __m256d v_sum, v_min, v_max;
+    if (facts[i] + 3 == facts[i + 3]) {
+      // Contiguous run (facts are strictly ascending, so first+3 == last
+      // pins all four): plain loads beat gathers by a wide margin, and
+      // dense decoded cells are runs almost everywhere.
+      const uint32_t f0 = facts[i];
+      cnt32 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(count + f0));
+      const __m128i miss32 = _mm_cmpeq_epi32(cnt32, _mm_setzero_si128());
+      const __m256d miss = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(miss32));
+      v_sum = _mm256_blendv_pd(_mm256_loadu_pd(sum + f0), id_sum, miss);
+      v_min = _mm256_blendv_pd(_mm256_loadu_pd(min + f0), id_min, miss);
+      v_max = _mm256_blendv_pd(_mm256_loadu_pd(max + f0), id_max, miss);
+    } else {
+      const __m128i idx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(facts + i));
+      cnt32 = _mm_i32gather_epi32(reinterpret_cast<const int*>(count), idx, 4);
+      const __m128i miss32 = _mm_cmpeq_epi32(cnt32, _mm_setzero_si128());
+      const __m256d present = _mm256_castsi256_pd(_mm256_xor_si256(
+          _mm256_cvtepi32_epi64(miss32), _mm256_set1_epi64x(-1)));
+      v_sum = _mm256_mask_i32gather_pd(id_sum, sum, idx, present, 8);
+      v_min = _mm256_mask_i32gather_pd(id_min, min, idx, present, 8);
+      v_max = _mm256_mask_i32gather_pd(id_max, max, idx, present, 8);
+    }
+    // Signed convert — the count < 2^31 precondition; count==0 lanes become
+    // +0.0 so the count accumulator needs no mask (it never goes negative,
+    // so adding +0.0 is bit-exact).
+    acc_count = _mm256_add_pd(acc_count, _mm256_cvtepi32_pd(cnt32));
+    acc_sum = _mm256_add_pd(acc_sum, v_sum);
+    acc_min = _mm256_min_pd(acc_min, v_min);  // a < b ? a : b, per lane
+    acc_max = _mm256_max_pd(acc_max, v_max);  // a > b ? a : b, per lane
+  }
+  _mm256_store_pd(acc->count, acc_count);
+  _mm256_store_pd(acc->sum, acc_sum);
+  _mm256_store_pd(acc->min, acc_min);
+  _mm256_store_pd(acc->max, acc_max);
+  // Tail (< 4 facts) resumes at lane 0 — i is a multiple of kFoldLanes here,
+  // so the scalar kernel's lane striding lines up exactly.
+  if (i < n) FoldMeasureScalar(facts + i, n - i, count, sum, min, max, acc);
+}
+#endif  // SPADE_SIMD_X86
+
+#ifdef SPADE_SIMD_NEON
+// NEON kernel: two 2-wide registers per accumulator, register pair
+// {0,1} / {2,3} = the 4 logical lanes in order. No gather instruction on
+// NEON, so elements are picked up scalar and combined vector-wide; min/max
+// go through compare-and-select (NOT vminq/vmaxq, whose NaN behaviour
+// differs from the comparison form the other backends use).
+void FoldMeasureNeon(const uint32_t* facts, size_t n, const uint32_t* count,
+                     const double* sum, const double* min, const double* max,
+                     FoldAcc* acc) {
+  float64x2_t acc_count_lo = vld1q_f64(acc->count);
+  float64x2_t acc_count_hi = vld1q_f64(acc->count + 2);
+  float64x2_t acc_sum_lo = vld1q_f64(acc->sum);
+  float64x2_t acc_sum_hi = vld1q_f64(acc->sum + 2);
+  float64x2_t acc_min_lo = vld1q_f64(acc->min);
+  float64x2_t acc_min_hi = vld1q_f64(acc->min + 2);
+  float64x2_t acc_max_lo = vld1q_f64(acc->max);
+  float64x2_t acc_max_hi = vld1q_f64(acc->max + 2);
+  size_t i = 0;
+  for (; i + kFoldLanes <= n; i += kFoldLanes) {
+    double c[4], s[4], lo[4], hi[4];
+    for (size_t l = 0; l < 4; ++l) {
+      const uint32_t f = facts[i + l];
+      const bool present = count[f] != 0;
+      c[l] = static_cast<double>(static_cast<int32_t>(count[f]));
+      s[l] = present ? sum[f] : 0.0;
+      lo[l] = present ? min[f] : kPosInf;
+      hi[l] = present ? max[f] : kNegInf;
+    }
+    acc_count_lo = vaddq_f64(acc_count_lo, vld1q_f64(c));
+    acc_count_hi = vaddq_f64(acc_count_hi, vld1q_f64(c + 2));
+    acc_sum_lo = vaddq_f64(acc_sum_lo, vld1q_f64(s));
+    acc_sum_hi = vaddq_f64(acc_sum_hi, vld1q_f64(s + 2));
+    const float64x2_t v_min_lo = vld1q_f64(lo);
+    const float64x2_t v_min_hi = vld1q_f64(lo + 2);
+    const float64x2_t v_max_lo = vld1q_f64(hi);
+    const float64x2_t v_max_hi = vld1q_f64(hi + 2);
+    acc_min_lo = vbslq_f64(vcltq_f64(acc_min_lo, v_min_lo), acc_min_lo, v_min_lo);
+    acc_min_hi = vbslq_f64(vcltq_f64(acc_min_hi, v_min_hi), acc_min_hi, v_min_hi);
+    acc_max_lo = vbslq_f64(vcgtq_f64(acc_max_lo, v_max_lo), acc_max_lo, v_max_lo);
+    acc_max_hi = vbslq_f64(vcgtq_f64(acc_max_hi, v_max_hi), acc_max_hi, v_max_hi);
+  }
+  vst1q_f64(acc->count, acc_count_lo);
+  vst1q_f64(acc->count + 2, acc_count_hi);
+  vst1q_f64(acc->sum, acc_sum_lo);
+  vst1q_f64(acc->sum + 2, acc_sum_hi);
+  vst1q_f64(acc->min, acc_min_lo);
+  vst1q_f64(acc->min + 2, acc_min_hi);
+  vst1q_f64(acc->max, acc_max_lo);
+  vst1q_f64(acc->max + 2, acc_max_hi);
+  if (i < n) FoldMeasureScalar(facts + i, n - i, count, sum, min, max, acc);
+}
+#endif  // SPADE_SIMD_NEON
+
+namespace {
+// SPADE_SIMD=scalar forces the portable kernel process-wide; the CI
+// dispatch-independence job runs the entire test suite under it without
+// touching any call site.
+bool ScalarForcedByEnv() {
+  static const bool forced = [] {
+    const char* env = std::getenv("SPADE_SIMD");
+    return env != nullptr && std::string(env) == "scalar";
+  }();
+  return forced;
+}
+}  // namespace
+
+FoldKernel ResolveFoldKernel(SimdMode mode) {
+  FoldKernel k{&FoldMeasureScalar, FoldKernelKind::kScalar};
+  if (mode == SimdMode::kScalar || ScalarForcedByEnv()) return k;
+#if defined(SPADE_SIMD_X86)
+  static const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  if (has_avx2) {
+    k.fn = &FoldMeasureAvx2;
+    k.kind = FoldKernelKind::kAvx2;
+  }
+#elif defined(SPADE_SIMD_NEON)
+  k.fn = &FoldMeasureNeon;
+  k.kind = FoldKernelKind::kNeon;
+#endif
+  return k;
+}
+
+const char* FoldKernelKindName(FoldKernelKind kind) {
+  switch (kind) {
+    case FoldKernelKind::kScalar:
+      return "scalar";
+    case FoldKernelKind::kAvx2:
+      return "avx2";
+    case FoldKernelKind::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* SimdModeName(SimdMode mode) {
+  return mode == SimdMode::kScalar ? "scalar" : "auto";
+}
+
+bool ParseSimdMode(const std::string& text, SimdMode* mode) {
+  if (text == "auto") {
+    *mode = SimdMode::kAuto;
+    return true;
+  }
+  if (text == "scalar") {
+    *mode = SimdMode::kScalar;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace simd
+}  // namespace spade

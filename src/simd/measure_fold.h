@@ -1,0 +1,121 @@
+#ifndef SPADE_SIMD_MEASURE_FOLD_H_
+#define SPADE_SIMD_MEASURE_FOLD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spade {
+namespace simd {
+
+/// \brief Runtime-dispatched measure-fold kernels.
+///
+/// The online critical path of MVDCube (Section 4.3) is the per-group
+/// measure fold: gather the per-fact pre-aggregated measure columns
+/// (count / sum / min / max) by fact id over the group's dense ascending id
+/// span and combine them with the ⊗ of Figure 5. This layer provides that
+/// fold as a set of interchangeable kernels — portable scalar, AVX2 (x86),
+/// NEON (aarch64) — selected once at runtime (CPUID on x86) and called
+/// through a plain function pointer. It deliberately depends on nothing but
+/// raw column pointers so every cube algorithm (MVDCube's emit fold,
+/// ArrayCube's root-cell fold) and the benches share one definition.
+///
+/// Determinism contract. All kernels accumulate in the SAME fixed
+/// *lane-strided* order: element i of the span (its global rank, counted
+/// across the whole span — never per SIMD block) lands in logical lane
+/// i mod kFoldLanes, and the final horizontal reduction combines lanes in
+/// ascending order (((l0 ⊗ l1) ⊗ l2) ⊗ l3). The lane count is fixed at 4 on
+/// every backend — AVX2 uses one 4-wide register, NEON two 2-wide
+/// registers, the scalar kernel four accumulator variables — so the result
+/// is a pure function of the span contents: bit-identical across scalar vs
+/// vector, x86 vs ARM, and every thread / shard / worker configuration
+/// (the span itself is configuration-independent: it is the sorted fact-id
+/// set of the group). Facts with count[fact] == 0 (measure missing)
+/// contribute the fold identity to their lane — +0.0 to count and sum,
+/// +inf / -inf to min / max — exactly like a masked vector lane, so the
+/// scalar and vector paths agree bitwise with no tolerance.
+///
+/// Min/max use the comparison form `acc = acc < v ? acc : v` (the exact
+/// semantics of x86 MINPD / the NEON compare-and-select), applied
+/// per lane and again in the reduction.
+///
+/// Preconditions: fact ids index into all four columns; count values are
+/// < 2^31 (the vector paths convert through signed int32 — per-fact value
+/// counts are tiny in practice, debug-asserted at the call sites that build
+/// the columns).
+
+/// Logical accumulator lanes — fixed across every backend (see above).
+constexpr size_t kFoldLanes = 4;
+
+/// Lane-strided accumulator state. Aligned so vector backends can keep the
+/// lanes in registers and spill with aligned stores.
+struct alignas(32) FoldAcc {
+  double count[kFoldLanes];
+  double sum[kFoldLanes];
+  double min[kFoldLanes];
+  double max[kFoldLanes];
+
+  /// Reset every lane to the fold identity (0, 0, +inf, -inf).
+  void Reset();
+};
+
+/// Horizontal reduction of one accumulator, lanes combined in ascending
+/// order (the one fixed order of the determinism contract).
+struct FoldResult {
+  double count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+FoldResult Reduce(const FoldAcc& acc);
+
+/// Fold `n` facts into `acc` (which the caller Reset()s; a span may be
+/// folded in several calls, but lane striding restarts at lane 0 each call,
+/// so per-group folds hand the kernel ONE span covering the whole group).
+///   facts  STRICTLY ascending fact-id span — both producers satisfy this
+///          (bitmap decode yields a sorted set; ArrayCube root cells see
+///          each fact at most once because distinct value combinations land
+///          in distinct cells), and the vector backends' contiguous-run
+///          fast path relies on it
+///   count / sum / min / max   the MeasureVector columns
+using MeasureFoldFn = void (*)(const uint32_t* facts, size_t n,
+                               const uint32_t* count, const double* sum,
+                               const double* min, const double* max,
+                               FoldAcc* acc);
+
+/// User-facing kernel selection (SpadeOptions / --simd).
+enum class SimdMode : uint8_t {
+  kAuto = 0,  ///< best kernel the CPU supports (CPUID on x86)
+  kScalar,    ///< force the portable lane-strided scalar kernel
+};
+
+/// What ResolveFoldKernel actually picked.
+enum class FoldKernelKind : uint8_t { kScalar = 0, kAvx2, kNeon };
+
+struct FoldKernel {
+  MeasureFoldFn fn = nullptr;
+  FoldKernelKind kind = FoldKernelKind::kScalar;
+};
+
+/// Resolve `mode` to a concrete kernel. kAuto probes the CPU once (the
+/// probe is cached); the environment variable SPADE_SIMD=scalar forces the
+/// scalar kernel regardless of `mode` — the CI dispatch-independence job
+/// runs the whole test suite under it.
+FoldKernel ResolveFoldKernel(SimdMode mode);
+
+const char* FoldKernelKindName(FoldKernelKind kind);
+const char* SimdModeName(SimdMode mode);
+/// Parse "auto" / "scalar" (the --simd grammar). Returns false on any other
+/// input.
+bool ParseSimdMode(const std::string& text, SimdMode* mode);
+
+/// The portable kernel, exported directly so the differential tests and
+/// benches can pit it against whatever ResolveFoldKernel picked.
+void FoldMeasureScalar(const uint32_t* facts, size_t n, const uint32_t* count,
+                       const double* sum, const double* min, const double* max,
+                       FoldAcc* acc);
+
+}  // namespace simd
+}  // namespace spade
+
+#endif  // SPADE_SIMD_MEASURE_FOLD_H_

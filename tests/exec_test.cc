@@ -40,6 +40,147 @@ TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
   EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
 }
 
+TEST(ThreadPoolTest, TasksSubmittedByTasksAreDrainedBeforeDestruction) {
+  // Nested submissions land on the submitting worker's own deque; the
+  // destructor's drain contract has to cover the whole spawn chain.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter, &pool] {
+        counter.fetch_add(1);
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+// --- WorkStealingDeque (Chase-Lev) ----------------------------------------
+
+TEST(WorkDequeTest, OwnerPopsLifoThievesStealFifo) {
+  WorkStealingDeque dq;
+  auto* a = new WorkStealingDeque::Task([] {});
+  auto* b = new WorkStealingDeque::Task([] {});
+  auto* c = new WorkStealingDeque::Task([] {});
+  dq.PushBottom(a);
+  dq.PushBottom(b);
+  dq.PushBottom(c);
+  EXPECT_FALSE(dq.EmptyHint());
+  EXPECT_EQ(dq.Steal(), a);      // oldest first
+  EXPECT_EQ(dq.PopBottom(), c);  // newest first
+  EXPECT_EQ(dq.PopBottom(), b);
+  EXPECT_EQ(dq.PopBottom(), nullptr);
+  EXPECT_EQ(dq.Steal(), nullptr);
+  EXPECT_TRUE(dq.EmptyHint());
+  delete a;
+  delete b;
+  delete c;
+}
+
+TEST(WorkDequeTest, GrowsPastInitialCapacityPreservingOrder) {
+  WorkStealingDeque dq(/*initial_capacity=*/2);
+  std::vector<WorkStealingDeque::Task*> tasks;
+  for (int i = 0; i < 300; ++i) {
+    tasks.push_back(new WorkStealingDeque::Task([] {}));
+    dq.PushBottom(tasks.back());
+  }
+  for (int i = 0; i < 150; ++i) {  // FIFO from the top
+    EXPECT_EQ(dq.Steal(), tasks[i]) << i;
+  }
+  for (int i = 299; i >= 150; --i) {  // LIFO from the bottom
+    EXPECT_EQ(dq.PopBottom(), tasks[i]) << i;
+  }
+  EXPECT_EQ(dq.PopBottom(), nullptr);
+  for (auto* t : tasks) delete t;
+}
+
+TEST(WorkDequeTest, ConcurrentStealsLoseNothingDuplicateNothing) {
+  // One owner pushes and pops; several thieves hammer Steal. Every task
+  // must be claimed exactly once across all parties. (Run under TSan in CI,
+  // this is also the memory-model check on the fence-free mapping.)
+  constexpr int kTasks = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque dq(/*initial_capacity=*/4);
+  std::vector<std::atomic<int>> claimed(kTasks);
+  for (auto& c : claimed) c.store(0);
+  std::atomic<int> remaining{kTasks};
+  std::atomic<bool> done{false};
+  auto claim = [&](WorkStealingDeque::Task* t) {
+    if (t == nullptr) return;
+    (*t)();
+    delete t;
+    remaining.fetch_sub(1);
+  };
+  std::vector<std::thread> thieves;
+  for (int th = 0; th < kThieves; ++th) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) claim(dq.Steal());
+    });
+  }
+  // Owner: pushes in bursts, popping some of its own work in between.
+  for (int i = 0; i < kTasks; ++i) {
+    dq.PushBottom(new WorkStealingDeque::Task(
+        [&claimed, i] { claimed[i].fetch_add(1); }));
+    if (i % 3 == 0) claim(dq.PopBottom());
+  }
+  while (remaining.load() > 0) {
+    WorkStealingDeque::Task* t = dq.PopBottom();
+    if (t == nullptr && dq.EmptyHint()) {
+      std::this_thread::yield();  // thieves still finishing their claims
+    }
+    claim(t);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(claimed[i].load(), 1) << "task " << i;
+  }
+  EXPECT_TRUE(dq.EmptyHint());
+}
+
+TEST(ThreadPoolStressTest, StealHeavyFineGrainedTasksAllRunExactlyOnce) {
+  // Steal-heavy by construction: every task is submitted from the external
+  // thread through the injection queue, and each one immediately spawns
+  // tiny children onto its worker's own deque — idle workers must live off
+  // stealing. Microsecond-scale bodies keep the deques churning. (The TSan
+  // CI job runs this; it is the data-race check on the lock-free pool.)
+  constexpr int kRounds = 200;
+  constexpr int kChildren = 16;
+  std::vector<std::atomic<int>> hits(kRounds * kChildren);
+  for (auto& h : hits) h.store(0);
+  {
+    ThreadPool pool(8);
+    for (int r = 0; r < kRounds; ++r) {
+      pool.Submit([&hits, &pool, r] {
+        for (int c = 0; c < kChildren; ++c) {
+          pool.Submit([&hits, r, c] {
+            hits[r * kChildren + c].fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+  }
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ParallelForUnderContention) {
+  // Many short ParallelFor rounds on a pool bigger than the work: workers
+  // spend most of their time in the sleep/steal protocol, the regression
+  // surface for lost-wakeup bugs (a hang here is the failure mode).
+  ThreadPool pool(8);
+  TaskScheduler scheduler(&pool);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 300; ++round) {
+    scheduler.ParallelFor(5, [&](size_t i) {
+      total.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 300 * (0 + 1 + 2 + 3 + 4));
+}
+
 TEST(TaskSchedulerTest, ParallelForCoversEveryIndexExactlyOnce) {
   ThreadPool pool(8);
   TaskScheduler scheduler(&pool);
@@ -333,12 +474,15 @@ TEST(ShardedPipelineTest, AutoShardsFollowResolvedThreads) {
 // --- Partition-parallel lattice computation -------------------------------
 
 // The acceptance contract of the parallel lattice: bit-identical top-k
-// insights across every (threads, shards) combination — the lattice worker
-// count follows the resolved thread count, so this matrix exercises lattice
-// workers {1, 2, 4, 8} x shards {1, 2, 4}. partition_chunk = 2 forces many
-// partitions per lattice, so multi-slice runs really happen (the default
-// chunk of 16 often leaves small lattices with a single partition).
-TEST(LatticeParallelPipelineTest, ManyPartitionsBitIdenticalAcrossWorkersAndShards) {
+// insights across every (threads, shards, simd) combination — the lattice
+// worker count follows the resolved thread count, so this matrix exercises
+// lattice workers {1, 2, 4, 8} x shards {1, 2, 4} x fold kernel
+// {dispatched, forced-scalar}. partition_chunk = 2 forces many partitions
+// per lattice, so multi-slice runs really happen (the default chunk of 16
+// often leaves small lattices with a single partition). The serial baseline
+// runs with the scalar kernel, so on AVX2/NEON hosts every 'auto' run is a
+// genuine scalar-vs-vector bit comparison.
+TEST(LatticeParallelPipelineTest, ManyPartitionsBitIdenticalAcrossWorkersShardsAndSimd) {
   SyntheticOptions sopts;
   sopts.num_facts = 3000;
   sopts.dim_cardinality = {40, 25, 12};
@@ -348,18 +492,23 @@ TEST(LatticeParallelPipelineTest, ManyPartitionsBitIdenticalAcrossWorkersAndShar
   SpadeOptions options = BaseOptions();
   options.mvd.partition_chunk = 2;
   options.num_shards = 1;
+  options.mvd.simd = simd::SimdMode::kScalar;
   auto baseline_graph = make_graph();
   RunOutcome serial = RunPipeline(baseline_graph.get(), options, 1);
   EXPECT_FALSE(serial.insights.empty());
-  for (size_t shards : {1u, 2u, 4u}) {
-    for (size_t threads : {1u, 2u, 4u, 8u}) {
-      SCOPED_TRACE("num_shards = " + std::to_string(shards));
-      options.num_shards = shards;
-      auto graph = make_graph();
-      RunOutcome parallel = RunPipeline(graph.get(), options, threads);
-      ExpectIdentical(serial, parallel, threads);
-      EXPECT_GE(parallel.report.lattice_workers_used, 1u);
-      EXPECT_LE(parallel.report.lattice_workers_used, threads);
+  for (simd::SimdMode mode : {simd::SimdMode::kAuto, simd::SimdMode::kScalar}) {
+    for (size_t shards : {1u, 2u, 4u}) {
+      for (size_t threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(std::string("simd = ") + simd::SimdModeName(mode) +
+                     ", num_shards = " + std::to_string(shards));
+        options.mvd.simd = mode;
+        options.num_shards = shards;
+        auto graph = make_graph();
+        RunOutcome parallel = RunPipeline(graph.get(), options, threads);
+        ExpectIdentical(serial, parallel, threads);
+        EXPECT_GE(parallel.report.lattice_workers_used, 1u);
+        EXPECT_LE(parallel.report.lattice_workers_used, threads);
+      }
     }
   }
 }
@@ -448,11 +597,7 @@ void EvaluateLatticeWithSetCells(const AttributeStore& db, uint32_t cfs_id,
     }
     return true;
   };
-  struct Acc {
-    double count = 0, sum = 0;
-    double min = std::numeric_limits<double>::infinity();
-    double max = -std::numeric_limits<double>::infinity();
-  };
+  using Acc = simd::FoldResult;
   std::vector<TermId> dim_values;
   auto emit = [&](uint32_t mask, Span<int32_t> coords, SetRefCell& cell) {
     dim_values.clear();
@@ -460,19 +605,21 @@ void EvaluateLatticeWithSetCells(const AttributeStore& db, uint32_t cfs_id,
       if (!(mask & (1u << d))) continue;
       dim_values.push_back(encodings[d].values[coords[d]]);
     }
+    // std::set iterates ascending — the same span the bitmap decodes. The
+    // fold goes through the (portable) scalar kernel: the engine's fixed
+    // lane-strided fold order IS the spec now, and the engine must hit it
+    // bit-exactly from set cells at every worker/shard/simd configuration.
+    std::vector<uint32_t> span(cell.facts.begin(), cell.facts.end());
     std::vector<Acc> accs(spec.measures.size());
-    // std::set iterates ascending — the same fact order the bitmap decodes.
-    for (uint32_t fact : cell.facts) {
-      for (size_t m = 0; m < spec.measures.size(); ++m) {
-        if (spec.measures[m].is_count_star()) continue;
-        const MeasureVector& mv = loaded[m];
-        if (mv.count[fact] == 0) continue;
-        Acc& acc = accs[m];
-        acc.count += mv.count[fact];
-        acc.sum += mv.sum[fact];
-        acc.min = std::min(acc.min, mv.min[fact]);
-        acc.max = std::max(acc.max, mv.max[fact]);
-      }
+    simd::FoldAcc lanes;
+    for (size_t m = 0; m < spec.measures.size(); ++m) {
+      if (spec.measures[m].is_count_star()) continue;
+      const MeasureVector& mv = loaded[m];
+      lanes.Reset();
+      simd::FoldMeasureScalar(span.data(), span.size(), mv.count.data(),
+                              mv.sum.data(), mv.min.data(), mv.max.data(),
+                              &lanes);
+      accs[m] = simd::Reduce(lanes);
     }
     for (const auto& [m, handle] : node_mdas[mask]) {
       const MeasureSpec& ms = spec.measures[m];
@@ -562,17 +709,24 @@ TEST(ArmStreamTest, BitmapEngineMatchesSetCellReferenceAtEveryWorkerCount) {
 
   MvdCubeOptions options;
   options.partition_chunk = kChunk;
-  for (size_t workers : {1u, 2u, 4u, 8u}) {
-    SCOPED_TRACE("workers = " + std::to_string(workers));
-    ThreadPool pool(workers);
-    TaskScheduler scheduler(&pool);
-    Arm arm(kStoreAll);
-    MeasureCache measures;
-    EvaluateLatticeMvd(db, 0, cfs, spec, options, &arm, &measures,
-                       /*pruned=*/nullptr, /*pre_translated=*/nullptr,
-                       /*pre_built=*/nullptr, /*pre_encodings=*/nullptr,
-                       &scheduler, workers);
-    ExpectSameArmStream(reference, arm);
+  // simd axis: the reference folded through the scalar kernel, so the kAuto
+  // leg pins the dispatched vector kernel (AVX2 here, NEON on ARM) to the
+  // exact same bits — the no-tolerance scalar-vs-SIMD contract, end to end.
+  for (simd::SimdMode mode : {simd::SimdMode::kScalar, simd::SimdMode::kAuto}) {
+    for (size_t workers : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE(std::string("simd = ") + simd::SimdModeName(mode) +
+                   ", workers = " + std::to_string(workers));
+      options.simd = mode;
+      ThreadPool pool(workers);
+      TaskScheduler scheduler(&pool);
+      Arm arm(kStoreAll);
+      MeasureCache measures;
+      EvaluateLatticeMvd(db, 0, cfs, spec, options, &arm, &measures,
+                         /*pruned=*/nullptr, /*pre_translated=*/nullptr,
+                         /*pre_built=*/nullptr, /*pre_encodings=*/nullptr,
+                         &scheduler, workers);
+      ExpectSameArmStream(reference, arm);
+    }
   }
 }
 

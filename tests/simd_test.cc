@@ -1,0 +1,289 @@
+// Differential tests of the measure-fold kernels (src/simd): the dispatched
+// kernel (AVX2 / NEON / scalar, whatever this CPU resolves) must be
+// BIT-identical to the portable scalar kernel — no tolerance anywhere — on
+// spans drawn from every bitmap representation (inline small set, array,
+// run, bitset containers), at block-boundary sizes, and with facts whose
+// measure is missing (count == 0). Plus value-level checks against a naive
+// reference, and the fixed reduction-order contract.
+
+#include "src/simd/measure_fold.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/bitmap/roaring.h"
+#include "src/store/preagg.h"
+#include "src/util/rng.h"
+
+namespace spade {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t Bits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// Bitwise equality — EXPECT_EQ on doubles would accept -0.0 == +0.0.
+void ExpectBitEqual(const simd::FoldResult& a, const simd::FoldResult& b) {
+  EXPECT_EQ(Bits(a.count), Bits(b.count));
+  EXPECT_EQ(Bits(a.sum), Bits(b.sum));
+  EXPECT_EQ(Bits(a.min), Bits(b.min));
+  EXPECT_EQ(Bits(a.max), Bits(b.max));
+}
+
+// Measure columns over `universe` facts: ~1/4 of facts missing (count 0),
+// the rest carrying small multi-value aggregates with awkward doubles.
+MeasureVector MakeMeasures(size_t universe, uint64_t seed) {
+  MeasureVector mv;
+  mv.Init(universe);
+  Rng rng(seed);
+  for (size_t f = 0; f < universe; ++f) {
+    if (rng.Uniform(4) == 0) continue;  // missing: count stays 0
+    uint32_t c = static_cast<uint32_t>(1 + rng.Uniform(3));
+    mv.count[f] = c;
+    double base = rng.NextDouble() * 2e6 - 1e6;
+    mv.sum[f] = base * c + rng.NextDouble();
+    mv.min[f] = base - rng.NextDouble();
+    mv.max[f] = base + rng.NextDouble();
+  }
+  return mv;
+}
+
+simd::FoldResult RunKernel(simd::MeasureFoldFn fn,
+                           const std::vector<uint32_t>& span,
+                           const MeasureVector& mv) {
+  simd::FoldAcc acc;
+  acc.Reset();
+  fn(span.data(), span.size(), mv.count.data(), mv.sum.data(), mv.min.data(),
+     mv.max.data(), &acc);
+  return simd::Reduce(acc);
+}
+
+// Naive sequential reference (the pre-kernel fold): value-level ground
+// truth the lane-strided result must match within reordering error.
+simd::FoldResult NaiveFold(const std::vector<uint32_t>& span,
+                           const MeasureVector& mv) {
+  simd::FoldResult r;
+  r.min = kInf;
+  r.max = -kInf;
+  for (uint32_t f : span) {
+    if (mv.count[f] == 0) continue;
+    r.count += mv.count[f];
+    r.sum += mv.sum[f];
+    r.min = std::min(r.min, mv.min[f]);
+    r.max = std::max(r.max, mv.max[f]);
+  }
+  return r;
+}
+
+void CheckSpan(const std::vector<uint32_t>& span, const MeasureVector& mv) {
+  const simd::FoldKernel dispatched =
+      simd::ResolveFoldKernel(simd::SimdMode::kAuto);
+  const simd::FoldResult scalar =
+      RunKernel(&simd::FoldMeasureScalar, span, mv);
+  const simd::FoldResult vec = RunKernel(dispatched.fn, span, mv);
+  ExpectBitEqual(scalar, vec);
+
+  const simd::FoldResult naive = NaiveFold(span, mv);
+  EXPECT_DOUBLE_EQ(scalar.count, naive.count);  // integer sums: exact
+  EXPECT_EQ(Bits(scalar.min), Bits(naive.min));
+  EXPECT_EQ(Bits(scalar.max), Bits(naive.max));
+  // Sum is the one field the lane reorder may shift by ULPs.
+  const double tol = 1e-9 * (std::abs(naive.sum) + 1.0);
+  EXPECT_NEAR(scalar.sum, naive.sum, tol);
+}
+
+// The block-boundary sizes of the issue: below/at/above one SIMD block,
+// at the array->bitset container threshold, and a full 2^16 chunk.
+const size_t kSizes[] = {1, 7, 8, 4095, 4096, 65536};
+
+// --- spans drawn through every bitmap representation ----------------------
+
+TEST(SimdFoldTest, InlineSmallSets) {
+  // <= kInlineCapacity values: the bitmap never spills to containers.
+  MeasureVector mv = MakeMeasures(1 << 16, 0xA11CE);
+  for (size_t size : {size_t{1}, size_t{7}, size_t{8}}) {
+    SCOPED_TRACE("size = " + std::to_string(size));
+    RoaringBitmap bm;
+    for (size_t i = 0; i < size; ++i) {
+      bm.AppendOrdered(static_cast<uint32_t>(i * 797 + 13));
+    }
+    std::vector<uint32_t> span;
+    bm.DecodeInto(&span);
+    ASSERT_EQ(span.size(), size);
+    CheckSpan(span, mv);
+  }
+}
+
+TEST(SimdFoldTest, ArrayContainers) {
+  // Stride-3 values stay under 4096 per chunk: array containers.
+  MeasureVector mv = MakeMeasures(1 << 18, 0xB0B);
+  for (size_t size : kSizes) {
+    SCOPED_TRACE("size = " + std::to_string(size));
+    RoaringBitmap bm;
+    for (size_t i = 0; i < size; ++i) {
+      bm.AppendOrdered(static_cast<uint32_t>(i * 3));
+    }
+    std::vector<uint32_t> span;
+    bm.DecodeInto(&span);
+    ASSERT_EQ(span.size(), size);
+    CheckSpan(span, mv);
+  }
+}
+
+TEST(SimdFoldTest, RunContainers) {
+  // Contiguous ranges: run containers, and the kernels' dense fast path.
+  MeasureVector mv = MakeMeasures(1 << 18, 0xC0FFEE);
+  for (size_t size : kSizes) {
+    SCOPED_TRACE("size = " + std::to_string(size));
+    RoaringBitmap bm;
+    for (size_t i = 0; i < size; ++i) {
+      bm.AppendOrdered(static_cast<uint32_t>(i + 100));
+    }
+    std::vector<uint32_t> span;
+    bm.DecodeInto(&span);
+    ASSERT_EQ(span.size(), size);
+    CheckSpan(span, mv);
+  }
+}
+
+TEST(SimdFoldTest, BitsetContainers) {
+  // > 4096 scattered odd values per chunk: bitset containers. The decoded
+  // span alternates short runs and gaps, exercising both kernel paths.
+  MeasureVector mv = MakeMeasures(1 << 18, 0xDEAD);
+  for (size_t size : {size_t{4097}, size_t{9000}, size_t{32768}}) {
+    SCOPED_TRACE("size = " + std::to_string(size));
+    RoaringBitmap bm;
+    Rng rng(size);
+    uint32_t v = 1;
+    for (size_t i = 0; i < size; ++i) {
+      bm.AppendOrdered(v);
+      v += 1 + static_cast<uint32_t>(rng.Uniform(3));  // gaps of 0..2
+    }
+    std::vector<uint32_t> span;
+    bm.DecodeInto(&span);
+    ASSERT_EQ(span.size(), size);
+    CheckSpan(span, mv);
+  }
+}
+
+TEST(SimdFoldTest, AllFactsMissingMeasure) {
+  MeasureVector mv;
+  mv.Init(1 << 12);  // every count == 0
+  std::vector<uint32_t> span;
+  for (uint32_t f = 0; f < 1000; ++f) span.push_back(f);
+  const simd::FoldKernel dispatched =
+      simd::ResolveFoldKernel(simd::SimdMode::kAuto);
+  const simd::FoldResult scalar =
+      RunKernel(&simd::FoldMeasureScalar, span, mv);
+  const simd::FoldResult vec = RunKernel(dispatched.fn, span, mv);
+  ExpectBitEqual(scalar, vec);
+  // The fold identity, exactly: +0.0 count/sum, +/-inf min/max.
+  EXPECT_EQ(Bits(scalar.count), Bits(+0.0));
+  EXPECT_EQ(Bits(scalar.sum), Bits(+0.0));
+  EXPECT_EQ(scalar.min, kInf);
+  EXPECT_EQ(scalar.max, -kInf);
+}
+
+TEST(SimdFoldTest, SingleFact) {
+  MeasureVector mv = MakeMeasures(64, 0x5EED);
+  for (uint32_t f = 0; f < 64; ++f) {
+    std::vector<uint32_t> span{f};
+    CheckSpan(span, mv);
+  }
+}
+
+// --- contracts of the fixed accumulation order ----------------------------
+
+TEST(SimdFoldTest, ReduceOrderIsSequentialOverLanes) {
+  simd::FoldAcc acc;
+  acc.Reset();
+  // Doubles chosen so the sum depends on association order.
+  const double v[4] = {1e16, 1.0, -1e16, 1.0};
+  for (size_t l = 0; l < simd::kFoldLanes; ++l) {
+    acc.count[l] = static_cast<double>(l);
+    acc.sum[l] = v[l];
+    acc.min[l] = static_cast<double>(l);
+    acc.max[l] = static_cast<double>(l);
+  }
+  const simd::FoldResult r = simd::Reduce(acc);
+  EXPECT_EQ(Bits(r.sum), Bits(((v[0] + v[1]) + v[2]) + v[3]));
+  EXPECT_EQ(r.count, 0.0 + 1.0 + 2.0 + 3.0);
+  EXPECT_EQ(r.min, 0.0);
+  EXPECT_EQ(r.max, 3.0);
+}
+
+TEST(SimdFoldTest, LaneStridingIsGlobalRankMod4) {
+  // Fold a 6-element span by hand in lane-strided order and compare bits:
+  // element i lands in lane i % 4, reduction is lane 0..3 sequential.
+  MeasureVector mv = MakeMeasures(64, 0xFEED);
+  for (uint32_t f = 0; f < 64; ++f) mv.count[f] = 1;  // all present
+  std::vector<uint32_t> span{2, 3, 11, 17, 23, 42};
+  double lane_sum[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < span.size(); ++i) {
+    lane_sum[i % 4] += mv.sum[span[i]];
+  }
+  const double expect = ((lane_sum[0] + lane_sum[1]) + lane_sum[2]) + lane_sum[3];
+  const simd::FoldResult r = RunKernel(&simd::FoldMeasureScalar, span, mv);
+  EXPECT_EQ(Bits(r.sum), Bits(expect));
+}
+
+TEST(SimdFoldTest, ResultIndependentOfBitmapRepresentation) {
+  // The same value set decoded from an inline set and from a spilled
+  // container must fold to the same bits (the reason the fold runs on the
+  // full-cell DecodeInto span, not per internal block).
+  MeasureVector mv = MakeMeasures(1 << 17, 0x1DEA);
+  RoaringBitmap inline_bm;
+  RoaringBitmap spilled;
+  std::vector<uint32_t> values = {5, 70000, 70001, 90000, 90001, 90002};
+  for (uint32_t v : values) inline_bm.AppendOrdered(v);  // stays inline
+  for (uint32_t v : values) spilled.Add(v);
+  for (uint32_t v = 200000; v < 200100; ++v) spilled.Add(v);  // force spill
+  // (spilled now has extra values; intersect back to the original set)
+  spilled.IntersectWith(inline_bm);
+  std::vector<uint32_t> a, b;
+  inline_bm.DecodeInto(&a);
+  spilled.DecodeInto(&b);
+  ASSERT_EQ(a, b);
+  ExpectBitEqual(RunKernel(&simd::FoldMeasureScalar, a, mv),
+                 RunKernel(&simd::FoldMeasureScalar, b, mv));
+}
+
+// --- dispatch plumbing ----------------------------------------------------
+
+TEST(SimdDispatchTest, ScalarModeAlwaysResolvesScalar) {
+  const simd::FoldKernel k = simd::ResolveFoldKernel(simd::SimdMode::kScalar);
+  EXPECT_EQ(k.kind, simd::FoldKernelKind::kScalar);
+  EXPECT_EQ(k.fn, &simd::FoldMeasureScalar);
+}
+
+TEST(SimdDispatchTest, AutoResolvesSomethingRunnable) {
+  const simd::FoldKernel k = simd::ResolveFoldKernel(simd::SimdMode::kAuto);
+  ASSERT_NE(k.fn, nullptr);
+  // Whatever it picked must run (this covers the AVX2 kernel on x86 CI).
+  MeasureVector mv = MakeMeasures(1024, 0x7E57);
+  std::vector<uint32_t> span;
+  for (uint32_t f = 0; f < 1024; f += 2) span.push_back(f);
+  RunKernel(k.fn, span, mv);
+  EXPECT_STRNE(simd::FoldKernelKindName(k.kind), "unknown");
+}
+
+TEST(SimdDispatchTest, ParseSimdMode) {
+  simd::SimdMode m;
+  EXPECT_TRUE(simd::ParseSimdMode("auto", &m));
+  EXPECT_EQ(m, simd::SimdMode::kAuto);
+  EXPECT_TRUE(simd::ParseSimdMode("scalar", &m));
+  EXPECT_EQ(m, simd::SimdMode::kScalar);
+  EXPECT_FALSE(simd::ParseSimdMode("avx2", &m));  // kinds are not modes
+  EXPECT_FALSE(simd::ParseSimdMode("", &m));
+}
+
+}  // namespace
+}  // namespace spade

@@ -11,6 +11,9 @@
 //                        0 = all cores                        (default 0)
 //   --shards N           fact-id-range shards per CFS; 0 = one per thread
 //                        (default 0; >1 needs mvdcube without --earlystop)
+//   --simd M             measure-fold kernel: auto = runtime CPU dispatch
+//                        (AVX2/NEON when available), scalar = portable
+//                        kernel; results bit-identical     (default auto)
 //   --stream-ingest      streaming offline build: overlap parsing with store
 //                        construction and the offline statistics pass
 //                        (.nt/.ttl only; results identical to sequential)
@@ -53,7 +56,7 @@ int Usage() {
   std::cerr << "usage: spade_cli DATA(.nt|.ttl|.csv) [--top K] "
                "[--interestingness variance|skewness|kurtosis]\n"
                "                 [--algorithm mvdcube|pgcube|pgcube-distinct|"
-               "arraycube] [--threads N] [--shards N]\n"
+               "arraycube] [--threads N] [--shards N] [--simd auto|scalar]\n"
                "                 [--stream-ingest] [--ingest-chunk N] "
                "[--earlystop] [--no-derivations]\n"
                "                 [--saturate] [--max-dims N] "
@@ -128,6 +131,12 @@ int main(int argc, char** argv) {
         return Fail("--shards needs an integer in [0, 1024] (0 = auto)");
       }
       options.num_shards = static_cast<size_t>(n);
+    } else if (arg == "--simd") {
+      const char* v = next();
+      if (v == nullptr || !spade::simd::ParseSimdMode(spade::ToLower(v),
+                                                      &options.mvd.simd)) {
+        return Fail("--simd needs 'auto' or 'scalar'");
+      }
     } else if (arg == "--stream-ingest") {
       options.ingest.enabled = true;
     } else if (arg == "--ingest-chunk") {
@@ -242,7 +251,8 @@ int main(int argc, char** argv) {
             << " ms, online "
             << spade::FormatDouble(report.timings.online_wall_ms, 1) << " ms ("
             << report.num_threads_used << " thread"
-            << (report.num_threads_used == 1 ? "" : "s") << ")";
+            << (report.num_threads_used == 1 ? "" : "s") << ", "
+            << report.simd_kernel << " fold)";
   if (!report.shard_fact_counts.empty()) {
     std::cerr << "; " << report.num_shards_used << " shards/CFS [";
     for (size_t s = 0; s < report.shard_fact_counts.size(); ++s) {
