@@ -68,7 +68,7 @@ std::vector<CandidateFactSet> SelectCandidateFactSets(
       CandidateFactSet cfs;
       cfs.origin = CandidateFactSet::Origin::kSummary;
       cfs.name = "summary:" + std::to_string(c);
-      cfs.members = summary->classes()[c];
+      cfs.members = summary->ClassMembers(c).ToVector();
       add(std::move(cfs));
     }
   }

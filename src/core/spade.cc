@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/persist/snapshot.h"
 #include "src/util/timer.h"
 
 namespace spade {
@@ -23,7 +24,10 @@ Spade::Spade(Graph* graph, SpadeOptions options)
   arm_ = std::make_unique<Arm>(options_.max_stored_groups);
 }
 
+Spade::~Spade() = default;
+
 Status Spade::RunOffline() {
+  if (!options_.load_store.empty()) return LoadStore(options_.load_store);
   Timer offline_timer;
   Timer timer;
   if (options_.saturate) {
@@ -63,10 +67,11 @@ Status Spade::RunOffline() {
   report_.timings.offline_wall_ms = offline_timer.ElapsedMillis();
 
   offline_done_ = true;
-  return Status::OK();
+  return MaybeSaveStore();
 }
 
 Status Spade::RunOffline(TripleChunkSource* source) {
+  if (!options_.load_store.empty()) return LoadStore(options_.load_store);
   // RDFS saturation rewrites the graph before any attribute table can be
   // built, so it cannot overlap parsing; drain the source and run the
   // sequential oracle. Same fallback when streaming is switched off — one
@@ -129,23 +134,88 @@ Status Spade::RunOffline(TripleChunkSource* source) {
   report_.timings.offline_wall_ms = offline_timer.ElapsedMillis();
 
   offline_done_ = true;
+  return MaybeSaveStore();
+}
+
+Status Spade::LoadStore(const std::string& path) {
+  Timer timer;
+  auto reader = std::make_unique<persist::SnapshotReader>();
+  persist::SnapshotReader::Options ropts;
+  ropts.verify_checksums = options_.verify_snapshot;
+  SPADE_RETURN_NOT_OK(reader->Open(path, ropts));
+  persist::LoadedMeta meta;
+  std::vector<CandidateFactSet> loaded_sets;
+  SPADE_RETURN_NOT_OK(reader->Load(graph_, &db_, &summary_, &offline_stats_,
+                                   &loaded_sets, &meta));
+  snapshot_ = std::move(reader);  // keep the mapping alive for the attachments
+  report_.num_triples = static_cast<size_t>(meta.num_triples);
+  report_.num_direct_properties =
+      static_cast<size_t>(meta.num_direct_properties);
+  report_.derivations = meta.derivations;
+  // The persisted CFS selection is only valid under the options it was
+  // selected with; on any mismatch it is recomputed from the (borrowed)
+  // graph and summary on first use.
+  if (meta.has_fact_sets &&
+      persist::SameCfsOptions(meta.cfs_options, options_.cfs)) {
+    fact_sets_ = std::move(loaded_sets);
+    report_.num_cfs = fact_sets_.size();
+    fact_sets_ready_ = true;
+  }
+  report_.timings.offline_wall_ms = timer.ElapsedMillis();
+  offline_done_ = true;
   return Status::OK();
 }
 
-void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards, Arm* arm,
-                         TaskScheduler* scheduler, SpadeReport* report) {
+Status Spade::SaveStore(const std::string& path) const {
+  if (!offline_done_) {
+    return Status::Internal("RunOffline() must complete before SaveStore()");
+  }
+  persist::SaveMeta meta;
+  meta.num_direct_properties = report_.num_direct_properties;
+  meta.derivations = report_.derivations;
+  meta.cfs_options = options_.cfs;
+  const std::vector<CandidateFactSet>* sets =
+      fact_sets_ready_ ? &fact_sets_ : nullptr;
+  return persist::SaveSnapshot(*db_, summary_, offline_stats_, sets, meta,
+                               path);
+}
+
+Status Spade::MaybeSaveStore() {
+  if (options_.save_store.empty()) return Status::OK();
+  // Select fact sets first so the snapshot carries them: a loader with the
+  // same CfsOptions then skips selection entirely.
+  SPADE_RETURN_NOT_OK(PrepareFactSets());
+  return SaveStore(options_.save_store);
+}
+
+Status Spade::PrepareFactSets() {
+  if (!offline_done_) {
+    return Status::Internal("RunOffline() must complete before fact-set selection");
+  }
+  if (fact_sets_ready_) return Status::OK();
+  Timer timer;
+  fact_sets_ = SelectCandidateFactSets(*graph_, &summary_, options_.cfs);
+  report_.num_cfs = fact_sets_.size();
+  report_.timings.cfs_selection_ms = timer.ElapsedMillis();
+  fact_sets_ready_ = true;
+  return Status::OK();
+}
+
+void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
+                         const SpadeOptions& opts, Arm* arm,
+                         TaskScheduler* scheduler, SpadeReport* report) const {
   CfsIndex index(fact_sets_[cfs_id].members);
 
   // Step 2: Online Attribute Analysis.
   Timer step;
   CfsAnalysis analysis =
-      AnalyzeAttributes(*db_, index, offline_stats_, options_.enumeration);
+      AnalyzeAttributes(*db_, index, offline_stats_, opts.enumeration);
   report->timings.attribute_analysis_ms += step.ElapsedMillis();
   step.Restart();
 
   // Step 3: Aggregate Enumeration.
   std::vector<LatticeSpec> lattices = EnumerateLattices(
-      *db_, index, analysis, offline_stats_, options_.enumeration);
+      *db_, index, analysis, offline_stats_, opts.enumeration);
   report->num_lattices += lattices.size();
   report->num_candidate_aggregates += CountCandidateAggregates(cfs_id, lattices);
   report->timings.enumeration_ms += step.ElapsedMillis();
@@ -153,13 +223,13 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards, Arm* arm,
 
   // Step 4: Aggregate Evaluation, behind the uniform evaluator interface.
   CubeEvalOptions eval_options;
-  eval_options.algorithm = options_.algorithm;
-  eval_options.mvd = options_.mvd;
-  eval_options.earlystop = options_.earlystop;
-  eval_options.enable_earlystop = options_.enable_earlystop;
-  eval_options.interestingness = options_.interestingness;
-  eval_options.top_k = options_.top_k;
-  eval_options.seed = options_.seed;
+  eval_options.algorithm = opts.algorithm;
+  eval_options.mvd = opts.mvd;
+  eval_options.earlystop = opts.earlystop;
+  eval_options.enable_earlystop = opts.enable_earlystop;
+  eval_options.interestingness = opts.interestingness;
+  eval_options.top_k = opts.top_k;
+  eval_options.seed = opts.seed;
   eval_options.num_shards = num_shards;
   std::unique_ptr<CubeEvaluator> evaluator = MakeCubeEvaluator(eval_options);
 
@@ -226,10 +296,9 @@ Result<std::vector<Insight>> Spade::RunOnline() {
   Timer online_timer;
   Timer timer;
 
-  // Step 1: Candidate Fact Set Selection.
-  fact_sets_ = SelectCandidateFactSets(*graph_, &summary_, options_.cfs);
-  report_.num_cfs = fact_sets_.size();
-  report_.timings.cfs_selection_ms = timer.ElapsedMillis();
+  // Step 1: Candidate Fact Set Selection (a no-op when a loaded snapshot
+  // already restored the selection — that time is in cfs_selection_ms).
+  SPADE_RETURN_NOT_OK(PrepareFactSets());
   timer.Restart();
 
   // Steps 2-4 per CFS. Every CFS evaluates into its own ARM shard
@@ -264,8 +333,8 @@ Result<std::vector<Insight>> Spade::RunOnline() {
   std::vector<Arm> shards(num_cfs, Arm(options_.max_stored_groups));
   std::vector<SpadeReport> partials(num_cfs);
   scheduler.ParallelFor(num_cfs, [&](size_t cfs_id) {
-    RunOnlineCfs(static_cast<uint32_t>(cfs_id), num_shards, &shards[cfs_id],
-                 &scheduler, &partials[cfs_id]);
+    RunOnlineCfs(static_cast<uint32_t>(cfs_id), num_shards, options_,
+                 &shards[cfs_id], &scheduler, &partials[cfs_id]);
   });
   for (uint32_t cfs_id = 0; cfs_id < num_cfs; ++cfs_id) {
     MergeCfsReport(partials[cfs_id], &report_);
@@ -276,8 +345,14 @@ Result<std::vector<Insight>> Spade::RunOnline() {
   timer.Restart();
 
   // Step 5: Top-k Computation.
-  std::vector<Arm::Ranked> ranked =
-      arm_->TopK(options_.top_k, options_.interestingness);
+  std::vector<Insight> insights =
+      BuildInsights(arm_->TopK(options_.top_k, options_.interestingness));
+  report_.timings.topk_ms = timer.ElapsedMillis();
+  report_.timings.online_wall_ms = online_timer.ElapsedMillis();
+  return insights;
+}
+
+std::vector<Insight> Spade::BuildInsights(std::vector<Arm::Ranked> ranked) const {
   std::vector<Insight> insights;
   insights.reserve(ranked.size());
   for (auto& r : ranked) {
@@ -289,9 +364,66 @@ Result<std::vector<Insight>> Spade::RunOnline() {
     insight.ranked = std::move(r);
     insights.push_back(std::move(insight));
   }
-  report_.timings.topk_ms = timer.ElapsedMillis();
-  report_.timings.online_wall_ms = online_timer.ElapsedMillis();
   return insights;
+}
+
+Result<ExploreOutcome> Spade::Explore(const ExploreRequest& request,
+                                      TaskScheduler* scheduler) const {
+  if (!offline_done_ || !fact_sets_ready_) {
+    return Status::Internal(
+        "RunOffline() and PrepareFactSets() must complete before Explore()");
+  }
+  // Resolve the CFS subset.
+  std::vector<uint32_t> ids;
+  if (request.cfs_names.empty()) {
+    ids.resize(fact_sets_.size());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  } else {
+    for (const std::string& name : request.cfs_names) {
+      bool found = false;
+      for (size_t i = 0; i < fact_sets_.size(); ++i) {
+        if (fact_sets_[i].name == name) {
+          ids.push_back(static_cast<uint32_t>(i));
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Status::NotFound("unknown fact set: " + name);
+    }
+  }
+
+  // Per-request knobs over the pipeline defaults.
+  SpadeOptions opts = options_;
+  if (request.top_k) opts.top_k = *request.top_k;
+  if (request.interestingness) opts.interestingness = *request.interestingness;
+  if (request.algorithm) opts.algorithm = *request.algorithm;
+  if (request.earlystop) opts.enable_earlystop = *request.earlystop;
+  if (request.max_dims) opts.enumeration.max_dims = *request.max_dims;
+  if (request.min_support_ratio) {
+    opts.enumeration.min_support_ratio = *request.min_support_ratio;
+  }
+
+  TaskScheduler serial(nullptr);
+  TaskScheduler* sched = scheduler != nullptr ? scheduler : &serial;
+  const size_t num_shards =
+      ResolveShardCount(opts.algorithm, opts.enable_earlystop, opts.num_shards,
+                        sched->num_threads());
+
+  // Same shard-and-absorb discipline as RunOnline(), on request-local state:
+  // results are bit-identical at every thread/shard count and concurrent
+  // requests never share a mutable byte.
+  std::vector<Arm> shards(ids.size(), Arm(opts.max_stored_groups));
+  std::vector<SpadeReport> partials(ids.size());
+  sched->ParallelFor(ids.size(), [&](size_t i) {
+    RunOnlineCfs(ids[i], num_shards, opts, &shards[i], sched, &partials[i]);
+  });
+  Arm arm(opts.max_stored_groups);
+  for (size_t i = 0; i < ids.size(); ++i) arm.Absorb(std::move(shards[i]));
+
+  ExploreOutcome outcome;
+  outcome.num_cfs_explored = ids.size();
+  outcome.insights = BuildInsights(arm.TopK(opts.top_k, opts.interestingness));
+  return outcome;
 }
 
 std::string Spade::MdaToSparql(const AggregateKey& key) const {

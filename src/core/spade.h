@@ -2,6 +2,7 @@
 #define SPADE_CORE_SPADE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@
 #include "src/util/status.h"
 
 namespace spade {
+
+namespace persist {
+class SnapshotReader;
+}  // namespace persist
 
 /// All knobs of the end-to-end pipeline.
 struct SpadeOptions {
@@ -60,6 +65,18 @@ struct SpadeOptions {
   /// sequential path (saturation rewrites the graph before tables can be
   /// built).
   IngestOptions ingest;
+  /// After the offline phase completes, persist the full offline state
+  /// (dictionary, triples, tables, summary, statistics, selected fact sets)
+  /// to this snapshot file. Empty = no save.
+  std::string save_store;
+  /// Instead of ingesting, mmap this snapshot and attach to it zero-copy:
+  /// RunOffline() returns in O(segments) with a state semantically identical
+  /// to the one that was saved. Empty = normal ingest. Takes precedence over
+  /// any input document when both are given.
+  std::string load_store;
+  /// Verify per-segment checksums when loading (one sequential sweep of the
+  /// file). Disable only for trusted snapshots on a cold-start-critical path.
+  bool verify_snapshot = true;
 };
 
 /// Wall-clock per pipeline step (Figure 11's stacked bars).
@@ -150,11 +167,33 @@ struct Insight {
   std::string sparql;       ///< SPARQL 1.1 rendering (Section 2 semantics)
 };
 
+/// One exploration request against a prepared pipeline: which fact sets to
+/// analyze and which knobs to override for this request only. Unset fields
+/// inherit the pipeline's SpadeOptions. This is the unit of work of the
+/// serve mode (one request per client line).
+struct ExploreRequest {
+  /// CFS names to explore (empty = all selected fact sets).
+  std::vector<std::string> cfs_names;
+  std::optional<size_t> top_k;
+  std::optional<InterestingnessKind> interestingness;
+  std::optional<EvalAlgorithm> algorithm;
+  std::optional<bool> earlystop;
+  std::optional<size_t> max_dims;
+  std::optional<double> min_support_ratio;
+};
+
+/// What one exploration produced.
+struct ExploreOutcome {
+  std::vector<Insight> insights;
+  size_t num_cfs_explored = 0;
+};
+
 /// \brief The Spade pipeline (Figure 2): offline graph preparation + online
 /// top-k interesting-aggregate discovery.
 class Spade {
  public:
   Spade(Graph* graph, SpadeOptions options);
+  ~Spade();  // out-of-line: owns the forward-declared SnapshotReader
 
   /// Offline Processing: optional saturation, structural summary, attribute
   /// tables, offline statistics, derived property enumeration.
@@ -172,6 +211,27 @@ class Spade {
   /// Online Processing, steps 1-5. Requires RunOffline() first.
   Result<std::vector<Insight>> RunOnline();
 
+  /// Step 1 (Candidate Fact Set Selection) on its own: populate fact_sets().
+  /// Idempotent; a no-op when a loaded snapshot already restored the
+  /// selection under matching CfsOptions. RunOnline() calls this implicitly;
+  /// the serve mode calls it once up front so every request sees the same
+  /// selection.
+  Status PrepareFactSets();
+
+  /// Run steps 2-5 for one request against the prepared fact sets, without
+  /// touching any pipeline state: results come back in the outcome, not in
+  /// report()/arm(). Thread-safe against concurrent Explore() calls (the
+  /// serve mode answers requests concurrently on one shared scheduler);
+  /// `scheduler` may be null for serial evaluation. Requires RunOffline()
+  /// and PrepareFactSets() first.
+  Result<ExploreOutcome> Explore(const ExploreRequest& request,
+                                 TaskScheduler* scheduler) const;
+
+  /// Persist the complete offline state (plus the CFS selection, when
+  /// prepared) to `path`. Requires RunOffline() first. RunOffline() calls
+  /// this automatically when SpadeOptions::save_store is set.
+  Status SaveStore(const std::string& path) const;
+
   const SpadeReport& report() const { return report_; }
   const AttributeStore& store() const { return *db_; }
   AttributeStore* mutable_store() { return db_.get(); }
@@ -188,10 +248,22 @@ class Spade {
  private:
   /// Steps 2-4 for one CFS: attribute analysis, enumeration, evaluation into
   /// `arm` (a per-CFS shard in parallel mode, the global ARM when serial).
-  /// `num_shards` is the resolved within-CFS shard count (>= 1).
-  /// Timing/count deltas go to `report` (merged under the caller's control).
-  void RunOnlineCfs(uint32_t cfs_id, size_t num_shards, Arm* arm,
-                    TaskScheduler* scheduler, SpadeReport* report);
+  /// `num_shards` is the resolved within-CFS shard count (>= 1); `opts`
+  /// carries the (possibly per-request) evaluation knobs. Timing/count
+  /// deltas go to `report` (merged under the caller's control). Const and
+  /// state-free: safe to run concurrently for different (cfs_id, arm,
+  /// report) triples.
+  void RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
+                    const SpadeOptions& opts, Arm* arm,
+                    TaskScheduler* scheduler, SpadeReport* report) const;
+
+  /// Turn a ranking into presentable insights (provenance + SPARQL).
+  std::vector<Insight> BuildInsights(std::vector<Arm::Ranked> ranked) const;
+
+  /// Attach the pipeline to a snapshot (SpadeOptions::load_store).
+  Status LoadStore(const std::string& path);
+  /// SaveStore(options_.save_store) if configured, else a no-op.
+  Status MaybeSaveStore();
 
   Graph* graph_;
   SpadeOptions options_;
@@ -202,6 +274,10 @@ class Spade {
   std::unique_ptr<Arm> arm_;
   SpadeReport report_;
   bool offline_done_ = false;
+  bool fact_sets_ready_ = false;
+  /// Owns the mmap behind a loaded store; must outlive graph_/db_/summary_
+  /// contents, which borrow from it.
+  std::unique_ptr<persist::SnapshotReader> snapshot_;
 };
 
 }  // namespace spade

@@ -1,0 +1,257 @@
+#include "src/persist/serve.h"
+
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "src/util/string_util.h"
+#include "src/util/timer.h"
+
+namespace spade {
+namespace persist {
+
+namespace {
+
+/// Whitespace-split, dropping empty tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool ParseSize(std::string_view s, size_t* out) {
+  int64_t v = 0;
+  if (!ParseInt64(s, &v) || v < 0) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+/// Parse one `key=value` token into `req`; empty return = success.
+std::string ApplyToken(const std::string& token, ExploreRequest* req) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return "expected key=value, got '" + token + "'";
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "cfs") {
+    for (const std::string& name : Split(value, ',')) {
+      if (!name.empty()) req->cfs_names.push_back(name);
+    }
+    return "";
+  }
+  if (key == "top") {
+    size_t k = 0;
+    if (!ParseSize(value, &k) || k == 0) return "bad top '" + value + "'";
+    req->top_k = k;
+    return "";
+  }
+  if (key == "interestingness") {
+    if (value == "variance") {
+      req->interestingness = InterestingnessKind::kVariance;
+    } else if (value == "skewness") {
+      req->interestingness = InterestingnessKind::kSkewness;
+    } else if (value == "kurtosis") {
+      req->interestingness = InterestingnessKind::kKurtosis;
+    } else {
+      return "unknown interestingness '" + value + "'";
+    }
+    return "";
+  }
+  if (key == "algorithm") {
+    if (value == "mvdcube") {
+      req->algorithm = EvalAlgorithm::kMvdCube;
+    } else if (value == "pgcube") {
+      req->algorithm = EvalAlgorithm::kPgCubeStar;
+    } else if (value == "pgcube-distinct") {
+      req->algorithm = EvalAlgorithm::kPgCubeDistinct;
+    } else if (value == "arraycube") {
+      req->algorithm = EvalAlgorithm::kArrayCube;
+    } else {
+      return "unknown algorithm '" + value + "'";
+    }
+    return "";
+  }
+  if (key == "earlystop") {
+    if (value == "on") {
+      req->earlystop = true;
+    } else if (value == "off") {
+      req->earlystop = false;
+    } else {
+      return "earlystop must be on|off, got '" + value + "'";
+    }
+    return "";
+  }
+  if (key == "max-dims") {
+    size_t n = 0;
+    if (!ParseSize(value, &n) || n == 0) return "bad max-dims '" + value + "'";
+    req->max_dims = n;
+    return "";
+  }
+  if (key == "min-support") {
+    double r = 0;
+    if (!ParseDouble(value, &r) || r < 0 || r > 1) {
+      return "bad min-support '" + value + "' (want a ratio in [0, 1])";
+    }
+    req->min_support_ratio = r;
+    return "";
+  }
+  return "unknown key '" + key + "'";
+}
+
+/// Prefix every line of `body` with "#<id> ".
+std::string PrefixBlock(uint64_t id, const std::string& body) {
+  const std::string prefix = "#" + std::to_string(id) + " ";
+  std::string out;
+  out.reserve(body.size() + prefix.size() * 8);
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) nl = body.size() - 1;
+    out += prefix;
+    out.append(body, pos, nl - pos + 1);
+    pos = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+InsightServer::InsightServer(const Spade* spade, ServeOptions options)
+    : spade_(spade), options_(options) {}
+
+std::string InsightServer::HandleLine(const std::string& line,
+                                      TaskScheduler* scheduler,
+                                      bool* is_error) const {
+  *is_error = false;
+  auto error = [&](const std::string& msg) {
+    *is_error = true;
+    return "error: " + msg + "\n";
+  };
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return error("empty request");
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "list") {
+    const auto& sets = spade_->fact_sets();
+    std::ostringstream out;
+    out << "ok " << sets.size() << "\n";
+    for (const CandidateFactSet& s : sets) {
+      out << s.name << " " << s.members.size() << "\n";
+    }
+    out << "end\n";
+    return out.str();
+  }
+
+  if (cmd == "stats") {
+    const SpadeReport& r = spade_->report();
+    std::ostringstream out;
+    out << "ok\n";
+    out << "triples " << r.num_triples << "\n";
+    out << "terms " << spade_->store().graph().dict().size() << "\n";
+    out << "attributes " << spade_->store().num_attributes() << "\n";
+    out << "direct_properties " << r.num_direct_properties << "\n";
+    out << "fact_sets " << spade_->fact_sets().size() << "\n";
+    out << "end\n";
+    return out.str();
+  }
+
+  if (cmd != "explore") {
+    return error("unknown command '" + cmd + "' (try explore, list, stats, quit)");
+  }
+  ExploreRequest req;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string msg = ApplyToken(tokens[i], &req);
+    if (!msg.empty()) return error(msg);
+  }
+  Result<ExploreOutcome> result = spade_->Explore(req, scheduler);
+  if (!result.ok()) return error(result.status().message());
+
+  // No timings anywhere in the response: the byte stream must be identical
+  // at every thread count.
+  std::ostringstream out;
+  out << "ok " << result->insights.size() << "\n";
+  for (size_t i = 0; i < result->insights.size(); ++i) {
+    const Insight& insight = result->insights[i];
+    out << (i + 1) << " " << FormatDouble(insight.ranked.score, 6) << " "
+        << insight.cfs_name << " " << insight.description << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+ServeStats InsightServer::Serve(std::istream& in, std::ostream& out) {
+  Timer timer;
+  const size_t num_threads = options_.num_threads == 0
+                                 ? ThreadPool::HardwareConcurrency()
+                                 : options_.num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads - 1);
+  TaskScheduler scheduler(pool.get());
+  TaskGroup group(&scheduler);
+  const size_t max_inflight = options_.max_inflight == 0
+                                  ? 2 * scheduler.num_threads()
+                                  : options_.max_inflight;
+
+  // Responses flush strictly in request order: each request owns a slot,
+  // finished blocks park there until every earlier block has been written.
+  ServeStats stats;
+  std::mutex mu;
+  std::vector<std::unique_ptr<std::string>> slots;
+  size_t flushed = 0;
+  auto flush_ready = [&out, &slots, &flushed] {  // callers hold mu
+    while (flushed < slots.size() && slots[flushed] != nullptr) {
+      out << *slots[flushed];
+      slots[flushed].reset();
+      ++flushed;
+    }
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    const std::string request(trimmed);
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      slots.emplace_back(nullptr);
+      id = slots.size();  // ids count from 1
+    }
+    group.Run([this, id, request, &scheduler, &mu, &slots, &stats,
+               &flush_ready] {
+      bool is_error = false;
+      std::string body = HandleLine(request, &scheduler, &is_error);
+      std::string block;
+      if (options_.echo) {
+        block = PrefixBlock(id, "> " + request + "\n");
+      }
+      block += PrefixBlock(id, body);
+      std::lock_guard<std::mutex> lock(mu);
+      slots[id - 1] = std::make_unique<std::string>(std::move(block));
+      ++stats.num_requests;
+      if (is_error) ++stats.num_errors;
+      flush_ready();
+    });
+    // Backpressure: don't read unboundedly ahead of evaluation.
+    group.WaitPendingBelow(max_inflight);
+  }
+  group.Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    flush_ready();
+  }
+  stats.wall_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+}  // namespace persist
+}  // namespace spade

@@ -1,0 +1,78 @@
+#ifndef SPADE_PERSIST_SERVE_H_
+#define SPADE_PERSIST_SERVE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/core/spade.h"
+#include "src/exec/thread_pool.h"
+#include "src/util/status.h"
+
+namespace spade {
+namespace persist {
+
+/// Serve-loop knobs.
+struct ServeOptions {
+  /// Worker threads shared by all in-flight requests: 0 = hardware
+  /// concurrency, 1 = serial.
+  size_t num_threads = 1;
+  /// Requests evaluated concurrently before the reader blocks; 0 = twice the
+  /// resolved thread count.
+  size_t max_inflight = 0;
+  /// Echo each request line into the output as a comment (request logs).
+  bool echo = false;
+};
+
+/// What a serve session processed.
+struct ServeStats {
+  uint64_t num_requests = 0;
+  uint64_t num_errors = 0;
+  double wall_ms = 0;
+};
+
+/// \brief The long-lived explore loop over a prepared pipeline: build (or
+/// load) once, answer many exploration requests.
+///
+/// Protocol: one request per input line, one response block per request,
+/// blocks emitted in request order. Every response line is prefixed with
+/// `#<id> ` (ids count from 1). Lines that are empty or start with '#' are
+/// skipped; "quit" / "exit" ends the session.
+///
+///   explore [cfs=NAME[,NAME...]] [top=K] [interestingness=variance|skewness|
+///           kurtosis] [algorithm=mvdcube|pgcube|pgcube-distinct|arraycube]
+///           [earlystop=on|off] [max-dims=N] [min-support=R]
+///       -> `ok <n>` then one line per insight:
+///          `<rank> <score> <cfs_name> <description>` then `end`
+///   list    -> `ok <n>` then `<name> <size>` per fact set, then `end`
+///   stats   -> `ok` then dataset counters, then `end`
+///
+/// Requests are evaluated concurrently on one scheduler (Spade::Explore is
+/// const and request-local), but responses are buffered and flushed strictly
+/// in request order, and contain no timings — so the byte stream is
+/// identical at every thread count.
+class InsightServer {
+ public:
+  /// `spade` must have completed RunOffline() and PrepareFactSets() and must
+  /// outlive the server.
+  InsightServer(const Spade* spade, ServeOptions options);
+
+  /// Read requests from `in` until EOF or "quit", writing response blocks to
+  /// `out`. Returns the session stats (a request that produces an `error:`
+  /// response still counts as processed).
+  ServeStats Serve(std::istream& in, std::ostream& out);
+
+ private:
+  /// Evaluate one request line into a response block (no trailing newline
+  /// handling beyond line granularity; no `#<id>` prefixes yet).
+  std::string HandleLine(const std::string& line, TaskScheduler* scheduler,
+                         bool* is_error) const;
+
+  const Spade* spade_;
+  ServeOptions options_;
+};
+
+}  // namespace persist
+}  // namespace spade
+
+#endif  // SPADE_PERSIST_SERVE_H_

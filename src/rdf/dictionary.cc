@@ -4,24 +4,46 @@
 
 namespace spade {
 
-std::string Dictionary::Key(const Term& term) {
-  std::string key;
-  key.reserve(term.lexical.size() + term.language.size() + 12);
-  key.push_back(static_cast<char>('0' + static_cast<int>(term.kind)));
-  key += term.lexical;
-  key.push_back('\x01');
-  key += std::to_string(term.datatype);
-  key.push_back('\x01');
-  key += term.language;
-  return key;
+void Dictionary::AppendKey(TermKind kind, std::string_view lexical,
+                           TermId datatype, std::string_view language,
+                           std::string* out) {
+  out->clear();
+  out->push_back(static_cast<char>('0' + static_cast<int>(kind)));
+  out->append(lexical);
+  out->push_back('\x01');
+  // Fixed-width datatype encoding: appending digits via to_string would
+  // allocate; four raw bytes are unambiguous and branch-free.
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((datatype >> shift) & 0xff));
+  }
+  out->push_back('\x01');
+  out->append(language);
+}
+
+void Dictionary::EnsureIndexed() const {
+  if (indexed_) return;
+  // Borrowed dictionary, first Intern/Lookup: index every arena term. The
+  // keys must own their bytes (the scratch buffer is reused), so this is the
+  // one O(terms)-allocation step of a loaded dictionary — and it only runs
+  // when somebody actually needs to intern or look up by value.
+  for (TermId id = 1; id < records_.size(); ++id) {
+    key_storage_.emplace_back();
+    std::string* key = &key_storage_.back();
+    AppendKey(KindOf(id), LexicalOf(id), DatatypeOf(id), LanguageOf(id), key);
+    index_.emplace(std::string_view(*key), id);
+  }
+  indexed_ = true;
 }
 
 TermId Dictionary::Intern(const Term& term) {
-  auto [it, inserted] = index_.try_emplace(Key(term), 0);
-  if (!inserted) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
+  EnsureIndexed();
+  AppendKey(term.kind, term.lexical, term.datatype, term.language, &key_scratch_);
+  auto it = index_.find(std::string_view(key_scratch_));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(records_.size() + terms_.size());
   terms_.push_back(term);
-  it->second = id;
+  key_storage_.push_back(key_scratch_);
+  index_.emplace(std::string_view(key_storage_.back()), id);
   return id;
 }
 
@@ -36,16 +58,54 @@ TermId Dictionary::InternDouble(double v) {
 }
 
 std::optional<TermId> Dictionary::Lookup(const Term& term) const {
-  auto it = index_.find(Key(term));
+  EnsureIndexed();
+  // Local probe buffer: Lookup stays safe for concurrent readers of an
+  // indexed dictionary (it is a cold path; Intern owns the scratch member).
+  std::string key;
+  AppendKey(term.kind, term.lexical, term.datatype, term.language, &key);
+  auto it = index_.find(std::string_view(key));
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
+const Term& Dictionary::Get(TermId id) const {
+  if (id >= records_.size()) {
+    // Owned mode entirely (records_ is empty), or borrowed overflow.
+    return terms_[id - records_.size()];
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = term_cache_.find(id);
+  if (it == term_cache_.end()) {
+    Term t;
+    t.kind = KindOf(id);
+    t.lexical = std::string(LexicalOf(id));
+    t.datatype = DatatypeOf(id);
+    t.language = std::string(LanguageOf(id));
+    it = term_cache_.emplace(id, std::move(t)).first;
+  }
+  return it->second;
+}
+
 bool Dictionary::NumericValue(TermId id, double* out) const {
-  if (id == kInvalidTerm || id >= terms_.size()) return false;
-  const Term& t = terms_[id];
-  if (t.kind != TermKind::kLiteral) return false;
-  return ParseDouble(t.lexical, out);
+  if (id == kInvalidTerm || id > max_id()) return false;
+  if (KindOf(id) != TermKind::kLiteral) return false;
+  return ParseDouble(LexicalOf(id), out);
+}
+
+void Dictionary::AttachArena(Span<ArenaRecord> records, Span<char> arena) {
+  records_ = records;
+  arena_ = arena;
+  terms_.clear();
+  index_.clear();
+  key_storage_.clear();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    term_cache_.clear();
+  }
+  indexed_ = false;
+  // Re-resolved through the lazy index if anything interns after the attach.
+  xsd_integer_ = kInvalidTerm;
+  xsd_double_ = kInvalidTerm;
 }
 
 }  // namespace spade

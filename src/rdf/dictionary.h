@@ -1,12 +1,17 @@
 #ifndef SPADE_RDF_DICTIONARY_H_
 #define SPADE_RDF_DICTIONARY_H_
 
+#include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/rdf/term.h"
+#include "src/util/span.h"
 
 namespace spade {
 
@@ -15,11 +20,27 @@ namespace spade {
 /// All triples are dictionary-encoded on ingestion; ids are dense and start
 /// at 1 (0 is kInvalidTerm), so modules can use ids directly as array
 /// indices. Interning the same term twice returns the same id.
+///
+/// Two storage modes share one id space:
+///
+///  - **Owned** (the build path): terms live in a vector, the intern index
+///    maps composite keys to ids. The index is keyed by string_view into
+///    key strings the dictionary owns, so the Intern/Lookup hot path probes
+///    with a reused scratch buffer and allocates only for genuinely new
+///    terms — not once per triple.
+///  - **Borrowed** (the snapshot load path): AttachArena() points the
+///    dictionary at a flat record array + string arena (typically an mmap'd
+///    snapshot segment). The view accessors (KindOf/LexicalOf/LanguageOf/
+///    DatatypeOf) read the arena directly with zero copies; Get() lazily
+///    materializes full Terms into a small cache; Intern() of a new term
+///    transparently appends to owned overflow storage, so a loaded
+///    dictionary still supports every operation.
 class Dictionary {
  public:
   Dictionary() { terms_.emplace_back(); }  // slot 0 = invalid
 
   /// Intern a term, returning its (possibly pre-existing) id.
+  /// Not thread-safe (external synchronization, as for any mutation).
   TermId Intern(const Term& term);
 
   /// Convenience interners.
@@ -29,25 +50,103 @@ class Dictionary {
   TermId InternInteger(int64_t v);
   TermId InternDouble(double v);
 
-  /// Lookup without interning.
+  /// Lookup without interning. On a borrowed dictionary the first call
+  /// builds the lazy intern index (so it is not const-thread-safe until
+  /// either Lookup or Intern has run once after AttachArena).
   std::optional<TermId> Lookup(const Term& term) const;
 
-  const Term& Get(TermId id) const { return terms_[id]; }
+  /// Full term of `id`. Borrowed mode materializes the term once into a
+  /// mutex-guarded cache (references stay valid for the dictionary's
+  /// lifetime); hot paths should prefer the view accessors below, which
+  /// never allocate or lock in either mode.
+  const Term& Get(TermId id) const;
+
+  // --- View accessors: allocation-free in both modes. ---------------------
+
+  TermKind KindOf(TermId id) const {
+    if (id < records_.size()) return static_cast<TermKind>(records_[id].kind);
+    return terms_[id - records_.size()].kind;
+  }
+  std::string_view LexicalOf(TermId id) const {
+    if (id < records_.size()) {
+      const ArenaRecord& r = records_[id];
+      return std::string_view(arena_.data() + r.lex_offset, r.lex_len);
+    }
+    return terms_[id - records_.size()].lexical;
+  }
+  std::string_view LanguageOf(TermId id) const {
+    if (id < records_.size()) {
+      const ArenaRecord& r = records_[id];
+      return std::string_view(arena_.data() + r.lex_offset + r.lex_len,
+                              r.lang_len);
+    }
+    return terms_[id - records_.size()].language;
+  }
+  TermId DatatypeOf(TermId id) const {
+    if (id < records_.size()) return records_[id].datatype;
+    return terms_[id - records_.size()].datatype;
+  }
 
   /// Number of interned terms (excluding the invalid slot).
-  size_t size() const { return terms_.size() - 1; }
+  size_t size() const {
+    return borrowed() ? records_.size() - 1 + terms_.size() : terms_.size() - 1;
+  }
 
   /// Largest valid id (== size()).
-  TermId max_id() const { return static_cast<TermId>(terms_.size() - 1); }
+  TermId max_id() const { return static_cast<TermId>(size()); }
 
-  /// True if `id` names a literal with a numeric XSD datatype; fills *out.
+  /// True if `id` names a literal whose lexical form parses as a number;
+  /// fills *out. Reads the arena directly in borrowed mode (hot path of the
+  /// measure loaders).
   bool NumericValue(TermId id, double* out) const;
 
- private:
-  static std::string Key(const Term& term);
+  // --- Arena-backed borrowed mode (snapshot loading). ---------------------
 
-  std::vector<Term> terms_;
-  std::unordered_map<std::string, TermId> index_;
+  /// One term of the flat snapshot representation: offsets into the string
+  /// arena (language bytes follow the lexical bytes). Fixed 24-byte layout,
+  /// persisted verbatim; bump the snapshot version when changing it.
+  struct ArenaRecord {
+    uint64_t lex_offset = 0;  ///< byte offset of the lexical form
+    uint32_t lex_len = 0;     ///< lexical byte count
+    uint32_t datatype = 0;    ///< datatype TermId (kInvalidTerm = none)
+    uint16_t lang_len = 0;    ///< language-tag bytes, stored after lexical
+    uint8_t kind = 0;         ///< TermKind
+    uint8_t pad0 = 0;
+    uint32_t pad1 = 0;
+  };
+  static_assert(sizeof(ArenaRecord) == 24, "persisted layout");
+
+  /// Replace the dictionary's contents with a borrowed record array +
+  /// string arena. records[0] must be the invalid slot (id == index). The
+  /// backing memory must outlive the dictionary (or the next AttachArena).
+  /// Any previously interned terms are discarded.
+  void AttachArena(Span<ArenaRecord> records, Span<char> arena);
+
+  bool borrowed() const { return !records_.empty(); }
+
+ private:
+  /// Append the composite intern key of a term to *out (cleared first).
+  static void AppendKey(TermKind kind, std::string_view lexical, TermId datatype,
+                        std::string_view language, std::string* out);
+  /// Build the intern index over borrowed records on first Intern/Lookup
+  /// after AttachArena (O(terms); the loaded pipeline never needs it).
+  void EnsureIndexed() const;
+
+  std::vector<Term> terms_;  ///< owned terms; borrowed mode: overflow only
+  /// Intern index. Keys are string_views into key_storage_ entries (deque:
+  /// stable addresses). Mutable: built lazily on borrowed dictionaries.
+  mutable std::unordered_map<std::string_view, TermId> index_;
+  mutable std::deque<std::string> key_storage_;
+  /// Reused probe buffer: Intern of an already-known term allocates nothing.
+  std::string key_scratch_;
+  mutable bool indexed_ = true;  ///< false between AttachArena and EnsureIndexed
+
+  // Borrowed read path (empty in owned mode).
+  Span<ArenaRecord> records_;
+  Span<char> arena_;
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<TermId, Term> term_cache_;  // node-based: stable refs
+
   // Cached datatype ids, interned lazily.
   TermId xsd_integer_ = kInvalidTerm;
   TermId xsd_double_ = kInvalidTerm;

@@ -48,6 +48,13 @@ void Graph::AddLiteral(const std::string& s, const std::string& p,
 
 void Graph::Freeze() {
   if (!dirty_) return;
+  if (borrowed_) {
+    // Thaw: adding to a borrowed graph copies the borrowed triples once,
+    // then the owned path takes over (the mapping itself stays read-only).
+    spo_ = bspo_.ToVector();
+    bspo_ = bpos_ = bosp_ = Span<Triple>();
+    borrowed_ = false;
+  }
   spo_.insert(spo_.end(), pending_.begin(), pending_.end());
   pending_.clear();
   std::sort(spo_.begin(), spo_.end(), OrderSPO());
@@ -59,22 +66,50 @@ void Graph::Freeze() {
   dirty_ = false;
 }
 
+void Graph::AttachTriples(Span<Triple> spo, Span<Triple> pos, Span<Triple> osp,
+                          TermId rdf_type) {
+  pending_.clear();
+  spo_.clear();
+  pos_.clear();
+  osp_.clear();
+  spo_.shrink_to_fit();
+  pos_.shrink_to_fit();
+  osp_.shrink_to_fit();
+  bspo_ = spo;
+  bpos_ = pos;
+  bosp_ = osp;
+  borrowed_ = true;
+  dirty_ = false;
+  rdf_type_ = rdf_type;
+}
+
 void Graph::EnsureFrozen() const { const_cast<Graph*>(this)->Freeze(); }
 
 size_t Graph::NumTriples() const {
   EnsureFrozen();
-  return spo_.size();
+  return spo_view().size();
 }
 
-const std::vector<Triple>& Graph::triples() const {
+Span<Triple> Graph::triples() const {
   EnsureFrozen();
-  return spo_;
+  return spo_view();
+}
+
+Span<Triple> Graph::triples_pos() const {
+  EnsureFrozen();
+  return pos_view();
+}
+
+Span<Triple> Graph::triples_osp() const {
+  EnsureFrozen();
+  return osp_view();
 }
 
 bool Graph::Contains(TermId s, TermId p, TermId o) const {
   EnsureFrozen();
+  Span<Triple> spo = spo_view();
   Triple probe{s, p, o};
-  return std::binary_search(spo_.begin(), spo_.end(), probe, OrderSPO());
+  return std::binary_search(spo.begin(), spo.end(), probe, OrderSPO());
 }
 
 void Graph::Match(TermId s, TermId p, TermId o,
@@ -82,9 +117,10 @@ void Graph::Match(TermId s, TermId p, TermId o,
   EnsureFrozen();
   // Choose the index by bound positions; each branch scans a contiguous range
   // and post-filters remaining bound positions (at most one wildcard gap).
+  Span<Triple> spo = spo_view();
   if (s != kInvalidTerm) {
-    auto lo = std::lower_bound(spo_.begin(), spo_.end(), Triple{s, 0, 0}, OrderSPO());
-    for (auto it = lo; it != spo_.end() && it->s == s; ++it) {
+    auto lo = std::lower_bound(spo.begin(), spo.end(), Triple{s, 0, 0}, OrderSPO());
+    for (auto it = lo; it != spo.end() && it->s == s; ++it) {
       if (p != kInvalidTerm && it->p != p) continue;
       if (o != kInvalidTerm && it->o != o) continue;
       fn(*it);
@@ -92,28 +128,31 @@ void Graph::Match(TermId s, TermId p, TermId o,
     return;
   }
   if (p != kInvalidTerm) {
-    auto lo = std::lower_bound(pos_.begin(), pos_.end(), Triple{0, p, 0}, OrderPOS());
-    for (auto it = lo; it != pos_.end() && it->p == p; ++it) {
+    Span<Triple> pos = pos_view();
+    auto lo = std::lower_bound(pos.begin(), pos.end(), Triple{0, p, 0}, OrderPOS());
+    for (auto it = lo; it != pos.end() && it->p == p; ++it) {
       if (o != kInvalidTerm && it->o != o) continue;
       fn(*it);
     }
     return;
   }
   if (o != kInvalidTerm) {
-    auto lo = std::lower_bound(osp_.begin(), osp_.end(), Triple{0, 0, o}, OrderOSP());
-    for (auto it = lo; it != osp_.end() && it->o == o; ++it) {
+    Span<Triple> osp = osp_view();
+    auto lo = std::lower_bound(osp.begin(), osp.end(), Triple{0, 0, o}, OrderOSP());
+    for (auto it = lo; it != osp.end() && it->o == o; ++it) {
       fn(*it);
     }
     return;
   }
-  for (const Triple& t : spo_) fn(t);
+  for (const Triple& t : spo) fn(t);
 }
 
 std::vector<TermId> Graph::Objects(TermId s, TermId p) const {
   EnsureFrozen();
   std::vector<TermId> out;
-  auto lo = std::lower_bound(spo_.begin(), spo_.end(), Triple{s, p, 0}, OrderSPO());
-  for (auto it = lo; it != spo_.end() && it->s == s && it->p == p; ++it) {
+  Span<Triple> spo = spo_view();
+  auto lo = std::lower_bound(spo.begin(), spo.end(), Triple{s, p, 0}, OrderSPO());
+  for (auto it = lo; it != spo.end() && it->s == s && it->p == p; ++it) {
     out.push_back(it->o);
   }
   return out;
@@ -122,8 +161,9 @@ std::vector<TermId> Graph::Objects(TermId s, TermId p) const {
 std::vector<TermId> Graph::Subjects(TermId p, TermId o) const {
   EnsureFrozen();
   std::vector<TermId> out;
-  auto lo = std::lower_bound(pos_.begin(), pos_.end(), Triple{0, p, o}, OrderPOS());
-  for (auto it = lo; it != pos_.end() && it->p == p && it->o == o; ++it) {
+  Span<Triple> pos = pos_view();
+  auto lo = std::lower_bound(pos.begin(), pos.end(), Triple{0, p, o}, OrderPOS());
+  for (auto it = lo; it != pos.end() && it->p == p && it->o == o; ++it) {
     out.push_back(it->s);
   }
   return out;
@@ -132,8 +172,9 @@ std::vector<TermId> Graph::Subjects(TermId p, TermId o) const {
 std::vector<TermId> Graph::PropertiesOf(TermId s) const {
   EnsureFrozen();
   std::vector<TermId> out;
-  auto lo = std::lower_bound(spo_.begin(), spo_.end(), Triple{s, 0, 0}, OrderSPO());
-  for (auto it = lo; it != spo_.end() && it->s == s; ++it) {
+  Span<Triple> spo = spo_view();
+  auto lo = std::lower_bound(spo.begin(), spo.end(), Triple{s, 0, 0}, OrderSPO());
+  for (auto it = lo; it != spo.end() && it->s == s; ++it) {
     if (out.empty() || out.back() != it->p) out.push_back(it->p);
   }
   return out;
@@ -142,7 +183,7 @@ std::vector<TermId> Graph::PropertiesOf(TermId s) const {
 std::vector<TermId> Graph::AllProperties() const {
   EnsureFrozen();
   std::vector<TermId> out;
-  for (const Triple& t : pos_) {
+  for (const Triple& t : pos_view()) {
     if (out.empty() || out.back() != t.p) out.push_back(t.p);
   }
   return out;
@@ -151,7 +192,7 @@ std::vector<TermId> Graph::AllProperties() const {
 std::vector<TermId> Graph::AllSubjects() const {
   EnsureFrozen();
   std::vector<TermId> out;
-  for (const Triple& t : spo_) {
+  for (const Triple& t : spo_view()) {
     if (out.empty() || out.back() != t.s) out.push_back(t.s);
   }
   return out;
@@ -160,9 +201,10 @@ std::vector<TermId> Graph::AllSubjects() const {
 std::vector<TermId> Graph::AllTypes() const {
   EnsureFrozen();
   std::vector<TermId> out;
-  auto lo = std::lower_bound(pos_.begin(), pos_.end(), Triple{0, rdf_type_, 0},
+  Span<Triple> pos = pos_view();
+  auto lo = std::lower_bound(pos.begin(), pos.end(), Triple{0, rdf_type_, 0},
                              OrderPOS());
-  for (auto it = lo; it != pos_.end() && it->p == rdf_type_; ++it) {
+  for (auto it = lo; it != pos.end() && it->p == rdf_type_; ++it) {
     if (out.empty() || out.back() != it->o) out.push_back(it->o);
   }
   return out;

@@ -6,6 +6,7 @@
 
 #include "src/rdf/dictionary.h"
 #include "src/rdf/term.h"
+#include "src/util/span.h"
 
 namespace spade {
 
@@ -19,6 +20,12 @@ namespace spade {
 /// bound position resolves to a binary-searchable range. Queries auto-freeze
 /// a dirty graph, so interleaving writes and reads stays correct (at re-sort
 /// cost).
+///
+/// A graph can also *borrow* its permutations (AttachTriples): the snapshot
+/// loader points it at three pre-sorted, typically mmap'd arrays, and every
+/// accessor binary-searches those views directly — identical semantics, zero
+/// copies, O(1) attach. Adding triples to a borrowed graph thaws it (the
+/// borrowed data is copied once, then the normal freeze path runs).
 class Graph {
  public:
   Graph();
@@ -36,6 +43,17 @@ class Graph {
 
   /// Sort indexes and deduplicate. Idempotent; queries call it lazily.
   void Freeze();
+
+  /// Borrow pre-sorted triple permutations (each sorted in its own order,
+  /// deduplicated — exactly what Freeze() produces and a snapshot stores).
+  /// Replaces any existing triples; the backing memory must outlive the
+  /// graph. `rdf_type` is the dictionary id of rdf:type in the attached
+  /// dictionary (persisted in the snapshot header).
+  void AttachTriples(Span<Triple> spo, Span<Triple> pos, Span<Triple> osp,
+                     TermId rdf_type);
+
+  /// True if the triple indexes are borrowed from external memory.
+  bool borrowed() const { return borrowed_; }
 
   size_t NumTriples() const;
 
@@ -66,16 +84,29 @@ class Graph {
   std::vector<TermId> AllTypes() const;
 
   /// Nodes having rdf:type `type`.
+  TermId rdf_type() const { return rdf_type_; }
   std::vector<TermId> NodesOfType(TermId type) const;
 
-  /// Id of rdf:type (interned at construction).
-  TermId rdf_type() const { return rdf_type_; }
+  /// Full triple list (frozen order: SPO). A view: valid until the next
+  /// mutation of the graph.
+  Span<Triple> triples() const;
 
-  /// Full triple list (frozen order: SPO).
-  const std::vector<Triple>& triples() const;
+  /// The POS / OSP permutations (frozen order). Snapshot serialization
+  /// persists all three so a load never re-sorts.
+  Span<Triple> triples_pos() const;
+  Span<Triple> triples_osp() const;
 
  private:
   void EnsureFrozen() const;
+  Span<Triple> spo_view() const {
+    return borrowed_ ? bspo_ : Span<Triple>(spo_);
+  }
+  Span<Triple> pos_view() const {
+    return borrowed_ ? bpos_ : Span<Triple>(pos_);
+  }
+  Span<Triple> osp_view() const {
+    return borrowed_ ? bosp_ : Span<Triple>(osp_);
+  }
 
   Dictionary dict_;
   TermId rdf_type_;
@@ -84,6 +115,11 @@ class Graph {
   mutable std::vector<Triple> pos_;
   mutable std::vector<Triple> osp_;
   std::vector<Triple> pending_;
+  // Borrowed permutations (AttachTriples); empty in owned mode.
+  mutable bool borrowed_ = false;
+  mutable Span<Triple> bspo_;
+  mutable Span<Triple> bpos_;
+  mutable Span<Triple> bosp_;
 };
 
 }  // namespace spade

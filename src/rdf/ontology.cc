@@ -75,7 +75,7 @@ size_t Saturate(Graph* graph) {
   // (2) apply domain/range over the propagated data, (3) close types through
   // the closed subClassOf. Because the property closure is transitive, one
   // round of each suffices for a fixpoint.
-  std::vector<Triple> data = graph->triples();
+  std::vector<Triple> data = graph->triples().ToVector();
   for (const Triple& t : data) {
     auto it = prop_up.find(t.p);
     if (it != prop_up.end()) {
@@ -83,7 +83,7 @@ size_t Saturate(Graph* graph) {
     }
   }
 
-  data = graph->triples();
+  data = graph->triples().ToVector();
   for (const Triple& t : data) {
     auto dit = prop_domain.find(t.p);
     if (dit != prop_domain.end()) {
@@ -98,7 +98,7 @@ size_t Saturate(Graph* graph) {
     }
   }
 
-  data = graph->triples();
+  data = graph->triples().ToVector();
   for (const Triple& t : data) {
     if (t.p != type) continue;
     auto it = class_up.find(t.o);

@@ -39,6 +39,7 @@ void AttributeTable::Seal() {
   offsets_.push_back(static_cast<uint32_t>(objects_.size()));
   std::vector<std::pair<TermId, TermId>>().swap(staging_);
   sealed_ = true;
+  RebindViews();
 }
 
 void AttributeTable::SealFromSortedRuns(
@@ -86,12 +87,14 @@ void AttributeTable::SealFromSortedRuns(
   }
   offsets_.push_back(static_cast<uint32_t>(objects_.size()));
   sealed_ = true;
+  RebindViews();
 }
 
 size_t AttributeTable::SubjectIndexOf(TermId subject) const {
-  auto it = std::lower_bound(subjects_.begin(), subjects_.end(), subject);
-  if (it == subjects_.end() || *it != subject) return kNoSubject;
-  return static_cast<size_t>(it - subjects_.begin());
+  auto it = std::lower_bound(subjects_view_.begin(), subjects_view_.end(),
+                             subject);
+  if (it == subjects_view_.end() || *it != subject) return kNoSubject;
+  return static_cast<size_t>(it - subjects_view_.begin());
 }
 
 Span<TermId> AttributeTable::ValuesOf(TermId subject) const {

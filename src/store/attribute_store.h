@@ -45,6 +45,12 @@ const char* AttrOriginName(AttrOrigin origin);
 /// staging buffer. Every read accessor requires a sealed table and is
 /// zero-allocation: scans walk the columns directly, point lookups return a
 /// Span into the object column.
+///
+/// A table can also *borrow* its columns (BorrowColumns): the snapshot
+/// loader points the three column views straight into an mmap'd segment and
+/// the table is sealed without ever owning the data. All read accessors go
+/// through the views, so owned and borrowed tables are indistinguishable to
+/// every consumer.
 class AttributeTable {
  public:
   /// One staged (subject, object) row; sorted-run merging (the streaming
@@ -61,6 +67,48 @@ class AttributeTable {
   /// Enumeration rule 3(b-ii)/(c): an attribute and its derivation cannot be
   /// dimensions of the same lattice nor dimension+measure of one aggregate.
   AttrId derived_from = static_cast<AttrId>(-1);
+
+  AttributeTable() = default;
+  // The column views must track the owning vectors across copies and moves
+  // (a moved vector keeps its heap buffer, a copied one gets a fresh one).
+  AttributeTable(const AttributeTable& other) { *this = other; }
+  AttributeTable& operator=(const AttributeTable& other) {
+    if (this == &other) return *this;
+    name = other.name;
+    origin = other.origin;
+    property = other.property;
+    derived_from = other.derived_from;
+    staging_ = other.staging_;
+    subjects_ = other.subjects_;
+    offsets_ = other.offsets_;
+    objects_ = other.objects_;
+    sealed_ = other.sealed_;
+    borrowed_ = other.borrowed_;
+    subjects_view_ = other.subjects_view_;
+    offsets_view_ = other.offsets_view_;
+    objects_view_ = other.objects_view_;
+    RebindViews();
+    return *this;
+  }
+  AttributeTable(AttributeTable&& other) noexcept { *this = std::move(other); }
+  AttributeTable& operator=(AttributeTable&& other) noexcept {
+    if (this == &other) return *this;
+    name = std::move(other.name);
+    origin = other.origin;
+    property = other.property;
+    derived_from = other.derived_from;
+    staging_ = std::move(other.staging_);
+    subjects_ = std::move(other.subjects_);
+    offsets_ = std::move(other.offsets_);
+    objects_ = std::move(other.objects_);
+    sealed_ = other.sealed_;
+    borrowed_ = other.borrowed_;
+    subjects_view_ = other.subjects_view_;
+    offsets_view_ = other.offsets_view_;
+    objects_view_ = other.objects_view_;
+    RebindViews();
+    return *this;
+  }
 
   // --- Building (staging rows; cheap appends, no ordering requirement).
 
@@ -91,23 +139,44 @@ class AttributeTable {
   /// first and only seal; null/empty runs are permitted.
   void SealFromSortedRuns(const std::vector<const std::vector<Row>*>& runs);
 
+  /// Seal the table directly onto externally owned columns (typically views
+  /// into an mmap'd snapshot segment). The columns must be a valid CSR
+  /// triple exactly as Seal() produces it: sorted distinct subjects,
+  /// offsets of size num_subjects + 1 with offsets.back() == objects.size(),
+  /// values grouped by subject and sorted within each group. The backing
+  /// memory must outlive the table. Must be the table's first seal.
+  void BorrowColumns(Span<TermId> subjects, Span<uint32_t> offsets,
+                     Span<TermId> objects) {
+    assert(!sealed_ && staging_.empty() &&
+           "BorrowColumns on a table that was staged or sealed");
+    subjects_view_ = subjects;
+    offsets_view_ = offsets;
+    objects_view_ = objects;
+    borrowed_ = true;
+    sealed_ = true;
+  }
+  /// True if the columns are views into external memory.
+  bool borrowed() const { return borrowed_; }
+
   // --- Columnar read accessors (sealed tables only; none allocates).
 
   /// Total (subject, object) pairs.
-  size_t num_rows() const { return objects_.size(); }
-  bool empty() const { return objects_.empty(); }
+  size_t num_rows() const { return objects_view_.size(); }
+  bool empty() const { return objects_view_.empty(); }
   /// Distinct subjects, in ascending TermId order.
-  Span<TermId> subjects() const { return Span<TermId>(subjects_); }
-  size_t num_subjects() const { return subjects_.size(); }
+  Span<TermId> subjects() const { return subjects_view_; }
+  size_t num_subjects() const { return subjects_view_.size(); }
   /// The i-th distinct subject (ascending order).
-  TermId subject(size_t i) const { return subjects_[i]; }
+  TermId subject(size_t i) const { return subjects_view_[i]; }
   /// Object values of the i-th distinct subject, ascending, deduplicated.
   Span<TermId> values(size_t i) const {
-    return Span<TermId>(objects_.data() + offsets_[i],
-                        offsets_[i + 1] - offsets_[i]);
+    return objects_view_.subspan(offsets_view_[i],
+                                 offsets_view_[i + 1] - offsets_view_[i]);
   }
   /// The whole object column (values grouped by subject).
-  Span<TermId> objects() const { return Span<TermId>(objects_); }
+  Span<TermId> objects() const { return objects_view_; }
+  /// The offset column (size num_subjects() + 1; snapshot serialization).
+  Span<uint32_t> offsets() const { return offsets_view_; }
 
   static constexpr size_t kNoSubject = static_cast<size_t>(-1);
   /// Position of `subject` in the subject column, kNoSubject if absent.
@@ -118,21 +187,38 @@ class AttributeTable {
   /// Visit every (subject, object) row in sorted order: fn(subject, object).
   template <typename Fn>
   void ForEachRow(Fn&& fn) const {
-    const TermId* obj = objects_.data();
-    for (size_t i = 0; i < subjects_.size(); ++i) {
-      const TermId s = subjects_[i];
-      for (uint32_t k = offsets_[i], end = offsets_[i + 1]; k < end; ++k) {
+    const TermId* obj = objects_view_.data();
+    const uint32_t* off = offsets_view_.data();
+    for (size_t i = 0; i < subjects_view_.size(); ++i) {
+      const TermId s = subjects_view_[i];
+      for (uint32_t k = off[i], end = off[i + 1]; k < end; ++k) {
         fn(s, obj[k]);
       }
     }
   }
 
  private:
+  /// Point the views at the owned columns (no-op for borrowed tables, whose
+  /// views already target external memory). Seal paths and the copy/move
+  /// operations call this.
+  void RebindViews() {
+    if (borrowed_) return;
+    subjects_view_ = Span<TermId>(subjects_);
+    offsets_view_ = Span<uint32_t>(offsets_);
+    objects_view_ = Span<TermId>(objects_);
+  }
+
   std::vector<Row> staging_;
   std::vector<TermId> subjects_;   ///< sorted distinct subjects
   std::vector<uint32_t> offsets_;  ///< size num_subjects()+1; objects_ slices
   std::vector<TermId> objects_;    ///< values grouped by subject, sorted
+  /// All read accessors go through these views: owned mode points them at
+  /// the vectors above (RebindViews), borrowed mode at external memory.
+  Span<TermId> subjects_view_;
+  Span<uint32_t> offsets_view_;
+  Span<TermId> objects_view_;
   bool sealed_ = false;
+  bool borrowed_ = false;
 };
 
 constexpr AttrId kInvalidAttr = static_cast<AttrId>(-1);

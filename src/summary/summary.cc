@@ -103,7 +103,32 @@ StructuralSummary StructuralSummary::Build(const Graph& graph,
   return summary;
 }
 
+void StructuralSummary::Attach(Span<uint32_t> class_offsets,
+                               Span<TermId> members,
+                               Span<uint32_t> prop_offsets, Span<TermId> props,
+                               Span<NodeClass> node_classes) {
+  assert(!class_offsets.empty() && !prop_offsets.empty() &&
+         class_offsets.size() == prop_offsets.size() &&
+         "CSR offset arrays must agree on num_classes + 1");
+  classes_.clear();
+  class_properties_.clear();
+  class_of_.clear();
+  class_offsets_ = class_offsets;
+  members_ = members;
+  prop_offsets_ = prop_offsets;
+  props_ = props;
+  node_classes_ = node_classes;
+  borrowed_ = true;
+}
+
 int StructuralSummary::ClassOf(TermId node) const {
+  if (borrowed_) {
+    auto it = std::lower_bound(
+        node_classes_.begin(), node_classes_.end(), node,
+        [](const NodeClass& a, TermId b) { return a.node < b; });
+    if (it == node_classes_.end() || it->node != node) return -1;
+    return static_cast<int>(it->cls);
+  }
   auto it = class_of_.find(node);
   if (it == class_of_.end()) return -1;
   return it->second;

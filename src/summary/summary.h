@@ -1,10 +1,13 @@
 #ifndef SPADE_SUMMARY_SUMMARY_H_
 #define SPADE_SUMMARY_SUMMARY_H_
 
+#include <cassert>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "src/rdf/graph.h"
+#include "src/util/span.h"
 
 namespace spade {
 
@@ -23,6 +26,12 @@ namespace spade {
 /// transitively-closed weak-equivalence partition. rdf:type triples are
 /// excluded from the clique computation, as in RDFQuotient, where types
 /// annotate rather than define the structure.
+///
+/// Like the attribute tables, a summary can *borrow* its data (Attach): the
+/// snapshot loader points it at flat CSR segments — class-member lists,
+/// class-property lists, and a node-sorted (node, class) array for ClassOf —
+/// and the span accessors (ClassMembers / ClassPropertySpan) serve both
+/// modes identically.
 class StructuralSummary {
  public:
   struct Options {
@@ -38,24 +47,74 @@ class StructuralSummary {
   static StructuralSummary Build(const Graph& graph);
   static StructuralSummary Build(const Graph& graph, const Options& options);
 
-  /// Equivalence classes over the graph's non-literal nodes, each sorted by
-  /// TermId; classes ordered by descending size.
-  const std::vector<std::vector<TermId>>& classes() const { return classes_; }
+  /// One entry of the borrowed node -> class map, sorted by node id.
+  /// Fixed 8-byte layout, persisted verbatim in snapshots.
+  struct NodeClass {
+    TermId node = 0;
+    uint32_t cls = 0;
+  };
+  static_assert(sizeof(NodeClass) == 8, "persisted layout");
+
+  /// Borrow the summary from flat CSR arrays (typically mmap'd snapshot
+  /// segments): `class_offsets` (size num_classes + 1) slices `members`
+  /// into per-class sorted member lists; `prop_offsets` / `props` likewise
+  /// for per-class property lists; `node_classes` is sorted by node id.
+  /// Replaces any built state; the backing memory must outlive the summary.
+  void Attach(Span<uint32_t> class_offsets, Span<TermId> members,
+              Span<uint32_t> prop_offsets, Span<TermId> props,
+              Span<NodeClass> node_classes);
+
+  bool borrowed() const { return borrowed_; }
+
+  size_t num_classes() const {
+    return borrowed_ ? class_offsets_.size() - 1 : classes_.size();
+  }
+
+  /// Members of class `c`, sorted by TermId (both modes; classes ordered by
+  /// descending size).
+  Span<TermId> ClassMembers(size_t c) const {
+    if (!borrowed_) return Span<TermId>(classes_[c]);
+    return members_.subspan(class_offsets_[c],
+                            class_offsets_[c + 1] - class_offsets_[c]);
+  }
+
+  /// Properties whose subjects fall in class `c`, sorted (both modes).
+  Span<TermId> ClassPropertySpan(size_t c) const {
+    if (!borrowed_) return Span<TermId>(class_properties_[c]);
+    return props_.subspan(prop_offsets_[c],
+                          prop_offsets_[c + 1] - prop_offsets_[c]);
+  }
 
   /// Class index of a node, or -1 if the node is not summarized.
   int ClassOf(TermId node) const;
 
-  /// Properties whose subjects fall in class `cls` (the summary edge labels).
-  const std::vector<TermId>& ClassProperties(int cls) const {
-    return class_properties_[cls];
+  /// Equivalence classes over the graph's non-literal nodes, each sorted by
+  /// TermId; classes ordered by descending size. Built (owned) summaries
+  /// only — span-based consumers should use ClassMembers().
+  const std::vector<std::vector<TermId>>& classes() const {
+    assert(!borrowed_ && "classes() needs an owned summary; use ClassMembers()");
+    return classes_;
   }
 
-  size_t num_classes() const { return classes_.size(); }
+  /// Properties whose subjects fall in class `cls` (the summary edge
+  /// labels). Built (owned) summaries only; see ClassPropertySpan().
+  const std::vector<TermId>& ClassProperties(int cls) const {
+    assert(!borrowed_ &&
+           "ClassProperties() needs an owned summary; use ClassPropertySpan()");
+    return class_properties_[cls];
+  }
 
  private:
   std::vector<std::vector<TermId>> classes_;
   std::vector<std::vector<TermId>> class_properties_;
   std::unordered_map<TermId, int> class_of_;
+  // Borrowed CSR views (Attach); empty in owned mode.
+  bool borrowed_ = false;
+  Span<uint32_t> class_offsets_;
+  Span<TermId> members_;
+  Span<uint32_t> prop_offsets_;
+  Span<TermId> props_;
+  Span<NodeClass> node_classes_;
 };
 
 }  // namespace spade

@@ -1,8 +1,10 @@
 // spade_cli — run the full discovery pipeline on a data file from the shell.
 //
 //   spade_cli DATA [options]
+//   spade_cli --load-store FILE [options]
 //
 //   DATA                 .nt (N-Triples), .ttl (Turtle) or .csv input
+//                        (optional when --load-store is given)
 //   --top K              number of insights to return           (default 10)
 //   --interestingness F  variance | skewness | kurtosis         (default variance)
 //   --algorithm A        mvdcube | pgcube | pgcube-distinct | arraycube
@@ -23,6 +25,17 @@
 //   --saturate           RDFS-saturate the graph before analysis
 //   --max-dims N         lattice dimensionality cap             (default 3)
 //   --min-support R      dimension/measure support threshold    (default 0.1)
+//   --save-store FILE    after the offline phase, persist the built store as
+//                        a memory-mapped snapshot (build once...)
+//   --load-store FILE    mmap a saved snapshot instead of ingesting: skips
+//                        parsing, store building and the offline statistics
+//                        pass entirely (...explore many times)
+//   --no-verify-snapshot skip per-segment checksum verification on load
+//   --serve              after the offline phase, answer explore requests
+//                        line-by-line (stdin or --serve-requests) instead of
+//                        running one online pass; see src/persist/serve.h
+//                        for the request grammar
+//   --serve-requests F   read serve requests from F instead of stdin
 //   --json FILE          write the insights as JSON
 //   --csv FILE           write the flattened insights as CSV
 //   --quiet              suppress the rendered insight charts
@@ -39,6 +52,7 @@
 #include "src/core/present.h"
 #include "src/core/spade.h"
 #include "src/ingest/chunk_source.h"
+#include "src/persist/serve.h"
 #include "src/rdf/csv2rdf.h"
 #include "src/rdf/ntriples.h"
 #include "src/rdf/turtle.h"
@@ -61,7 +75,9 @@ int Usage() {
                "[--earlystop] [--no-derivations]\n"
                "                 [--saturate] [--max-dims N] "
                "[--min-support R] [--json FILE] [--csv FILE]\n"
-               "                 [--quiet]\n";
+               "                 [--quiet] [--save-store FILE] "
+               "[--no-verify-snapshot] [--serve] [--serve-requests FILE]\n"
+               "       spade_cli --load-store FILE [options]\n";
   return 1;
 }
 
@@ -69,14 +85,23 @@ int Usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  std::string data_path = argv[1];
   spade::SpadeOptions options;
   options.num_threads = 0;  // the CLI defaults to every core; results are
                             // identical at any thread count
   std::string json_path, csv_path;
   bool quiet = false;
+  bool serve = false;
+  std::string serve_requests;
 
-  for (int i = 2; i < argc; ++i) {
+  // The data file is optional when a snapshot is loaded instead.
+  std::string data_path;
+  int first_flag = 1;
+  if (argv[1][0] != '-') {
+    data_path = argv[1];
+    first_flag = 2;
+  }
+
+  for (int i = first_flag; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) return nullptr;
@@ -166,6 +191,22 @@ int main(int argc, char** argv) {
         return Fail("--min-support needs a ratio in (0, 1]");
       }
       options.enumeration.min_support_ratio = r;
+    } else if (arg == "--save-store") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.save_store = v;
+    } else if (arg == "--load-store") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.load_store = v;
+    } else if (arg == "--no-verify-snapshot") {
+      options.verify_snapshot = false;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--serve-requests") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      serve_requests = v;
     } else if (arg == "--json") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -181,9 +222,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (data_path.empty() && options.load_store.empty()) {
+    return Fail("need a DATA file or --load-store FILE");
+  }
+
   // --- Load + offline phase. Streaming ingest owns the file read: parsing
   // overlaps store construction and the offline statistics pass, so "load"
-  // and "offline" are one step in that mode.
+  // and "offline" are one step in that mode. A snapshot load replaces both:
+  // the pipeline attaches to the mmap'd file instead of ingesting.
   spade::Graph graph;
   if (options.ingest.enabled && spade::EndsWith(data_path, ".csv")) {
     std::cerr << "spade_cli: CSV input converts row-wise; "
@@ -191,7 +237,14 @@ int main(int argc, char** argv) {
     options.ingest.enabled = false;
   }
   spade::Spade spade(&graph, options);
-  if (options.ingest.enabled) {
+  if (!options.load_store.empty()) {
+    spade::Timer timer;
+    spade::Status st = spade.RunOffline();
+    if (!st.ok()) return Fail("snapshot load: " + st.ToString());
+    std::cerr << "attached snapshot " << options.load_store << " ("
+              << graph.NumTriples() << " triples) in "
+              << spade::FormatDouble(timer.ElapsedMillis(), 1) << " ms\n";
+  } else if (options.ingest.enabled) {
     std::ifstream in(data_path);
     if (!in) return Fail("cannot open " + data_path);
     spade::Timer timer;
@@ -236,6 +289,29 @@ int main(int argc, char** argv) {
               << spade::FormatDouble(timer.ElapsedMillis(), 1) << " ms\n";
     st = spade.RunOffline();
     if (!st.ok()) return Fail("offline phase: " + st.ToString());
+  }
+
+  // --- Serve mode: answer a stream of explore requests and exit.
+  if (serve) {
+    spade::Status st = spade.PrepareFactSets();
+    if (!st.ok()) return Fail("fact-set selection: " + st.ToString());
+    spade::persist::ServeOptions sopt;
+    sopt.num_threads = options.num_threads;
+    spade::persist::InsightServer server(&spade, sopt);
+    spade::persist::ServeStats stats;
+    if (!serve_requests.empty()) {
+      std::ifstream reqs(serve_requests);
+      if (!reqs) return Fail("cannot open " + serve_requests);
+      stats = server.Serve(reqs, std::cout);
+    } else {
+      stats = server.Serve(std::cin, std::cout);
+    }
+    std::cerr << "served " << stats.num_requests << " request"
+              << (stats.num_requests == 1 ? "" : "s") << " ("
+              << stats.num_errors << " error"
+              << (stats.num_errors == 1 ? "" : "s") << ") in "
+              << spade::FormatDouble(stats.wall_ms, 1) << " ms\n";
+    return 0;
   }
 
   // --- Run online.
