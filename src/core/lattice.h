@@ -11,6 +11,8 @@
 #include "src/core/aggregate.h"
 #include "src/exec/thread_pool.h"
 #include "src/store/attribute_store.h"
+#include "src/util/cancel.h"
+#include "src/util/failpoint.h"
 #include "src/util/rng.h"
 #include "src/util/span.h"
 #include "src/util/timer.h"
@@ -238,8 +240,8 @@ class CubeScaffold {
   /// Stream every partition through the MMST (the sequential protocol).
   template <typename LoadFn, typename MergeFn, typename EmitFn>
   void Run(const Translation& data, const LoadFn& load, const MergeFn& merge,
-           const EmitFn& emit) {
-    Run(data, 0, mmst_->layout().num_partitions, load, merge, emit);
+           const EmitFn& emit, const CancelCheck* cancel = nullptr) {
+    Run(data, 0, mmst_->layout().num_partitions, load, merge, emit, cancel);
   }
 
   /// Process only partitions [p_begin, p_end) — one contiguous slice of the
@@ -249,15 +251,21 @@ class CubeScaffold {
   /// slice boundary are emitted by several slices with partial cells, which
   /// ParallelLatticeRun reconciles by merging. The final cascade drains
   /// whatever regions remain open at the slice boundary.
+  /// `cancel` (optional): checked once per partition. On AbortNow() the run
+  /// returns without the final cascade — partially emitted output is only
+  /// meaningful to callers that discard aborted results wholesale
+  /// (ParallelLatticeRun's callers drop the whole CFS on a hard abort).
   template <typename LoadFn, typename MergeFn, typename EmitFn>
   void Run(const Translation& data, uint64_t p_begin, uint64_t p_end,
-           const LoadFn& load, const MergeFn& merge, const EmitFn& emit) {
+           const LoadFn& load, const MergeFn& merge, const EmitFn& emit,
+           const CancelCheck* cancel = nullptr) {
     const CubeLayout& layout = mmst_->layout();
     size_t n = layout.num_dims();
     if (!subtree_needed_[mmst_->root()]) return;  // nothing to compute at all
     partition_scratch_.assign(n, 0);
     load_coords_.assign(n, 0);
     for (uint64_t p = p_begin; p < p_end; ++p) {
+      if (cancel != nullptr && cancel->AbortNow()) return;
       if (p < data.partitions.size() && data.partitions[p].empty()) continue;
       layout.DecodePartitionInto(p, &partition_scratch_);
       // Load the partition into the root.
@@ -504,7 +512,8 @@ void ParallelLatticeRun(const Mmst& mmst, const Translation& data,
                         TaskScheduler* scheduler, const LoadFn& load,
                         const MergeFn& merge, const KeepFn& keep,
                         const EmitFn& emit,
-                        ParallelLatticeStats* stats = nullptr) {
+                        ParallelLatticeStats* stats = nullptr,
+                        const CancelCheck* cancel = nullptr) {
   const CubeLayout& layout = mmst.layout();
   const size_t n = layout.num_dims();
   const size_t num_nodes = mmst.nodes().size();
@@ -521,6 +530,7 @@ void ParallelLatticeRun(const Mmst& mmst, const Translation& data,
   std::vector<double> slice_ms(slices.size(), 0.0);
   auto run_slice = [&](size_t s) {
     Timer t;
+    SPADE_FAILPOINT("core.lattice.slice");
     std::vector<NodePartial>& mine = partials[s];
     mine.resize(num_nodes);
     CubeScaffold<Cell> scaffold(&mmst);
@@ -530,7 +540,8 @@ void ParallelLatticeRun(const Mmst& mmst, const Translation& data,
                    if (!keep(mask, coords)) return;
                    mine[mask].emplace_back(PackCellMasked(layout, mask, coords),
                                            std::move(cell));
-                 });
+                 },
+                 cancel);
     for (NodePartial& p : mine) {
       std::sort(p.begin(), p.end(), [](const std::pair<uint64_t, Cell>& a,
                                        const std::pair<uint64_t, Cell>& b) {
@@ -540,9 +551,12 @@ void ParallelLatticeRun(const Mmst& mmst, const Translation& data,
     slice_ms[s] = t.ElapsedMillis();
   };
   if (scheduler != nullptr && slices.size() > 1) {
-    scheduler->ParallelFor(slices.size(), run_slice);
+    scheduler->ParallelFor(slices.size(), run_slice, cancel);
   } else {
-    for (size_t s = 0; s < slices.size(); ++s) run_slice(s);
+    for (size_t s = 0; s < slices.size(); ++s) {
+      if (cancel != nullptr && cancel->AbortNow()) break;
+      run_slice(s);
+    }
   }
 
   uint64_t partial_cells = 0;
@@ -559,6 +573,7 @@ void ParallelLatticeRun(const Mmst& mmst, const Translation& data,
     merged = std::move(partials[0]);  // sorted, duplicate-free already
   } else {
     auto fold_node = [&](size_t mask) {
+      if (cancel != nullptr && cancel->AbortNow()) return;
       NodePartial& out = merged[mask];
       size_t total = 0;
       for (const auto& sp : partials) total += sp[mask].size();
@@ -595,6 +610,7 @@ void ParallelLatticeRun(const Mmst& mmst, const Translation& data,
   // produces.
   std::vector<int32_t> coords(n);
   for (size_t mask = 0; mask < num_nodes; ++mask) {
+    if (cancel != nullptr && cancel->AbortNow()) break;
     for (auto& [cell_id, cell] : merged[mask]) {
       UnpackCellMaskedInto(layout, static_cast<uint32_t>(mask), cell_id,
                            coords.data());

@@ -11,6 +11,7 @@ const MeasureVector& MeasureCache::Get(const AttributeStore& db, const CfsIndex&
                                        AttrId attr) {
   auto it = cache_.find(attr);
   if (it != cache_.end()) return it->second;
+  SPADE_FAILPOINT("core.measure.load");
   auto [ins, _] = cache_.emplace(attr, BuildMeasureVector(db, cfs, attr));
   return ins->second;
 }
@@ -64,7 +65,9 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
                                 const std::vector<DimensionEncoding>*
                                     pre_encodings,
                                 TaskScheduler* scheduler,
-                                size_t lattice_workers) {
+                                size_t lattice_workers,
+                                const CancelCheck* cancel,
+                                uint64_t budget_bytes_used) {
   MvdCubeStats stats;
   Timer timer;
   size_t n = spec.dims.size();
@@ -92,6 +95,7 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
   Translation local_translation;
   const Translation* translation = pre_translated;
   if (translation == nullptr) {
+    SPADE_FAILPOINT("core.translate");
     TranslationOptions topt;
     topt.max_combos_per_fact = options.max_combos_per_fact;
     local_translation = TranslateData(encodings, mmst->layout(), topt);
@@ -197,14 +201,32 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
   auto emit = [&](uint32_t mask, Span<int32_t> coords, BitmapCell& cell) {
     const std::vector<NodeMda>& mdas = node_mdas[mask];
     const std::vector<const MeasureVector*>& slots = node_slots[mask];
+    // All emitted cells of this lattice coexist in the merged partials, so
+    // their summed footprint is the lattice's peak bitmap memory. The budget
+    // check lives here, on the single-threaded canonical emit, because this
+    // running sum is a pure function of the (bit-identical) group stream:
+    // the cut point cannot depend on thread/shard/worker count. A trip
+    // refuses the tripping group and everything after it, but deliberately
+    // does not touch the shared cancel token — whether some *other* CFS had
+    // already been admitted when this one tripped is timing-dependent, so a
+    // budget trip must stay local to this CFS for the committed prefix to
+    // be config-independent (Spade's commit rule cuts at the first
+    // truncated CFS in cfs_id order).
+    stats.bitmap_bytes_peak += cell.facts.MemoryBytes();
+    if (!stats.budget_truncated && options.max_bitmap_bytes > 0 &&
+        budget_bytes_used + stats.bitmap_bytes_peak >
+            options.max_bitmap_bytes) {
+      stats.budget_truncated = true;
+    }
+    if (stats.budget_truncated || (cancel != nullptr && cancel->AbortNow())) {
+      stats.num_groups_skipped += mdas.size();
+      return;
+    }
     dim_values.clear();
     for (size_t d = 0; d < n; ++d) {
       if (!(mask & (1u << d))) continue;
       dim_values.push_back(encodings[d].values[coords[d]]);
     }
-    // All emitted cells of this lattice coexist in the merged partials, so
-    // their summed footprint is the lattice's peak bitmap memory.
-    stats.bitmap_bytes_peak += cell.facts.MemoryBytes();
     double count_star = static_cast<double>(cell.facts.Cardinality());
     // One full-cell decode feeds one kernel call per distinct measure attr
     // of this node (the ⊗ of Figure 5, Section 4.3's intersect-and-fold).
@@ -255,7 +277,7 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
   };
   ParallelLatticeRun<BitmapCell>(*mmst, *translation, &wanted, lattice_workers,
                                  scheduler, load, merge, keep, emit,
-                                 &stats.lattice);
+                                 &stats.lattice, cancel);
   stats.compute_ms = timer.ElapsedMillis();
   return stats;
 }

@@ -40,6 +40,14 @@ struct MvdCubeOptions {
   /// kernel. Bit-identical results either way — this knob only exists for
   /// the differential tests, the CI dispatch-independence job, and benches.
   simd::SimdMode simd = simd::SimdMode::kAuto;
+  /// Resident-bitmap budget for one CFS, in bytes; 0 = unlimited. Checked in
+  /// the canonical emit against the running bitmap_bytes_peak sum (plus
+  /// `budget_bytes_used` carried in from earlier lattices of the CFS): the
+  /// group that would push the sum past the budget is not admitted, and no
+  /// later group of the CFS is either. The cut point is a pure function of
+  /// the canonical group stream, so it is identical at every
+  /// thread/shard/worker count.
+  uint64_t max_bitmap_bytes = 0;
 };
 
 /// Statistics of one lattice evaluation, reported by benches and tests.
@@ -62,6 +70,10 @@ struct MvdCubeStats {
   /// not-yet-folded duplicate slice partials are resident too but not
   /// counted.
   uint64_t bitmap_bytes_peak = 0;
+  /// True when the bitmap budget tripped during this lattice's emit; the
+  /// groups after the cut are counted in num_groups_skipped, not emitted.
+  bool budget_truncated = false;
+  size_t num_groups_skipped = 0;
   /// Measure-fold kernel the dispatcher picked (scalar / avx2 / neon).
   simd::FoldKernelKind fold_kernel = simd::FoldKernelKind::kScalar;
   /// Partition-parallel lattice computation (ParallelLatticeRun).
@@ -104,7 +116,9 @@ MvdCubeStats EvaluateLatticeMvd(const AttributeStore& db, uint32_t cfs_id,
                                 const std::vector<DimensionEncoding>*
                                     pre_encodings = nullptr,
                                 TaskScheduler* scheduler = nullptr,
-                                size_t lattice_workers = 1);
+                                size_t lattice_workers = 1,
+                                const CancelCheck* cancel = nullptr,
+                                uint64_t budget_bytes_used = 0);
 
 /// Build the MMST for a lattice spec (exposed so early-stop and benches can
 /// share one instance with the evaluation).

@@ -103,8 +103,10 @@ Status Spade::RunOffline(TripleChunkSource* source) {
   // and the determinism argument.
   db_ = std::make_unique<AttributeStore>(graph_);
   double summary_ms = 0;
+  IngestOptions ingest_options = options_.ingest;
+  if (ingest_options.cancel == nullptr) ingest_options.cancel = options_.cancel;
   SPADE_RETURN_NOT_OK(RunStreamingIngest(
-      source, graph_, db_.get(), &offline_stats_, &scheduler, options_.ingest,
+      source, graph_, db_.get(), &offline_stats_, &scheduler, ingest_options,
       [this, &summary_ms] {
         Timer t;
         summary_ = StructuralSummary::Build(*graph_);
@@ -201,9 +203,12 @@ Status Spade::PrepareFactSets() {
   return Status::OK();
 }
 
-void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
-                         const SpadeOptions& opts, Arm* arm,
-                         TaskScheduler* scheduler, SpadeReport* report) const {
+Spade::CfsRunState Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
+                                       const SpadeOptions& opts,
+                                       const CancelCheck* cancel, Arm* arm,
+                                       TaskScheduler* scheduler,
+                                       SpadeReport* report) const {
+  if (cancel != nullptr && cancel->SkipNewWork()) return CfsRunState::kSkipped;
   CfsIndex index(fact_sets_[cfs_id].members);
 
   // Step 2: Online Attribute Analysis.
@@ -231,6 +236,9 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
   eval_options.top_k = opts.top_k;
   eval_options.seed = opts.seed;
   eval_options.num_shards = num_shards;
+  if (opts.max_bitmap_bytes > 0) {
+    eval_options.mvd.max_bitmap_bytes = opts.max_bitmap_bytes;
+  }
   std::unique_ptr<CubeEvaluator> evaluator = MakeCubeEvaluator(eval_options);
 
   CubeEvalInputs inputs;
@@ -239,12 +247,14 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
   inputs.cfs = &index;
   inputs.lattices = &lattices;
   inputs.offline_stats = &offline_stats_;
+  inputs.cancel = cancel;
 
   EvalStats stats = evaluator->EvaluateCfs(inputs, arm, scheduler);
   report->num_evaluated_aggregates += stats.num_mdas_evaluated;
   report->num_reused_aggregates += stats.num_mdas_reused;
   report->num_pruned_aggregates += stats.num_mdas_pruned;
   report->num_groups_emitted += stats.num_groups_emitted;
+  report->num_groups_skipped += stats.num_groups_skipped;
   report->timings.earlystop_ms += stats.earlystop_ms;
   report->timings.evaluation_ms += step.ElapsedMillis();
   report->shard_merge_ms += stats.shard_merge_ms;
@@ -257,6 +267,9 @@ void Spade::RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
       report->lattice_peak_partial_cells, stats.lattice_peak_partial_cells);
   report->peak_bitmap_bytes =
       std::max(report->peak_bitmap_bytes, stats.peak_bitmap_bytes);
+  if (stats.aborted) return CfsRunState::kAborted;
+  if (stats.budget_truncated) return CfsRunState::kTruncated;
+  return CfsRunState::kCompleted;
 }
 
 namespace {
@@ -271,6 +284,7 @@ void MergeCfsReport(const SpadeReport& cfs, SpadeReport* total) {
   total->num_reused_aggregates += cfs.num_reused_aggregates;
   total->num_pruned_aggregates += cfs.num_pruned_aggregates;
   total->num_groups_emitted += cfs.num_groups_emitted;
+  total->num_groups_skipped += cfs.num_groups_skipped;
   total->shard_merge_ms += cfs.shard_merge_ms;
   MergeShardCounts(cfs.shard_fact_counts, &total->shard_fact_counts);
   total->lattice_workers_used =
@@ -288,6 +302,60 @@ void MergeCfsReport(const SpadeReport& cfs, SpadeReport* total) {
 }
 
 }  // namespace
+
+Result<Spade::CfsBatchOutcome> Spade::EvaluateCfsBatch(
+    const std::vector<uint32_t>& ids, size_t num_shards,
+    const SpadeOptions& opts, const CancelCheck& cancel,
+    TaskScheduler* scheduler, Arm* arm, SpadeReport* report) const {
+  // Every CFS evaluates into its own shard; the commit rule below decides
+  // what the caller keeps. A cancelled run's fan-out leaves a mix of
+  // completed / truncated / aborted / skipped shards whose composition is
+  // timing-dependent — but the committed result is not, because absorption
+  // walks ids in order and stops at the first shard that is not a clean
+  // kCompleted (absorbing a budget-truncated shard's deterministic prefix
+  // first). Everything past the cut is discarded, so races only ever cost
+  // wasted work, never nondeterminism.
+  std::vector<Arm> shards(ids.size(), Arm(opts.max_stored_groups));
+  std::vector<SpadeReport> partials(ids.size());
+  std::vector<CfsRunState> states(ids.size(), CfsRunState::kSkipped);
+  try {
+    scheduler->ParallelFor(
+        ids.size(),
+        [&](size_t i) {
+          states[i] = RunOnlineCfs(ids[i], num_shards, opts, &cancel,
+                                   &shards[i], scheduler, &partials[i]);
+        },
+        &cancel);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("online evaluation failed: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("online evaluation failed: unknown exception");
+  }
+
+  CfsBatchOutcome out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (states[i] == CfsRunState::kCompleted ||
+        states[i] == CfsRunState::kTruncated) {
+      MergeCfsReport(partials[i], report);
+      arm->Absorb(std::move(shards[i]));
+      if (states[i] == CfsRunState::kCompleted) {
+        ++out.num_completed;
+        continue;
+      }
+      out.truncated = true;
+      out.reason = CancelReason::kBudget;
+      return out;
+    }
+    // kAborted / kSkipped: cut here. The shard (if any) is timing-dependent
+    // partial output — discard it and everything after.
+    out.truncated = true;
+    out.reason = cancel.reason() != CancelReason::kNone ? cancel.reason()
+                                                        : CancelReason::kCancelled;
+    return out;
+  }
+  return out;
+}
 
 Result<std::vector<Insight>> Spade::RunOnline() {
   if (!offline_done_) {
@@ -330,16 +398,27 @@ Result<std::vector<Insight>> Spade::RunOnline() {
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads - 1);
   TaskScheduler scheduler(pool.get());
-  std::vector<Arm> shards(num_cfs, Arm(options_.max_stored_groups));
-  std::vector<SpadeReport> partials(num_cfs);
-  scheduler.ParallelFor(num_cfs, [&](size_t cfs_id) {
-    RunOnlineCfs(static_cast<uint32_t>(cfs_id), num_shards, options_,
-                 &shards[cfs_id], &scheduler, &partials[cfs_id]);
-  });
-  for (uint32_t cfs_id = 0; cfs_id < num_cfs; ++cfs_id) {
-    MergeCfsReport(partials[cfs_id], &report_);
-    arm_->Absorb(std::move(shards[cfs_id]));
-  }
+
+  // Deadline / cancellation plumbing: an external token (options_.cancel)
+  // lets a caller abort mid-run; deadline_ms bounds the wall-clock. Both
+  // funnel into one CancelCheck — a local token backs the deadline latch
+  // when no external one is supplied.
+  CancelToken local_token;
+  CancelToken* token = options_.cancel != nullptr ? options_.cancel
+                                                  : &local_token;
+  Deadline deadline = options_.deadline_ms > 0
+                          ? Deadline::After(options_.deadline_ms)
+                          : Deadline::Never();
+  CancelCheck cancel(token, deadline);
+
+  std::vector<uint32_t> ids(num_cfs);
+  for (uint32_t i = 0; i < num_cfs; ++i) ids[i] = i;
+  auto batch = EvaluateCfsBatch(ids, num_shards, options_, cancel, &scheduler,
+                                arm_.get(), &report_);
+  SPADE_RETURN_NOT_OK(batch.status());
+  report_.truncated = batch->truncated;
+  report_.cancel_reason = batch->reason;
+  report_.num_cfs_completed = batch->num_completed;
   // Early-stop time is inside evaluation wall-clock; report it separately.
   report_.timings.evaluation_ms -= report_.timings.earlystop_ms;
   timer.Restart();
@@ -409,19 +488,32 @@ Result<ExploreOutcome> Spade::Explore(const ExploreRequest& request,
       ResolveShardCount(opts.algorithm, opts.enable_earlystop, opts.num_shards,
                         sched->num_threads());
 
+  // Per-request deadline: an explicit request value (even 0, meaning
+  // "already expired") overrides the pipeline default.
+  CancelToken local_token;
+  CancelToken* token = request.cancel != nullptr ? request.cancel : &local_token;
+  Deadline deadline = Deadline::Never();
+  if (request.deadline_ms.has_value()) {
+    deadline = Deadline::After(*request.deadline_ms);
+  } else if (opts.deadline_ms > 0) {
+    deadline = Deadline::After(opts.deadline_ms);
+  }
+  CancelCheck cancel(token, deadline);
+
   // Same shard-and-absorb discipline as RunOnline(), on request-local state:
   // results are bit-identical at every thread/shard count and concurrent
   // requests never share a mutable byte.
-  std::vector<Arm> shards(ids.size(), Arm(opts.max_stored_groups));
-  std::vector<SpadeReport> partials(ids.size());
-  sched->ParallelFor(ids.size(), [&](size_t i) {
-    RunOnlineCfs(ids[i], num_shards, opts, &shards[i], sched, &partials[i]);
-  });
   Arm arm(opts.max_stored_groups);
-  for (size_t i = 0; i < ids.size(); ++i) arm.Absorb(std::move(shards[i]));
+  SpadeReport batch_report;
+  auto batch = EvaluateCfsBatch(ids, num_shards, opts, cancel, sched, &arm,
+                                &batch_report);
+  SPADE_RETURN_NOT_OK(batch.status());
 
   ExploreOutcome outcome;
   outcome.num_cfs_explored = ids.size();
+  outcome.truncated = batch->truncated;
+  outcome.cancel_reason = batch->reason;
+  outcome.num_cfs_completed = batch->num_completed;
   outcome.insights = BuildInsights(arm.TopK(opts.top_k, opts.interestingness));
   return outcome;
 }

@@ -18,6 +18,7 @@
 #include "src/ingest/ingest.h"
 #include "src/rdf/ontology.h"
 #include "src/summary/summary.h"
+#include "src/util/cancel.h"
 #include "src/util/status.h"
 
 namespace spade {
@@ -77,6 +78,21 @@ struct SpadeOptions {
   /// Verify per-segment checksums when loading (one sequential sweep of the
   /// file). Disable only for trusted snapshots on a cold-start-critical path.
   bool verify_snapshot = true;
+  /// Online-phase deadline in milliseconds; 0 = none. When it expires,
+  /// RunOnline()/Explore() stop cooperatively and return what completed —
+  /// always a canonical-order prefix of the full result stream — with
+  /// SpadeReport/ExploreOutcome marked truncated (reason "deadline").
+  double deadline_ms = 0;
+  /// Resident fact-bitmap budget per CFS, in bytes; 0 = unlimited. Enforced
+  /// against the same accounting as SpadeReport::peak_bitmap_bytes (which
+  /// is a per-CFS maximum): a CFS whose canonical emit would exceed the
+  /// budget stops admitting groups at a deterministic, config-independent
+  /// cut and the run reports truncation (reason "budget").
+  uint64_t max_bitmap_bytes = 0;
+  /// External cancellation for RunOnline(); null = none. Cancel() from any
+  /// thread makes the run stop cooperatively, same truncation contract as
+  /// the deadline. (Explore() takes its token per request instead.)
+  CancelToken* cancel = nullptr;
 };
 
 /// Wall-clock per pipeline step (Figure 11's stacked bars).
@@ -157,6 +173,15 @@ struct SpadeReport {
   /// footing (bench_ingest relies on this).
   IngestStats ingest;
   SpadeTimings timings;
+  /// The online phase stopped early (deadline, external cancel, or bitmap
+  /// budget). The committed results are a canonical-order prefix: every CFS
+  /// below num_cfs_completed contributed its full group stream, possibly
+  /// followed by the deterministic prefix of one budget-truncated CFS.
+  bool truncated = false;
+  CancelReason cancel_reason = CancelReason::kNone;
+  size_t num_cfs_completed = 0;
+  /// Groups refused by the bitmap budget (counted, never silently dropped).
+  size_t num_groups_skipped = 0;
 };
 
 /// One returned insight: a top-k aggregate with its provenance.
@@ -180,12 +205,23 @@ struct ExploreRequest {
   std::optional<bool> earlystop;
   std::optional<size_t> max_dims;
   std::optional<double> min_support_ratio;
+  /// Per-request deadline in ms. Set (even to 0) it overrides the pipeline
+  /// deadline; 0 means "already expired" — the request returns immediately
+  /// with no results and truncated = true.
+  std::optional<double> deadline_ms;
+  /// Per-request cancellation; null = none. Borrowed for the call duration.
+  CancelToken* cancel = nullptr;
 };
 
 /// What one exploration produced.
 struct ExploreOutcome {
   std::vector<Insight> insights;
   size_t num_cfs_explored = 0;
+  /// Same truncation contract as SpadeReport: the insights come from a
+  /// canonical-order prefix of the requested CFS sequence.
+  bool truncated = false;
+  CancelReason cancel_reason = CancelReason::kNone;
+  size_t num_cfs_completed = 0;
 };
 
 /// \brief The Spade pipeline (Figure 2): offline graph preparation + online
@@ -246,6 +282,21 @@ class Spade {
   std::string MdaToSparql(const AggregateKey& key) const;
 
  private:
+  /// How one CFS's evaluation ended — the input to the commit rule.
+  enum class CfsRunState : uint8_t {
+    kSkipped = 0,  ///< never admitted (cancelled before it started)
+    kCompleted,    ///< full deterministic group stream in its ARM shard
+    kTruncated,    ///< budget cut: a deterministic canonical-order prefix
+    kAborted,      ///< deadline/cancel mid-flight: timing-dependent partial
+  };
+
+  /// What a batch of CFS evaluations committed.
+  struct CfsBatchOutcome {
+    bool truncated = false;
+    CancelReason reason = CancelReason::kNone;
+    size_t num_completed = 0;
+  };
+
   /// Steps 2-4 for one CFS: attribute analysis, enumeration, evaluation into
   /// `arm` (a per-CFS shard in parallel mode, the global ARM when serial).
   /// `num_shards` is the resolved within-CFS shard count (>= 1); `opts`
@@ -253,9 +304,24 @@ class Spade {
   /// deltas go to `report` (merged under the caller's control). Const and
   /// state-free: safe to run concurrently for different (cfs_id, arm,
   /// report) triples.
-  void RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
-                    const SpadeOptions& opts, Arm* arm,
-                    TaskScheduler* scheduler, SpadeReport* report) const;
+  CfsRunState RunOnlineCfs(uint32_t cfs_id, size_t num_shards,
+                           const SpadeOptions& opts, const CancelCheck* cancel,
+                           Arm* arm, TaskScheduler* scheduler,
+                           SpadeReport* report) const;
+
+  /// Evaluate `ids` (ascending cfs_ids) under `cancel`, then commit shards
+  /// into `arm` in order by the rule that keeps results a canonical prefix:
+  /// absorb while CFSs completed; absorb a budget-truncated CFS's
+  /// deterministic prefix and stop; discard aborted/skipped CFSs and stop.
+  /// Exceptions from the evaluation fan-out (failpoints, bad_alloc) come
+  /// back as an error Status, never propagate. Merges the absorbed CFSs'
+  /// partial reports into `report`.
+  Result<CfsBatchOutcome> EvaluateCfsBatch(const std::vector<uint32_t>& ids,
+                                           size_t num_shards,
+                                           const SpadeOptions& opts,
+                                           const CancelCheck& cancel,
+                                           TaskScheduler* scheduler, Arm* arm,
+                                           SpadeReport* report) const;
 
   /// Turn a ranking into presentable insights (provenance + SPARQL).
   std::vector<Insight> BuildInsights(std::vector<Arm::Ranked> ranked) const;

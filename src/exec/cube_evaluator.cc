@@ -33,8 +33,16 @@ EvalStats CubeEvaluator::EvaluateCfs(const CubeEvalInputs& in, Arm* arm,
   EvalStats stats;
   Prepare(in, *arm, scheduler, &stats);
   for (size_t li = 0; li < in.lattices->size(); ++li) {
+    if (in.cancel != nullptr && in.cancel->AbortNow()) {
+      stats.aborted = true;
+      return stats;
+    }
+    if (stats.budget_truncated) break;  // budget: keep the prefix, stop here
     EvaluateLattice(in, li, arm, scheduler, &stats);
   }
+  // A deadline that expired inside the last lattice left a timing-dependent
+  // partial emit; make sure the caller sees the abort and discards it.
+  if (in.cancel != nullptr && in.cancel->AbortNow()) stats.aborted = true;
   return stats;
 }
 
@@ -99,9 +107,14 @@ class MvdCubeEvaluator : public CubeEvaluator {
     // Fan them out when a scheduler is available; a lone lattice or serial
     // scheduler falls through to EvaluateLatticeMvd's internal build.
     if (scheduler != nullptr && scheduler->parallel() && lattices.size() > 1) {
-      scheduler->ParallelFor(lattices.size(), [&](size_t li) {
-        BuildLattice(in, li, /*sample_capacity=*/0, /*rng=*/nullptr);
-      });
+      // Cancellation may skip individual builds; the aborted CFS's results
+      // are discarded wholesale by the driver, so a hole is harmless.
+      scheduler->ParallelFor(
+          lattices.size(),
+          [&](size_t li) {
+            BuildLattice(in, li, /*sample_capacity=*/0, /*rng=*/nullptr);
+          },
+          in.cancel);
       pre_built_ = true;
     }
   }
@@ -114,10 +127,13 @@ class MvdCubeEvaluator : public CubeEvaluator {
         pre_built_ ? &translations_[li] : nullptr,
         pre_built_ ? &mmsts_[li] : nullptr,
         pre_built_ ? &encodings_[li] : nullptr, scheduler,
-        ResolveLatticeWorkers(scheduler));
+        ResolveLatticeWorkers(scheduler), in.cancel, budget_bytes_used_);
+    budget_bytes_used_ += s.bitmap_bytes_peak;
     stats->num_mdas_evaluated += s.num_mdas_evaluated;
     stats->num_mdas_reused += s.num_mdas_reused;
     stats->num_groups_emitted += s.num_groups_emitted;
+    stats->num_groups_skipped += s.num_groups_skipped;
+    if (s.budget_truncated) stats->budget_truncated = true;
     stats->peak_bitmap_bytes =
         std::max(stats->peak_bitmap_bytes, s.bitmap_bytes_peak);
     stats->MergeLattice(s.lattice);
@@ -147,6 +163,9 @@ class MvdCubeEvaluator : public CubeEvaluator {
   std::vector<Mmst> mmsts_;
   std::vector<Translation> translations_;
   bool pre_built_ = false;
+  /// Bitmap bytes admitted by earlier lattices of this CFS — the budget is
+  /// per CFS, not per lattice (one evaluator instance per CFS).
+  uint64_t budget_bytes_used_ = 0;
 };
 
 /// PGCube shares nothing across lattices (each is one "query"), so its

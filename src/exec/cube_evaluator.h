@@ -54,6 +54,11 @@ struct CubeEvalInputs {
   const CfsIndex* cfs = nullptr;
   const std::vector<LatticeSpec>* lattices = nullptr;
   const std::vector<AttrStats>* offline_stats = nullptr;
+  /// Cooperative cancellation for this CFS's evaluation; null = never
+  /// cancelled. Deadline/external cancel aborts between (and inside)
+  /// lattices; a bitmap-budget trip only stops admitting new groups (see
+  /// CancelCheck's two-predicate contract).
+  const CancelCheck* cancel = nullptr;
 };
 
 /// Aggregate-evaluation outcome of one CFS, merged into SpadeReport.
@@ -82,6 +87,15 @@ struct EvalStats {
   /// model measured on live cells rather than bounded by formula. A lower
   /// bound on the true resident peak (see MvdCubeStats::bitmap_bytes_peak).
   uint64_t peak_bitmap_bytes = 0;
+  /// The bitmap budget (MvdCubeOptions::max_bitmap_bytes) tripped while
+  /// evaluating this CFS: the emitted groups are a canonical-order prefix
+  /// and num_groups_skipped counts the refused remainder.
+  bool budget_truncated = false;
+  size_t num_groups_skipped = 0;
+  /// A deadline / external cancel aborted this CFS mid-evaluation. Unlike a
+  /// budget trip, the partial output is timing-dependent, so callers must
+  /// discard the CFS's results wholesale (Spade's commit rule does).
+  bool aborted = false;
 
   /// Fold one lattice's parallel-run counters into this CFS's stats.
   void MergeLattice(const ParallelLatticeStats& ls) {

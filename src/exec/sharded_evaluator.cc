@@ -68,24 +68,34 @@ class ShardedMvdCubeEvaluator : public CubeEvaluator {
     encodings_.assign(num_lattices, {});
     mmsts_.assign(num_lattices, {});
     translations_.assign(num_lattices, {});
-    scheduler->ParallelFor(num_lattices, [&](size_t li) {
-      mmsts_[li] = BuildMmstForSpec(*in.db, *in.cfs, lattices[li],
-                                    &encodings_[li],
-                                    options_.mvd.partition_chunk);
-    });
+    // All Prepare fan-outs take the cancel check: skipped builds leave holes,
+    // which is fine — an aborted CFS's results are discarded wholesale.
+    scheduler->ParallelFor(
+        num_lattices,
+        [&](size_t li) {
+          mmsts_[li] = BuildMmstForSpec(*in.db, *in.cfs, lattices[li],
+                                        &encodings_[li],
+                                        options_.mvd.partition_chunk);
+        },
+        in.cancel);
 
     // Stage 2: per-(lattice, shard) translation of that shard's fact range.
     std::vector<std::vector<Translation>> partials(num_lattices);
     for (auto& p : partials) p.resize(shards.size());
-    scheduler->ParallelFor(num_lattices * shards.size(), [&](size_t task) {
-      size_t li = task / shards.size();
-      size_t s = task % shards.size();
-      TranslationOptions topt;
-      topt.max_combos_per_fact = options_.mvd.max_combos_per_fact;
-      topt.fact_begin = shards[s].begin;
-      topt.fact_end = shards[s].end;
-      partials[li][s] = TranslateData(encodings_[li], mmsts_[li].layout(), topt);
-    });
+    scheduler->ParallelFor(
+        num_lattices * shards.size(),
+        [&](size_t task) {
+          size_t li = task / shards.size();
+          size_t s = task % shards.size();
+          SPADE_FAILPOINT("core.translate");
+          TranslationOptions topt;
+          topt.max_combos_per_fact = options_.mvd.max_combos_per_fact;
+          topt.fact_begin = shards[s].begin;
+          topt.fact_end = shards[s].end;
+          partials[li][s] =
+              TranslateData(encodings_[li], mmsts_[li].layout(), topt);
+        },
+        in.cancel);
 
     // Stage 3: merge partials in ascending shard order (exact: concatenation
     // plus integer addition).
@@ -111,12 +121,16 @@ class ShardedMvdCubeEvaluator : public CubeEvaluator {
     for (MeasureVector& mv : vectors) mv.Init(n);
     std::vector<std::vector<MeasureFillFlags>> flags(
         attrs.size(), std::vector<MeasureFillFlags>(shards.size()));
-    scheduler->ParallelFor(attrs.size() * shards.size(), [&](size_t task) {
-      size_t a = task / shards.size();
-      size_t s = task % shards.size();
-      flags[a][s] = FillMeasureVectorRange(*in.db, *in.cfs, attrs[a],
-                                           shards[s], &vectors[a]);
-    });
+    scheduler->ParallelFor(
+        attrs.size() * shards.size(),
+        [&](size_t task) {
+          size_t a = task / shards.size();
+          size_t s = task % shards.size();
+          SPADE_FAILPOINT("core.measure.load");
+          flags[a][s] = FillMeasureVectorRange(*in.db, *in.cfs, attrs[a],
+                                               shards[s], &vectors[a]);
+        },
+        in.cancel);
     for (size_t a = 0; a < attrs.size(); ++a) {
       MeasureVector& mv = vectors[a];
       mv.numeric = true;
@@ -138,10 +152,13 @@ class ShardedMvdCubeEvaluator : public CubeEvaluator {
     MvdCubeStats s = EvaluateLatticeMvd(
         *in.db, in.cfs_id, *in.cfs, (*in.lattices)[li], options_.mvd, arm,
         &measures_, /*pruned=*/nullptr, &translations_[li], &mmsts_[li],
-        &encodings_[li], scheduler, workers);
+        &encodings_[li], scheduler, workers, in.cancel, budget_bytes_used_);
+    budget_bytes_used_ += s.bitmap_bytes_peak;
     stats->num_mdas_evaluated += s.num_mdas_evaluated;
     stats->num_mdas_reused += s.num_mdas_reused;
     stats->num_groups_emitted += s.num_groups_emitted;
+    stats->num_groups_skipped += s.num_groups_skipped;
+    if (s.budget_truncated) stats->budget_truncated = true;
     stats->peak_bitmap_bytes =
         std::max(stats->peak_bitmap_bytes, s.bitmap_bytes_peak);
     stats->MergeLattice(s.lattice);
@@ -154,6 +171,7 @@ class ShardedMvdCubeEvaluator : public CubeEvaluator {
   std::vector<std::vector<DimensionEncoding>> encodings_;
   std::vector<Mmst> mmsts_;
   std::vector<Translation> translations_;
+  uint64_t budget_bytes_used_ = 0;  ///< budget is per CFS, across lattices
 };
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/util/failpoint.h"
+
 namespace spade {
 
 namespace {
@@ -117,16 +119,22 @@ void ThreadPool::WorkerLoop(size_t index) {
   }
 }
 
-void TaskScheduler::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void TaskScheduler::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                                const CancelCheck* cancel) {
   if (n == 0) return;
   if (!parallel() || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->AbortNow()) return;
+      SPADE_FAILPOINT("exec.parallel_for");
+      fn(i);
+    }
     return;
   }
 
   struct State {
     std::function<void(size_t)> fn;
     size_t n = 0;
+    const CancelCheck* cancel = nullptr;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::mutex mutex;
@@ -136,19 +144,25 @@ void TaskScheduler::ParallelFor(size_t n, const std::function<void(size_t)>& fn)
   auto state = std::make_shared<State>();
   state->fn = fn;
   state->n = n;
+  state->cancel = cancel;
 
   // Each participant claims indexes until none remain. Late-running helpers
   // (queued behind other work) find the loop drained and return immediately;
-  // the shared_ptr keeps the state alive for them past our return.
+  // the shared_ptr keeps the state alive for them past our return. A
+  // cancelled loop still claims and counts every index — it just stops
+  // executing bodies — so the join condition below stays a simple counter.
   auto drain = [state] {
     for (;;) {
       size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= state->n) return;
-      try {
-        state->fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        if (!state->error) state->error = std::current_exception();
+      if (state->cancel == nullptr || !state->cancel->AbortNow()) {
+        try {
+          SPADE_FAILPOINT("exec.parallel_for");
+          state->fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          if (!state->error) state->error = std::current_exception();
+        }
       }
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
         std::lock_guard<std::mutex> lock(state->mutex);
@@ -164,7 +178,11 @@ void TaskScheduler::ParallelFor(size_t n, const std::function<void(size_t)>& fn)
   std::unique_lock<std::mutex> lock(state->mutex);
   state->cv.wait(lock,
                  [&] { return state->done.load(std::memory_order_acquire) >= n; });
-  if (state->error) std::rethrow_exception(state->error);
+  // Move the error out under the mutex so the exception object is released on
+  // this thread, not by whichever late helper drops the last State reference.
+  std::exception_ptr error = std::move(state->error);
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 TaskGroup::~TaskGroup() {
@@ -179,6 +197,7 @@ void TaskGroup::Run(std::function<void()> task) {
     // Serial degradation: execute inline, but keep the parallel error
     // contract (captured, rethrown at Wait) so callers see one behavior.
     try {
+      SPADE_FAILPOINT("exec.taskgroup.task");
       task();
     } catch (...) {
       if (!error_) error_ = std::current_exception();
@@ -191,6 +210,7 @@ void TaskGroup::Run(std::function<void()> task) {
   }
   scheduler_->pool()->Submit([this, task = std::move(task)] {
     try {
+      SPADE_FAILPOINT("exec.taskgroup.task");
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/exec/work_deque.h"
+#include "src/util/cancel.h"
 
 namespace spade {
 
@@ -97,7 +98,14 @@ class TaskScheduler {
   /// completed. Indexes are claimed atomically, so the distribution over
   /// threads is dynamic. The first exception thrown by any fn is rethrown
   /// on the calling thread after the loop drains.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// When `cancel` is non-null and cancel->AbortNow() becomes true,
+  /// participants stop executing bodies for newly claimed indexes (already
+  /// running bodies finish normally) and the loop drains early. The caller
+  /// decides what a partially executed loop means; bodies that must not be
+  /// skipped mid-range should check the token themselves.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const CancelCheck* cancel = nullptr);
 
   /// The underlying pool (null when serial). TaskGroup submits through this;
   /// algorithm code should prefer ParallelFor / TaskGroup.

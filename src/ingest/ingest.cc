@@ -6,6 +6,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "src/util/failpoint.h"
 #include "src/util/timer.h"
 
 namespace spade {
@@ -73,6 +74,19 @@ Status RunStreamingIngest(TripleChunkSource* source, Graph* graph,
   bool done = false;
   Status parse_status = Status::OK();
   while (!done) {
+    // Chunk boundary: the one cancellation point of the parse loop. On
+    // cancel the in-flight scatter tasks drain below (they reference
+    // `chunks`) and the caller gets the same partial-graph contract as a
+    // parse error.
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      parse_status = Status::Cancelled("ingest cancelled at chunk boundary");
+      break;
+    }
+    parse_status = [] {
+      SPADE_FAILPOINT_STATUS("ingest.chunk");
+      return Status::OK();
+    }();
+    if (!parse_status.ok()) break;
     parse_status = source->NextChunk(chunk_budget, &buffer, &done);
     if (!parse_status.ok()) break;
     if (buffer.empty()) continue;  // e.g. a comment-only stretch: not an EOF
@@ -87,6 +101,7 @@ Status RunStreamingIngest(TripleChunkSource* source, Graph* graph,
     chunk->triples.swap(buffer);
     scatter_group.Run([chunk, rdf_type, t0] {
       chunk->begin_ms = MsSince(t0);
+      SPADE_FAILPOINT("ingest.scatter");
       for (const Triple& t : chunk->triples) {
         if (t.p == rdf_type) continue;  // drives CFS selection, not analysis
         chunk->runs[t.p].emplace_back(t.s, t.o);
@@ -101,7 +116,19 @@ Status RunStreamingIngest(TripleChunkSource* source, Graph* graph,
   }
   const double parse_end_ms = MsSince(t0);
   stats->parse_ms = parse_end_ms;
-  scatter_group.Wait();  // tasks reference `chunks`; drain even on error
+  try {
+    scatter_group.Wait();  // tasks reference `chunks`; drain even on error
+  } catch (const std::exception& e) {
+    if (parse_status.ok()) {
+      parse_status =
+          Status::Internal(std::string("ingest scatter task failed: ") +
+                           e.what());
+    }
+  } catch (...) {
+    if (parse_status.ok()) {
+      parse_status = Status::Internal("ingest scatter task failed");
+    }
+  }
   if (!parse_status.ok()) return parse_status;
 
   // --- Stage 3: freeze, then run the caller's post-parse task (the
@@ -128,23 +155,44 @@ Status RunStreamingIngest(TripleChunkSource* source, Graph* graph,
 
   std::vector<double> build_ms(props.size(), 0);
   std::vector<double> stat_ms(props.size(), 0);
-  scheduler->ParallelFor(props.size(), [&](size_t i) {
-    Timer timer;
-    std::vector<const std::vector<Row>*> runs;
-    runs.reserve(chunks.size());
-    for (const ChunkRuns& chunk : chunks) {
-      auto it = chunk.runs.find(props[i]);
-      if (it != chunk.runs.end()) runs.push_back(&it->second);
+  Status seal_status = Status::OK();
+  try {
+    scheduler->ParallelFor(props.size(), [&](size_t i) {
+      Timer timer;
+      SPADE_FAILPOINT("ingest.seal");
+      std::vector<const std::vector<Row>*> runs;
+      runs.reserve(chunks.size());
+      for (const ChunkRuns& chunk : chunks) {
+        auto it = chunk.runs.find(props[i]);
+        if (it != chunk.runs.end()) runs.push_back(&it->second);
+      }
+      tables[i]->SealFromSortedRuns(runs);  // ascending chunk order
+      build_ms[i] = timer.ElapsedMillis();
+      timer.Restart();
+      // The statistics pass starts on this sealed attribute while other
+      // attributes are still merging (and the summary still building).
+      (*offline_stats)[i] = ComputeAttrStats(*store, static_cast<AttrId>(i));
+      stat_ms[i] = timer.ElapsedMillis();
+    });
+  } catch (const std::exception& e) {
+    seal_status = Status::Internal(
+        std::string("ingest merge-seal task failed: ") + e.what());
+  } catch (...) {
+    seal_status = Status::Internal("ingest merge-seal task failed");
+  }
+  try {
+    post_group.Wait();  // the post-parse task references caller state; drain
+  } catch (const std::exception& e) {
+    if (seal_status.ok()) {
+      seal_status = Status::Internal(
+          std::string("ingest post-parse task failed: ") + e.what());
     }
-    tables[i]->SealFromSortedRuns(runs);  // ascending chunk order
-    build_ms[i] = timer.ElapsedMillis();
-    timer.Restart();
-    // The statistics pass starts on this sealed attribute while other
-    // attributes are still merging (and the summary still building).
-    (*offline_stats)[i] = ComputeAttrStats(*store, static_cast<AttrId>(i));
-    stat_ms[i] = timer.ElapsedMillis();
-  });
-  post_group.Wait();
+  } catch (...) {
+    if (seal_status.ok()) {
+      seal_status = Status::Internal("ingest post-parse task failed");
+    }
+  }
+  if (!seal_status.ok()) return seal_status;
 
   for (size_t i = 0; i < props.size(); ++i) {
     stats->build_work_ms += build_ms[i];

@@ -8,6 +8,7 @@
 #include "src/ingest/chunk_source.h"
 #include "src/stats/attr_stats.h"
 #include "src/store/attribute_store.h"
+#include "src/util/cancel.h"
 #include "src/util/status.h"
 
 namespace spade {
@@ -25,6 +26,11 @@ struct IngestOptions {
   /// Backpressure: at most this many scattered-but-unmerged chunks in
   /// flight before the parser blocks (0 = auto: 2x compute threads, min 4).
   size_t max_inflight_chunks = 0;
+  /// Cooperative cancellation, checked at chunk boundaries; null = none.
+  /// On cancel the pipeline drains in-flight tasks and returns
+  /// Status::Cancelled — the graph is left partially filled, the store
+  /// unbuilt (same contract as a parse error).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Cost profile of one streaming ingest run (surfaced via SpadeReport and

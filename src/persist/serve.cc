@@ -3,10 +3,12 @@
 #include <istream>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "src/util/failpoint.h"
 #include "src/util/string_util.h"
 #include "src/util/timer.h"
 
@@ -101,6 +103,14 @@ std::string ApplyToken(const std::string& token, ExploreRequest* req) {
     req->min_support_ratio = r;
     return "";
   }
+  if (key == "timeout") {
+    double ms = 0;
+    if (!ParseDouble(value, &ms) || ms < 0) {
+      return "bad timeout '" + value + "' (want milliseconds >= 0)";
+    }
+    req->deadline_ms = ms;  // 0 = already expired: an empty truncated reply
+    return "";
+  }
   return "unknown key '" + key + "'";
 }
 
@@ -127,12 +137,18 @@ InsightServer::InsightServer(const Spade* spade, ServeOptions options)
 
 std::string InsightServer::HandleLine(const std::string& line,
                                       TaskScheduler* scheduler,
-                                      bool* is_error) const {
+                                      bool* is_error, bool* truncated) const {
   *is_error = false;
+  *truncated = false;
   auto error = [&](const std::string& msg) {
     *is_error = true;
     return "error: " + msg + "\n";
   };
+  // Failure domain: one request. Whatever evaluation throws — injected
+  // faults, bad_alloc from an oversized cube — becomes this request's error
+  // block; the session and its in-flight siblings keep going.
+  try {
+  SPADE_FAILPOINT("serve.request");
   const std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return error("empty request");
   const std::string& cmd = tokens[0];
@@ -175,7 +191,12 @@ std::string InsightServer::HandleLine(const std::string& line,
   // No timings anywhere in the response: the byte stream must be identical
   // at every thread count.
   std::ostringstream out;
-  out << "ok " << result->insights.size() << "\n";
+  out << "ok " << result->insights.size();
+  if (result->truncated) {
+    *truncated = true;
+    out << " truncated=" << CancelReasonName(result->cancel_reason);
+  }
+  out << "\n";
   for (size_t i = 0; i < result->insights.size(); ++i) {
     const Insight& insight = result->insights[i];
     out << (i + 1) << " " << FormatDouble(insight.ranked.score, 6) << " "
@@ -183,6 +204,13 @@ std::string InsightServer::HandleLine(const std::string& line,
   }
   out << "end\n";
   return out.str();
+  } catch (const std::bad_alloc&) {
+    return error("out of memory while evaluating request");
+  } catch (const std::exception& e) {
+    return error(std::string("internal error: ") + e.what());
+  } catch (...) {
+    return error("internal error");
+  }
 }
 
 ServeStats InsightServer::Serve(std::istream& in, std::ostream& out) {
@@ -219,17 +247,31 @@ ServeStats InsightServer::Serve(std::istream& in, std::ostream& out) {
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     if (trimmed == "quit" || trimmed == "exit") break;
-    const std::string request(trimmed);
     uint64_t id;
     {
       std::lock_guard<std::mutex> lock(mu);
       slots.emplace_back(nullptr);
       id = slots.size();  // ids count from 1
     }
+    // Oversized lines are answered without being parsed (or echoed): the
+    // guard bounds per-request memory against malformed or hostile input.
+    if (options_.max_line_bytes > 0 && trimmed.size() > options_.max_line_bytes) {
+      std::lock_guard<std::mutex> lock(mu);
+      slots[id - 1] = std::make_unique<std::string>(PrefixBlock(
+          id, "error: request line too long (" +
+                  std::to_string(trimmed.size()) + " bytes, limit " +
+                  std::to_string(options_.max_line_bytes) + ")\n"));
+      ++stats.num_requests;
+      ++stats.num_errors;
+      flush_ready();
+      continue;
+    }
+    const std::string request(trimmed);
     group.Run([this, id, request, &scheduler, &mu, &slots, &stats,
                &flush_ready] {
       bool is_error = false;
-      std::string body = HandleLine(request, &scheduler, &is_error);
+      bool truncated = false;
+      std::string body = HandleLine(request, &scheduler, &is_error, &truncated);
       std::string block;
       if (options_.echo) {
         block = PrefixBlock(id, "> " + request + "\n");
@@ -239,6 +281,7 @@ ServeStats InsightServer::Serve(std::istream& in, std::ostream& out) {
       slots[id - 1] = std::make_unique<std::string>(std::move(block));
       ++stats.num_requests;
       if (is_error) ++stats.num_errors;
+      if (truncated) ++stats.num_truncated;
       flush_ready();
     });
     // Backpressure: don't read unboundedly ahead of evaluation.

@@ -22,12 +22,17 @@ struct ServeOptions {
   size_t max_inflight = 0;
   /// Echo each request line into the output as a comment (request logs).
   bool echo = false;
+  /// Longest request line accepted; longer lines get an `error:` response
+  /// without being parsed (a malformed or hostile client cannot make the
+  /// server buffer unboundedly per request).
+  size_t max_line_bytes = 64 * 1024;
 };
 
 /// What a serve session processed.
 struct ServeStats {
   uint64_t num_requests = 0;
   uint64_t num_errors = 0;
+  uint64_t num_truncated = 0;  ///< deadline/budget-truncated explore replies
   double wall_ms = 0;
 };
 
@@ -64,9 +69,12 @@ class InsightServer {
 
  private:
   /// Evaluate one request line into a response block (no trailing newline
-  /// handling beyond line granularity; no `#<id>` prefixes yet).
+  /// handling beyond line granularity; no `#<id>` prefixes yet). Never
+  /// throws: evaluation failures — injected faults and allocation failure
+  /// included — come back as an `error:` block so one bad request cannot
+  /// take the session down.
   std::string HandleLine(const std::string& line, TaskScheduler* scheduler,
-                         bool* is_error) const;
+                         bool* is_error, bool* truncated) const;
 
   const Spade* spade_;
   ServeOptions options_;

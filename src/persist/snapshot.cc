@@ -6,6 +6,8 @@
 #include <fstream>
 #include <limits>
 
+#include "src/util/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define SPADE_HAVE_MMAP 1
 #include <fcntl.h>
@@ -97,6 +99,7 @@ class Writer {
   }
 
   void AddSegment(uint32_t kind, uint32_t aux, const void* data, size_t len) {
+    SPADE_FAILPOINT("persist.save.segment");
     PadToAlign();
     SegmentEntry e;
     e.kind = kind;
@@ -157,6 +160,54 @@ class Writer {
 
 uint64_t TocKey(uint32_t kind, uint32_t aux) {
   return (static_cast<uint64_t>(kind) << 32) | aux;
+}
+
+// --- Crash-safe write plumbing. --------------------------------------------
+
+/// Same-directory temp name the snapshot is built under before the atomic
+/// rename. The pid suffix keeps concurrent savers (different processes) off
+/// each other's temp files; within one process SaveSnapshot is not
+/// re-entrant per path anyway.
+std::string TempSavePath(const std::string& path) {
+#if SPADE_HAVE_MMAP
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  return path + ".tmp";
+#endif
+}
+
+/// fsync the finished temp file: after this returns OK, the bytes survive a
+/// crash. No-op on platforms without the POSIX API.
+Status SyncFile(const std::string& path) {
+#if SPADE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot reopen snapshot for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal("fsync failed on snapshot: " + path);
+#endif
+  return Status::OK();
+}
+
+/// fsync the directory containing `path`, making the rename itself durable.
+Status SyncParentDir(const std::string& path) {
+#if SPADE_HAVE_MMAP
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot open snapshot directory for fsync: " + dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed on snapshot directory: " + dir);
+  }
+#endif
+  return Status::OK();
 }
 
 }  // namespace
@@ -319,45 +370,78 @@ Status SaveSnapshot(const AttributeStore& store,
     }
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open snapshot file for writing: " +
-                                   path);
+  // Crash safety: build the snapshot in a same-directory temp file, fsync
+  // it, then atomically rename over the destination and fsync the parent
+  // directory. A crash — SIGKILL included — at any point leaves `path`
+  // either untouched (the old snapshot, byte for byte) or the complete new
+  // snapshot, never a torn file. Error paths remove the temp file.
+  SPADE_FAILPOINT_STATUS("persist.save.open");
+  const std::string tmp_path = TempSavePath(path);
+  struct TmpGuard {
+    const std::string& tmp;
+    bool armed = true;
+    ~TmpGuard() {
+      if (armed) std::remove(tmp.c_str());
+    }
+  } guard{tmp_path};
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::InvalidArgument("cannot open snapshot file for writing: " +
+                                     tmp_path);
+    }
+    Writer w(&out);
+    try {
+      w.AddSegment(kDictRecords, 0, records.data(),
+                   records.size() * sizeof(Dictionary::ArenaRecord));
+      w.AddSegment(kDictArena, 0, arena.data(), arena.size());
+      w.AddSegment(kTriplesSpo, 0, spo);
+      w.AddSegment(kTriplesPos, 0, pos);
+      w.AddSegment(kTriplesOsp, 0, osp);
+      w.AddSegment(kSummaryClassOffsets, 0, class_offsets.data(),
+                   class_offsets.size() * sizeof(uint32_t));
+      w.AddSegment(kSummaryMembers, 0, members.data(),
+                   members.size() * sizeof(TermId));
+      w.AddSegment(kSummaryPropOffsets, 0, prop_offsets.data(),
+                   prop_offsets.size() * sizeof(uint32_t));
+      w.AddSegment(kSummaryProps, 0, props.data(),
+                   props.size() * sizeof(TermId));
+      w.AddSegment(kSummaryNodeClasses, 0, node_classes.data(),
+                   node_classes.size() * sizeof(StructuralSummary::NodeClass));
+      w.AddSegment(kAttrStats, 0, pstats.data(),
+                   pstats.size() * sizeof(PersistedAttrStats));
+      w.AddSegment(kAttrMeta, 0, attr_meta.data(), attr_meta.size());
+      for (AttrId id = 0; id < store.num_attributes(); ++id) {
+        const AttributeTable& t = store.attribute(id);
+        w.AddSegment(kAttrSubjects, id, t.subjects());
+        w.AddSegment(kAttrOffsets, id, t.offsets());
+        w.AddSegment(kAttrObjects, id, t.objects());
+      }
+      w.AddSegment(kPipelineMeta, 0, pipeline_meta.data(),
+                   pipeline_meta.size());
+      if (fact_sets != nullptr) {
+        w.AddSegment(kCfsMeta, 0, cfs_meta.data(), cfs_meta.size());
+      }
+      if (!w.Finish(graph.rdf_type(), num_terms, graph.NumTriples())) {
+        return Status::Internal("short write while saving snapshot: " +
+                                tmp_path);
+      }
+    } catch (const std::exception& e) {
+      // Injected faults (and allocation failure) surface as a clean error
+      // with the destination untouched.
+      return Status::Internal(std::string("snapshot save aborted: ") +
+                              e.what());
+    }
   }
-  Writer w(&out);
-  w.AddSegment(kDictRecords, 0, records.data(),
-               records.size() * sizeof(Dictionary::ArenaRecord));
-  w.AddSegment(kDictArena, 0, arena.data(), arena.size());
-  w.AddSegment(kTriplesSpo, 0, spo);
-  w.AddSegment(kTriplesPos, 0, pos);
-  w.AddSegment(kTriplesOsp, 0, osp);
-  w.AddSegment(kSummaryClassOffsets, 0, class_offsets.data(),
-               class_offsets.size() * sizeof(uint32_t));
-  w.AddSegment(kSummaryMembers, 0, members.data(),
-               members.size() * sizeof(TermId));
-  w.AddSegment(kSummaryPropOffsets, 0, prop_offsets.data(),
-               prop_offsets.size() * sizeof(uint32_t));
-  w.AddSegment(kSummaryProps, 0, props.data(), props.size() * sizeof(TermId));
-  w.AddSegment(kSummaryNodeClasses, 0, node_classes.data(),
-               node_classes.size() * sizeof(StructuralSummary::NodeClass));
-  w.AddSegment(kAttrStats, 0, pstats.data(),
-               pstats.size() * sizeof(PersistedAttrStats));
-  w.AddSegment(kAttrMeta, 0, attr_meta.data(), attr_meta.size());
-  for (AttrId id = 0; id < store.num_attributes(); ++id) {
-    const AttributeTable& t = store.attribute(id);
-    w.AddSegment(kAttrSubjects, id, t.subjects());
-    w.AddSegment(kAttrOffsets, id, t.offsets());
-    w.AddSegment(kAttrObjects, id, t.objects());
+  SPADE_FAILPOINT_STATUS("persist.save.finish");
+  SPADE_RETURN_NOT_OK(SyncFile(tmp_path));
+  SPADE_FAILPOINT_STATUS("persist.save.rename");
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename snapshot into place: " + tmp_path +
+                            " -> " + path);
   }
-  w.AddSegment(kPipelineMeta, 0, pipeline_meta.data(), pipeline_meta.size());
-  if (fact_sets != nullptr) {
-    w.AddSegment(kCfsMeta, 0, cfs_meta.data(), cfs_meta.size());
-  }
-  if (!w.Finish(graph.rdf_type(), num_terms, graph.NumTriples())) {
-    std::remove(path.c_str());
-    return Status::Internal("short write while saving snapshot: " + path);
-  }
-  return Status::OK();
+  guard.armed = false;
+  return SyncParentDir(path);
 }
 
 // --- Reader. ---------------------------------------------------------------
@@ -425,6 +509,7 @@ Status SnapshotReader::MapFile(const std::string& path) {
 }
 
 Status SnapshotReader::Open(const std::string& path, const Options& options) {
+  SPADE_FAILPOINT_STATUS("persist.load.open");
   Unmap();
   toc_.clear();
   toc_index_.clear();
@@ -680,6 +765,7 @@ Status SnapshotReader::Load(Graph* graph,
 
   // Everything validated: attach. Nothing below can fail, so a failed Load
   // never leaves the caller's structures half-attached.
+  SPADE_FAILPOINT_STATUS("persist.load.attach");
   graph->dict().AttachArena(records, arena);
   graph->AttachTriples(spo, pos, osp, header_.rdf_type);
   summary->Attach(class_offsets, members, prop_offsets, props, node_classes);

@@ -1,0 +1,19 @@
+#include "src/util/cancel.h"
+
+namespace spade {
+
+const char* CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kCancelled:
+      return "cancelled";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kBudget:
+      return "budget";
+  }
+  return "unknown";
+}
+
+}  // namespace spade

@@ -1,0 +1,142 @@
+#ifndef SPADE_UTIL_FAILPOINT_H_
+#define SPADE_UTIL_FAILPOINT_H_
+
+/// \file failpoint.h
+/// \brief Named fault-injection points, compiled out unless SPADE_FAILPOINTS.
+///
+/// A failpoint is a named place in the code where a test (or the
+/// SPADE_FAILPOINT environment variable) can inject a failure:
+///
+///     SPADE_FAILPOINT=persist.save.segment=error:3,exec.taskgroup.task=throw
+///
+/// Spec grammar, per comma-separated entry:
+///
+///     name=off                 disarm
+///     name=error[:N|:P]        return Status::Internal / throw FailpointError
+///     name=throw[:N|:P]        throw FailpointError
+///     name=oom[:N|:P]          throw std::bad_alloc
+///     name=kill[:N|:P]         raise(SIGKILL) — for torn-write crash tests
+///
+/// The optional argument selects WHICH hit fires: an integer N fires on
+/// exactly the Nth evaluation (1-based); a float P in (0,1) written with a
+/// '.' fires each hit with probability P; absent means every hit.
+///
+/// Cost model: when the build has failpoints compiled in, an unarmed site is
+/// one function-local-static init (first pass only) plus one relaxed atomic
+/// load per evaluation. When compiled out (Release without
+/// -DSPADE_FAILPOINTS=ON), both macros expand to nothing — CI asserts via
+/// `nm` that no spade::fail:: symbol reaches the release CLI binary.
+///
+/// Two macros, matching the two failure idioms in the codebase:
+///
+///  - SPADE_FAILPOINT(name): for void / exception contexts. `error` and
+///    `throw` both throw fail::FailpointError (callers at module boundaries
+///    convert exceptions to Status); `oom` throws std::bad_alloc.
+///  - SPADE_FAILPOINT_STATUS(name): for functions returning Status. `error`
+///    does `return Status::Internal(...)`; other actions behave as above.
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace spade {
+namespace fail {
+
+/// Thrown by `error`/`throw` failpoint actions in exception contexts.
+class FailpointError : public std::exception {
+ public:
+  explicit FailpointError(std::string name)
+      : what_("failpoint '" + name + "' fired") {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// True when this build can inject faults at all.
+bool Enabled();
+
+/// Parses and applies a spec string (same grammar as the env variable).
+/// In a build without failpoints this returns InvalidArgument for any
+/// non-empty spec, so tests can skip cleanly.
+Status Configure(const std::string& spec);
+
+/// Disarms every failpoint and resets hit counters.
+void Reset();
+
+/// Names of all failpoint sites evaluated so far in this process, sorted.
+/// (A site registers on first execution of its code path.)
+std::vector<std::string> KnownNames();
+
+}  // namespace fail
+}  // namespace spade
+
+#if defined(SPADE_FAILPOINTS)
+
+#include <atomic>
+
+namespace spade {
+namespace fail {
+
+enum class Action : uint8_t { kOff = 0, kError, kThrow, kOom, kKill };
+
+struct Failpoint {
+  std::string name;
+  std::atomic<bool> armed{false};
+  std::atomic<uint8_t> action{0};
+  // one_shot_hit > 0: fire on exactly that evaluation (1-based).
+  std::atomic<uint64_t> one_shot_hit{0};
+  std::atomic<uint64_t> hits{0};
+  // probability permille in [0,1000]; 1000 = always.
+  std::atomic<uint32_t> permille{1000};
+};
+
+/// Returns the registry entry for `name`, creating it on first call. Also
+/// applies any pending SPADE_FAILPOINT env spec naming this site.
+Failpoint* Register(const char* name);
+
+/// Slow path taken only when the site is armed: counts the hit, decides
+/// whether to fire, and performs the action (throw / raise). For `error`
+/// under SPADE_FAILPOINT_STATUS the caller returns a Status instead; this
+/// overload reports the decision.
+enum class Fired : uint8_t { kNo = 0, kError, kThrew };
+Fired Evaluate(Failpoint* fp, bool status_context);
+
+}  // namespace fail
+}  // namespace spade
+
+#define SPADE_FAILPOINT(name)                                             \
+  do {                                                                    \
+    static ::spade::fail::Failpoint* _spade_fp =                          \
+        ::spade::fail::Register(name);                                    \
+    if (_spade_fp->armed.load(std::memory_order_relaxed)) {               \
+      ::spade::fail::Evaluate(_spade_fp, /*status_context=*/false);       \
+    }                                                                     \
+  } while (false)
+
+#define SPADE_FAILPOINT_STATUS(name)                                      \
+  do {                                                                    \
+    static ::spade::fail::Failpoint* _spade_fp =                          \
+        ::spade::fail::Register(name);                                    \
+    if (_spade_fp->armed.load(std::memory_order_relaxed)) {               \
+      if (::spade::fail::Evaluate(_spade_fp, /*status_context=*/true) ==  \
+          ::spade::fail::Fired::kError) {                                 \
+        return ::spade::Status::Internal("failpoint '" +                  \
+                                         std::string(name) + "' fired");  \
+      }                                                                   \
+    }                                                                     \
+  } while (false)
+
+#else  // !SPADE_FAILPOINTS
+
+#define SPADE_FAILPOINT(name) \
+  do {                        \
+  } while (false)
+#define SPADE_FAILPOINT_STATUS(name) \
+  do {                               \
+  } while (false)
+
+#endif  // SPADE_FAILPOINTS
+
+#endif  // SPADE_UTIL_FAILPOINT_H_

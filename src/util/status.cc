@@ -24,6 +24,15 @@ std::string Status::ToString() const {
     case Code::kInternal:
       name = "INTERNAL";
       break;
+    case Code::kCancelled:
+      name = "CANCELLED";
+      break;
+    case Code::kDeadlineExceeded:
+      name = "DEADLINE_EXCEEDED";
+      break;
+    case Code::kResourceExhausted:
+      name = "RESOURCE_EXHAUSTED";
+      break;
   }
   std::string out = name;
   if (!message_.empty()) {

@@ -21,6 +21,9 @@ class Status {
     kNotFound,
     kOutOfRange,
     kInternal,
+    kCancelled,
+    kDeadlineExceeded,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -40,6 +43,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

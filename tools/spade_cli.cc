@@ -25,6 +25,12 @@
 //   --saturate           RDFS-saturate the graph before analysis
 //   --max-dims N         lattice dimensionality cap             (default 3)
 //   --min-support R      dimension/measure support threshold    (default 0.1)
+//   --deadline-ms MS     online-phase deadline in milliseconds; on expiry the
+//                        run returns the completed canonical-order prefix,
+//                        marked TRUNCATED                       (default 0 = none)
+//   --max-bitmap-mb MB   per-CFS fact-bitmap budget; a CFS that would exceed
+//                        it stops admitting groups at a deterministic cut
+//                                                               (default 0 = unlimited)
 //   --save-store FILE    after the offline phase, persist the built store as
 //                        a memory-mapped snapshot (build once...)
 //   --load-store FILE    mmap a saved snapshot instead of ingesting: skips
@@ -74,7 +80,8 @@ int Usage() {
                "                 [--stream-ingest] [--ingest-chunk N] "
                "[--earlystop] [--no-derivations]\n"
                "                 [--saturate] [--max-dims N] "
-               "[--min-support R] [--json FILE] [--csv FILE]\n"
+               "[--min-support R] [--deadline-ms MS] [--max-bitmap-mb MB]\n"
+               "                 [--json FILE] [--csv FILE]\n"
                "                 [--quiet] [--save-store FILE] "
                "[--no-verify-snapshot] [--serve] [--serve-requests FILE]\n"
                "       spade_cli --load-store FILE [options]\n";
@@ -191,6 +198,20 @@ int main(int argc, char** argv) {
         return Fail("--min-support needs a ratio in (0, 1]");
       }
       options.enumeration.min_support_ratio = r;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      double ms;
+      if (v == nullptr || !spade::ParseDouble(v, &ms) || ms < 0) {
+        return Fail("--deadline-ms needs milliseconds >= 0 (0 = none)");
+      }
+      options.deadline_ms = ms;
+    } else if (arg == "--max-bitmap-mb") {
+      const char* v = next();
+      int64_t mb;
+      if (v == nullptr || !spade::ParseInt64(v, &mb) || mb < 0) {
+        return Fail("--max-bitmap-mb needs megabytes >= 0 (0 = unlimited)");
+      }
+      options.max_bitmap_bytes = static_cast<uint64_t>(mb) << 20;
     } else if (arg == "--save-store") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -354,6 +375,12 @@ int main(int argc, char** argv) {
               << " ms, peak " << report.lattice_peak_partial_cells
               << " partial cells, peak bitmaps " << report.peak_bitmap_bytes
               << " B)";
+  }
+  if (report.truncated) {
+    std::cerr << "; TRUNCATED (" << spade::CancelReasonName(report.cancel_reason)
+              << "): " << report.num_cfs_completed << "/" << report.num_cfs
+              << " fact sets completed, " << report.num_groups_skipped
+              << " groups skipped";
   }
   std::cerr << "\n";
 
