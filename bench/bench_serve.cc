@@ -1,0 +1,294 @@
+// TCP front-end bench: sustained throughput and per-request latency of the
+// hardened network serve loop (src/net/tcp_server.h) under concurrent
+// connections.
+//
+// One in-process TcpServer is started on an ephemeral loopback port over a
+// synthetic corpus; for each connection count C (default 1, 4, 16) the bench
+// spawns C client threads, each owning one net::LineClient, and replays a
+// mixed explore/stats request stream. Every request is timed individually,
+// so besides requests/sec the bench reports the p50 and p99 request latency
+// — the tail is what admission control and the per-connection flush
+// discipline are supposed to protect.
+//
+// The server runs with a generous global inflight cap so the bench measures
+// evaluation and event-loop throughput, not deliberate shedding (shedding
+// behaviour is covered by net_test); any `busy` replies that do occur are
+// retried by the client and counted in the report.
+//
+// Usage: bench_serve [--facts=N] [--requests=N] [--connections=1,4,16]
+//                    [--json[=FILE]]
+//
+// --json writes the numbers as a machine-readable JSON array (default file:
+// BENCH_serve.json; schema in bench/README.md).
+
+#include "src/net/net_util.h"
+
+#if !defined(SPADE_NET_POSIX)
+
+#include <cstdio>
+
+int main() {
+  std::printf("bench_serve: TCP networking is unavailable on this platform; "
+              "nothing to measure\n");
+  return 0;
+}
+
+#else  // SPADE_NET_POSIX
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/spade.h"
+#include "src/datagen/synthetic.h"
+#include "src/exec/thread_pool.h"
+#include "src/net/line_client.h"
+#include "src/net/tcp_server.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+namespace spade {
+namespace bench {
+namespace {
+
+struct ConnRun {
+  size_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t busy_retries = 0;  ///< `busy` replies absorbed by client backoff
+  double wall_ms = 0;
+  double requests_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// The request mix one client thread replays: mostly explores of varying
+/// top-k over rotating fact sets, with a stats probe mixed in — the shape of
+/// an interactive exploration session.
+std::vector<std::string> RequestStream(const Spade& spade, size_t count,
+                                       size_t thread_index) {
+  std::vector<std::string> reqs;
+  reqs.reserve(count);
+  const auto& sets = spade.fact_sets();
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 16 == 15) {
+      reqs.push_back("stats");
+      continue;
+    }
+    std::ostringstream r;
+    r << "explore top=" << (2 + (i + thread_index) % 4);
+    if (!sets.empty() && i % 3 != 0) {
+      r << " cfs=" << sets[(i + thread_index) % sets.size()].name;
+    }
+    reqs.push_back(r.str());
+  }
+  return reqs;
+}
+
+ConnRun RunWithConnections(const net::HostPort& server, const Spade& spade,
+                           size_t connections, size_t total_requests) {
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  std::vector<uint64_t> busy(connections, 0);
+  bool failed = false;
+  std::mutex fail_mu;
+
+  Timer wall;
+  for (size_t t = 0; t < connections; ++t) {
+    const size_t count = total_requests / connections +
+                         (t < total_requests % connections ? 1 : 0);
+    threads.emplace_back([&, t, count] {
+      net::LineClientOptions copts;
+      copts.server = server;
+      copts.seed = 1000 + t;
+      net::LineClient client(copts);
+      auto reqs = RequestStream(spade, count, t);
+      latencies[t].reserve(count);
+      for (const std::string& req : reqs) {
+        Timer one;
+        auto reply = client.Request(req);
+        if (!reply.ok() || reply->rfind("error:", 0) == 0) {
+          std::lock_guard<std::mutex> lock(fail_mu);
+          std::cerr << "bench_serve: request '" << req << "' failed: "
+                    << (reply.ok() ? *reply : reply.status().ToString())
+                    << "\n";
+          failed = true;
+          return;
+        }
+        latencies[t].push_back(one.ElapsedMillis());
+      }
+      busy[t] = client.stats().num_busy;
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double wall_ms = wall.ElapsedMillis();
+  if (failed) std::exit(1);
+
+  std::vector<double> all;
+  all.reserve(total_requests);
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  ConnRun r;
+  r.connections = connections;
+  r.requests = all.size();
+  for (uint64_t b : busy) r.busy_retries += b;
+  r.wall_ms = wall_ms;
+  r.requests_per_sec = wall_ms > 0 ? 1000.0 * all.size() / wall_ms : 0;
+  r.p50_ms = Percentile(all, 0.50);
+  r.p99_ms = Percentile(all, 0.99);
+  return r;
+}
+
+void WriteJson(const std::string& path, const std::vector<ConnRun>& runs,
+               const net::TcpServeStats& stats) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_serve: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "[\n";
+  for (const ConnRun& r : runs) {
+    out << "  {\"kind\": \"serve_tcp\", \"connections\": " << r.connections
+        << ", \"requests\": " << r.requests
+        << ", \"busy_retries\": " << r.busy_retries
+        << ", \"wall_ms\": " << r.wall_ms
+        << ", \"requests_per_sec\": " << r.requests_per_sec
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+        << "},\n";
+  }
+  out << "  {\"kind\": \"server\", \"num_connections\": "
+      << stats.num_connections
+      << ", \"num_connections_shed\": " << stats.num_connections_shed
+      << ", \"num_requests_shed\": " << stats.num_requests_shed
+      << ", \"num_io_errors\": " << stats.num_io_errors
+      << ", \"requests_evaluated\": " << stats.serve.num_requests
+      << ", \"drained_clean\": " << (stats.drained_clean ? "true" : "false")
+      << "}\n";
+  out << "]\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spade
+
+int main(int argc, char** argv) {
+  size_t facts = 60000;
+  size_t requests = 192;
+  std::vector<size_t> connection_counts = {1, 4, 16};
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--facts=", 8) == 0) {
+      facts = static_cast<size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = static_cast<size_t>(std::atoll(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      connection_counts.clear();
+      std::stringstream list(argv[i] + 14);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        if (!item.empty()) {
+          connection_counts.push_back(
+              static_cast<size_t>(std::atoll(item.c_str())));
+        }
+      }
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_serve.json";
+    }
+  }
+
+  using spade::bench::ConnRun;
+
+  spade::SyntheticOptions sopts;
+  sopts.num_facts = facts;
+  sopts.dim_cardinality.assign(3, 40);
+  sopts.num_measures = 4;
+  sopts.num_fact_types = 4;
+  auto graph = spade::GenerateSynthetic(sopts);
+
+  spade::SpadeOptions options;
+  options.cfs.min_size = 20;
+  options.enumeration.max_dims = 3;
+  options.enumeration.max_lattices_per_cfs = 8;
+  options.enumeration.max_measures_per_lattice = 3;
+  options.top_k = 8;
+  spade::Spade spade(graph.get(), options);
+  if (!spade.RunOffline().ok() || !spade.PrepareFactSets().ok()) {
+    std::cerr << "bench_serve: offline phase failed\n";
+    return 1;
+  }
+
+  spade::net::TcpServerOptions topt;
+  topt.listen.host = "127.0.0.1";
+  topt.listen.port = 0;
+  topt.install_signal_handlers = false;
+  // Generous caps: measure throughput, not deliberate shedding. A cap of 64
+  // still exercises admission accounting on every request.
+  topt.max_inflight = 64;
+  topt.max_inflight_per_connection = 8;
+  topt.serve.num_threads = spade::ThreadPool::HardwareConcurrency();
+  spade::net::TcpServer server(&spade, topt);
+  spade::Status st = server.Start();
+  if (!st.ok()) {
+    std::cerr << "bench_serve: " << st.ToString() << "\n";
+    return 1;
+  }
+  spade::net::HostPort hp;
+  hp.host = "127.0.0.1";
+  hp.port = server.port();
+  spade::net::TcpServeStats stats;
+  std::thread server_thread([&] { stats = server.Run(); });
+
+  std::cout << "== TCP serve throughput and latency (" << facts
+            << " facts, " << requests << " requests per point, "
+            << topt.serve.num_threads << " eval threads) ==\n\n";
+
+  // Warmup: populate whatever lazily materializes before the timed runs.
+  (void)spade::bench::RunWithConnections(hp, spade, 1, 8);
+
+  std::vector<ConnRun> runs;
+  for (size_t c : connection_counts) {
+    if (c == 0) continue;
+    runs.push_back(spade::bench::RunWithConnections(hp, spade, c, requests));
+  }
+
+  server.RequestShutdown();
+  server_thread.join();
+
+  spade::TablePrinter table(
+      {"connections", "requests", "req/s", "p50 ms", "p99 ms", "busy"});
+  for (const ConnRun& r : runs) {
+    char rps[32], p50[32], p99[32];
+    std::snprintf(rps, sizeof(rps), "%.1f", r.requests_per_sec);
+    std::snprintf(p50, sizeof(p50), "%.2f", r.p50_ms);
+    std::snprintf(p99, sizeof(p99), "%.2f", r.p99_ms);
+    table.AddRow({std::to_string(r.connections), std::to_string(r.requests),
+                  rps, p50, p99, std::to_string(r.busy_retries)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nserver: " << stats.num_connections << " connections, "
+            << stats.serve.num_requests << " requests evaluated, "
+            << stats.num_requests_shed << " shed, drain "
+            << (stats.drained_clean ? "clean" : "HARD-STOPPED") << "\n";
+
+  if (!json_path.empty()) spade::bench::WriteJson(json_path, runs, stats);
+  return stats.drained_clean ? 0 : 1;
+}
+
+#endif  // SPADE_NET_POSIX

@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""Chaos suite for the TCP insight server: drive a real spade_cli process
+over loopback TCP through hostile client behaviour and process-level faults,
+and assert the hardening contracts of src/net/tcp_server.h from the outside.
+
+Scenarios (each starts its own server on an ephemeral port, discovered by
+parsing the exact `listening on HOST:PORT` stderr line the CLI prints):
+
+  baseline        N concurrent well-behaved clients; every request answered;
+                  SIGTERM afterwards exits 0 with a `drain clean` summary.
+  sigterm-load    SIGTERM while clients are mid-request: the process must
+                  exit 0 within 2x drain deadline + margin (the drain
+                  contract), and clients must see complete blocks or a clean
+                  EOF, never a hang.
+  slow-reader     a client that pipelines requests and then reads one byte
+                  at a time must still receive every block, in order
+                  (backpressure, not disconnection).
+  disconnect      a client that resets mid-response costs only itself: the
+                  server keeps answering a concurrent well-behaved client.
+  sigkill         SIGKILL mid-request: clients observe EOF/reset promptly
+                  (no hang), and a fresh server starts fine afterwards.
+  failpoints      (only when the binary has failpoints compiled in) random
+                  injected accept/read/write faults: retrying clients still
+                  get every request answered, and the server survives to
+                  drain clean.
+
+Usage: serve_chaos.py /path/to/spade_cli [--clients N] [--requests N]
+"""
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from kill_during_save import write_corpus  # noqa: E402
+
+DRAIN_MS = 1500
+
+
+class Server:
+    """One spade_cli --listen process; parses the listening line, keeps
+    draining stderr on a thread so the process can never block on the pipe."""
+
+    def __init__(self, cli, data, extra_args=(), env_extra=None):
+        env = dict(os.environ)
+        env.pop("SPADE_FAILPOINT", None)
+        if env_extra:
+            env.update(env_extra)
+        self.proc = subprocess.Popen(
+            [cli, data, "--threads", "2", "--quiet",
+             "--listen", "127.0.0.1:0", "--drain-ms", str(DRAIN_MS)]
+            + list(extra_args),
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            text=True)
+        self.stderr_lines = []
+        self._port_event = threading.Event()
+        self.port = None
+        self._reader = threading.Thread(target=self._drain_stderr, daemon=True)
+        self._reader.start()
+        if not self._port_event.wait(timeout=60):
+            self.proc.kill()
+            raise RuntimeError("server never printed its listening line:\n"
+                               + "".join(self.stderr_lines))
+
+    def _drain_stderr(self):
+        for line in self.proc.stderr:
+            self.stderr_lines.append(line)
+            if line.startswith("listening on "):
+                self.port = int(line.rsplit(":", 1)[1])
+                self._port_event.set()
+        self._port_event.set()  # EOF without the line: unblock the waiter
+
+    def stop(self, sig=signal.SIGTERM, timeout=None):
+        """Signal the process, wait, return (exit_code, stderr_text)."""
+        if timeout is None:
+            timeout = 2 * DRAIN_MS / 1000 + 10
+        if self.proc.poll() is None:
+            self.proc.send_signal(sig)
+        try:
+            code = self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            code = None  # did not exit in time: the caller's check fails
+        self._reader.join(timeout=5)
+        return code, "".join(self.stderr_lines)
+
+
+class Client:
+    """Minimal line-protocol client mirroring net::LineClient's retry rules:
+    `busy` (either form) and transport faults retry with backoff; `error:`
+    replies are terminal but count as answered."""
+
+    def __init__(self, port, timeout=30):
+        self.port = port
+        self.timeout = timeout
+        self.sock = None
+        self.buf = b""
+
+    def _connect(self):
+        self.close()
+        s = socket.create_connection(("127.0.0.1", self.port), self.timeout)
+        s.settimeout(self.timeout)
+        s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock = s
+        self.buf = b""
+
+    def _readline(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("EOF mid-response")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode(errors="replace")
+
+    def request(self, line, attempts=25):
+        """Send one request, return its body lines (prefixes stripped).
+        Raises after `attempts` failed tries."""
+        last = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(min(1.0, 0.02 * (1 << min(attempt, 5))))
+            try:
+                if self.sock is None:
+                    self._connect()
+                self.sock.sendall(line.encode() + b"\n")
+                body = []
+                while True:
+                    raw = self._readline()
+                    if raw == "busy":  # accept-shed: whole connection refused
+                        raise ConnectionError("shed at accept")
+                    stripped = raw.split(" ", 1)[1] if " " in raw else ""
+                    if stripped.startswith("> "):
+                        continue
+                    if stripped == "busy":  # request-shed: same socket retries
+                        last = "busy"
+                        break
+                    body.append(stripped)
+                    if stripped == "end" or stripped.startswith("error:"):
+                        return body
+            except (OSError, ConnectionError) as e:
+                last = str(e)
+                self.close()
+        raise RuntimeError(f"request '{line}' failed after {attempts} "
+                           f"attempts: {last}")
+
+    def close(self):
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+
+failures = []
+
+
+def check(label, ok, detail=""):
+    mark = "ok " if ok else "FAIL"
+    print(f"  [{mark}] {label}" + (f": {detail}" if detail and not ok else ""),
+          flush=True)
+    if not ok:
+        failures.append(label)
+
+
+def hammer(port, num_clients, num_requests, errors):
+    """num_clients threads, each issuing num_requests explores; transport
+    errors are appended to `errors` (scenarios decide if they're fatal)."""
+    def worker(i):
+        c = Client(port)
+        try:
+            for r in range(num_requests):
+                c.request(f"explore top={2 + (i + r) % 3}")
+        except (RuntimeError, OSError) as e:
+            errors.append(str(e))
+        finally:
+            c.close()
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(num_clients)]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def scenario_baseline(cli, data, num_clients, num_requests):
+    print("-- baseline: concurrent clients, then graceful SIGTERM")
+    srv = Server(cli, data)
+    errors = []
+    threads = hammer(srv.port, num_clients, num_requests, errors)
+    for t in threads:
+        t.join()
+    check("baseline: all clients served", not errors,
+          errors[0] if errors else "")
+    code, err = srv.stop()
+    check("baseline: SIGTERM exits 0", code == 0, f"exit={code}\n{err}")
+    check("baseline: summary says drain clean", "drain clean" in err, err)
+
+
+def scenario_sigterm_under_load(cli, data, num_clients):
+    print("-- sigterm-load: SIGTERM with requests in flight")
+    srv = Server(cli, data)
+    errors = []
+    threads = hammer(srv.port, num_clients, 50, errors)
+    time.sleep(0.5)  # let requests pile in
+    t0 = time.monotonic()
+    code, err = srv.stop()
+    elapsed = time.monotonic() - t0
+    # Clients racing the drain may see EOF — that is the contract, not a bug;
+    # what they must never do is hang.
+    for t in threads:
+        t.join(timeout=30)
+    check("sigterm-load: no client thread hung",
+          not any(t.is_alive() for t in threads))
+    check("sigterm-load: exits within 2x drain deadline + margin",
+          code is not None and elapsed < 2 * DRAIN_MS / 1000 + 8,
+          f"exit={code} after {elapsed:.1f}s")
+    check("sigterm-load: exit code 0 (drain clean)", code == 0,
+          f"exit={code}\n{err}")
+
+
+def scenario_slow_reader(cli, data):
+    print("-- slow-reader: pipelined requests drained one byte at a time")
+    srv = Server(cli, data)
+    s = socket.create_connection(("127.0.0.1", srv.port), 30)
+    s.settimeout(30)
+    n = 4
+    s.sendall(b"explore top=2\n" * n + b"quit\n")
+    time.sleep(0.5)  # let responses buffer server-side
+    data_read = b""
+    try:
+        while True:
+            b1 = s.recv(1)  # one byte at a time: worst-case slow reader
+            if not b1:
+                break
+            data_read += b1
+            if data_read.count(b" end\n") < 2:
+                time.sleep(0.002)  # slow for a while, then drain fast
+    except socket.timeout:
+        pass
+    s.close()
+    ends = data_read.count(b" end\n")
+    check("slow-reader: every pipelined block delivered", ends == n,
+          f"got {ends}/{n} blocks: {data_read[:200]!r}")
+    ids = [line.split(b" ", 1)[0] for line in data_read.split(b"\n")
+           if line.startswith(b"#")]
+    check("slow-reader: blocks in request order", ids == sorted(ids),
+          str(ids))
+    code, err = srv.stop()
+    check("slow-reader: server drains clean afterwards", code == 0,
+          f"exit={code}\n{err}")
+
+
+def scenario_disconnect(cli, data):
+    print("-- disconnect: client resets mid-response")
+    srv = Server(cli, data)
+    rude = socket.create_connection(("127.0.0.1", srv.port), 30)
+    rude.sendall(b"explore top=5\n")
+    rude.recv(16)  # start reading the response...
+    rude.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00")  # ...then RST
+    rude.close()
+    polite = Client(srv.port)
+    body = polite.request("explore top=2")
+    polite.close()
+    check("disconnect: concurrent client still served",
+          body and body[-1] == "end", str(body))
+    code, err = srv.stop()
+    check("disconnect: server drains clean afterwards", code == 0,
+          f"exit={code}\n{err}")
+
+
+def scenario_sigkill(cli, data, num_clients):
+    print("-- sigkill: hard kill mid-request")
+    srv = Server(cli, data)
+    errors = []
+    threads = hammer(srv.port, num_clients, 1000, errors)
+    time.sleep(0.5)
+    code, _ = srv.stop(sig=signal.SIGKILL, timeout=15)
+    for t in threads:
+        t.join(timeout=30)
+    check("sigkill: no client thread hung",
+          not any(t.is_alive() for t in threads))
+    check("sigkill: process died by SIGKILL", code == -signal.SIGKILL,
+          f"exit={code}")
+    # The machine the server shares with others is fine: a new one binds.
+    srv2 = Server(cli, data)
+    c = Client(srv2.port)
+    body = c.request("stats")
+    c.close()
+    check("sigkill: fresh server works", body and body[-1] == "end")
+    code, err = srv2.stop()
+    check("sigkill: fresh server drains clean", code == 0,
+          f"exit={code}\n{err}")
+
+
+def scenario_failpoints(cli, data, num_clients, num_requests):
+    print("-- failpoints: injected accept/read/write faults under load")
+    probe = subprocess.run([cli, "--list-failpoints"],
+                           stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
+    if probe.returncode != 0:
+        print("  [skip] failpoints compiled out of this binary")
+        return
+    spec = "serve.accept=error:0.05,serve.read=error:0.03,serve.write=error:0.03"
+    srv = Server(cli, data, env_extra={"SPADE_FAILPOINT": spec})
+    errors = []
+    threads = hammer(srv.port, num_clients, num_requests, errors)
+    for t in threads:
+        t.join()
+    check("failpoints: every request eventually answered", not errors,
+          errors[0] if errors else "")
+    code, err = srv.stop()
+    check("failpoints: server survives the storm and drains clean",
+          code == 0, f"exit={code}\n{err}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("cli", help="path to spade_cli")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=12,
+                        help="requests per client in the load scenarios")
+    args = parser.parse_args()
+    cli = os.path.abspath(args.cli)
+
+    import tempfile
+    workdir = tempfile.mkdtemp(prefix="spade_chaos_")
+    data = os.path.join(workdir, "corpus.nt")
+    write_corpus(data, num_facts=400)
+
+    scenario_baseline(cli, data, args.clients, args.requests)
+    scenario_sigterm_under_load(cli, data, args.clients)
+    scenario_slow_reader(cli, data)
+    scenario_disconnect(cli, data)
+    scenario_sigkill(cli, data, args.clients)
+    scenario_failpoints(cli, data, args.clients, args.requests)
+
+    import shutil
+    shutil.rmtree(workdir, ignore_errors=True)
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        sys.exit(1)
+    print("\nall chaos scenarios passed")
+
+
+if __name__ == "__main__":
+    main()

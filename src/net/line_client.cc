@@ -1,0 +1,153 @@
+#include "src/net/line_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace spade {
+namespace net {
+
+namespace {
+
+/// Strip the `#<id> ` response prefix. Returns false for unprefixed lines
+/// (only the accept-shed `busy` is legal unprefixed).
+bool StripPrefix(const std::string& line, std::string* body) {
+  if (line.empty() || line[0] != '#') return false;
+  size_t i = 1;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') ++i;
+  if (i == 1 || i >= line.size() || line[i] != ' ') return false;
+  *body = line.substr(i + 1);
+  return true;
+}
+
+}  // namespace
+
+LineClient::LineClient(LineClientOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+LineClient::~LineClient() { Close(); }
+
+void LineClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+}
+
+Status LineClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  Result<int> fd = ConnectTcp(options_.server, options_.connect_timeout_ms);
+  SPADE_RETURN_NOT_OK(fd.status());
+  fd_ = *fd;
+  inbuf_.clear();
+  ++stats_.num_reconnects;
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  for (;;) {
+    const size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char buf[4096];
+    Result<size_t> n = RecvSome(fd_, buf, sizeof(buf), options_.io_timeout_ms);
+    SPADE_RETURN_NOT_OK(n.status());
+    if (*n == 0) {
+      return Status::Internal("connection closed by server mid-response");
+    }
+    inbuf_.append(buf, *n);
+  }
+}
+
+Result<std::string> LineClient::Attempt(const std::string& line, bool* retry) {
+  *retry = false;
+  Status st = EnsureConnected();
+  if (!st.ok()) {
+    *retry = true;
+    return st;
+  }
+  const std::string wire = line + "\n";
+  st = SendAll(fd_, wire.data(), wire.size(), options_.io_timeout_ms);
+  if (!st.ok()) {
+    *retry = true;
+    Close();
+    return st;
+  }
+
+  std::string body;
+  bool saw_first = false;
+  for (;;) {
+    Result<std::string> raw = ReadLine();
+    if (!raw.ok()) {
+      // EOF, reset, or timeout mid-block: transient — reconnect and resend.
+      *retry = true;
+      Close();
+      return raw.status();
+    }
+    std::string stripped;
+    if (!StripPrefix(*raw, &stripped)) {
+      if (!saw_first && *raw == "busy") {
+        // Shed at accept: the server already closed this connection.
+        ++stats_.num_busy;
+        *retry = true;
+        Close();
+        return Status::Internal("server busy (connection shed)");
+      }
+      Close();
+      return Status::Internal("malformed response line '" + *raw + "'");
+    }
+    if (stripped.size() >= 2 && stripped[0] == '>' && stripped[1] == ' ') {
+      continue;  // echo of our own request (serve --echo)
+    }
+    if (!saw_first) {
+      saw_first = true;
+      if (stripped == "busy") {
+        // Shed at admission: the connection is fine, only this request was
+        // refused. Back off and resend on the same socket.
+        ++stats_.num_busy;
+        *retry = true;
+        return Status::Internal("server busy (request shed)");
+      }
+      if (stripped.rfind("error:", 0) == 0) {
+        return stripped + "\n";  // terminal single-line block; never retried
+      }
+    }
+    body += stripped;
+    body += '\n';
+    if (stripped == "end") return body;
+  }
+}
+
+void LineClient::BackOff(size_t attempt) {
+  double ms = options_.backoff_base_ms;
+  for (size_t i = 0; i < attempt && ms < options_.backoff_max_ms; ++i) ms *= 2;
+  ms = std::min(ms, options_.backoff_max_ms);
+  ms *= 0.5 + 0.5 * rng_.NextDouble();  // full jitter
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+Result<std::string> LineClient::Request(const std::string& line) {
+  ++stats_.num_requests;
+  Status last = Status::Internal("no attempts made");
+  const size_t attempts = std::max<size_t>(1, options_.max_attempts);
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.num_retries;
+      BackOff(attempt - 1);
+    }
+    bool retry = false;
+    Result<std::string> reply = Attempt(line, &retry);
+    if (reply.ok()) return reply;
+    if (!retry) return reply.status();
+    last = reply.status();
+  }
+  return Status::Internal("request failed after " + std::to_string(attempts) +
+                          " attempts: " + last.message());
+}
+
+}  // namespace net
+}  // namespace spade

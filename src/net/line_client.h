@@ -1,0 +1,88 @@
+#ifndef SPADE_NET_LINE_CLIENT_H_
+#define SPADE_NET_LINE_CLIENT_H_
+
+/// \file line_client.h
+/// \brief A well-behaved client for the TCP insight server: one request at a
+/// time, per-call timeouts, and jittered exponential backoff on `busy` and
+/// transient transport faults.
+///
+/// The server sheds load instead of queueing (see tcp_server.h); this client
+/// is the other half of that contract. A `busy` reply, a refused/timed-out
+/// connect, or a connection dying mid-response all mean "retry later": the
+/// client reconnects and resends after waiting
+///     min(backoff_max_ms, backoff_base_ms * 2^attempt) * (0.5 + 0.5 * u)
+/// (full jitter, so a thundering herd of clients decorrelates). A server-side
+/// `error:` reply is NOT retried — the request itself is bad, and resending
+/// it cannot help.
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/net_util.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace spade {
+namespace net {
+
+struct LineClientOptions {
+  HostPort server;
+  double connect_timeout_ms = 5000;
+  /// Per poll-step receive/send timeout while reading one response block.
+  double io_timeout_ms = 30000;
+  /// Total tries per request (first attempt included). 1 = never retry.
+  size_t max_attempts = 8;
+  double backoff_base_ms = 25;
+  double backoff_max_ms = 2000;
+  /// Jitter seed; clients in one process should use distinct seeds.
+  uint64_t seed = 1;
+};
+
+/// What one Request() call went through (for tests and the CLI summary).
+struct LineClientStats {
+  uint64_t num_requests = 0;
+  uint64_t num_retries = 0;      ///< resends after busy/transport faults
+  uint64_t num_busy = 0;         ///< `busy` shed replies observed
+  uint64_t num_reconnects = 0;   ///< sockets (re)established
+};
+
+class LineClient {
+ public:
+  explicit LineClient(LineClientOptions options);
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Send one request line and collect its full response block, retrying
+  /// busy/transport faults with backoff. Returns the response body with the
+  /// `#<id> ` prefixes stripped (echo lines are skipped), exactly as pipe
+  /// mode would have produced it: `ok ...` through `end`, or a single
+  /// `error: ...` line. Exhausted retries surface the last transport status.
+  Result<std::string> Request(const std::string& line);
+
+  /// Drop the connection (the next Request reconnects).
+  void Close();
+
+  const LineClientStats& stats() const { return stats_; }
+
+ private:
+  Status EnsureConnected();
+  /// One attempt: send + read one block. `retry` = transient, resend.
+  Result<std::string> Attempt(const std::string& line, bool* retry);
+  /// Read the next '\n'-terminated line (without the newline) from the
+  /// socket, buffering.
+  Result<std::string> ReadLine();
+  void BackOff(size_t attempt);
+
+  LineClientOptions options_;
+  int fd_ = -1;
+  std::string inbuf_;
+  Rng rng_;
+  LineClientStats stats_;
+};
+
+}  // namespace net
+}  // namespace spade
+
+#endif  // SPADE_NET_LINE_CLIENT_H_

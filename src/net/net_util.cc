@@ -1,0 +1,251 @@
+#include "src/net/net_util.h"
+
+#include <cstring>
+
+#include "src/util/string_util.h"
+
+#if defined(SPADE_NET_POSIX)
+#include <arpa/inet.h>
+#include <csignal>
+#include <cerrno>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace spade {
+namespace net {
+
+std::string HostPort::ToString() const {
+  return host + ":" + std::to_string(port);
+}
+
+Status ParseHostPort(const std::string& spec, HostPort* out) {
+  *out = HostPort();
+  std::string port_part = spec;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    out->host = spec.substr(0, colon);
+    if (out->host.empty()) out->host = "127.0.0.1";
+    port_part = spec.substr(colon + 1);
+  }
+  int64_t port = -1;
+  if (!ParseInt64(port_part, &port) || port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad HOST:PORT '" + spec +
+                                   "' (port must be in [0, 65535])");
+  }
+  out->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+#if defined(SPADE_NET_POSIX)
+
+bool Supported() { return true; }
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status FillAddr(const HostPort& addr, sockaddr_in* sa) {
+  std::memset(sa, 0, sizeof(*sa));
+  sa->sin_family = AF_INET;
+  sa->sin_port = htons(addr.port);
+  if (inet_pton(AF_INET, addr.host.c_str(), &sa->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host '" + addr.host +
+                                   "' (numeric addresses only)");
+  }
+  return Status::OK();
+}
+
+/// poll() one fd for `events`, EINTR-safe. Returns false on timeout.
+Result<bool> PollOne(int fd, short events, double timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int ms = timeout_ms < 0 ? -1
+                   : timeout_ms > 1e9
+                       ? 1000000000
+                       : static_cast<int>(timeout_ms < 1 ? 1 : timeout_ms);
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+Result<int> ListenTcp(HostPort* addr, int backlog) {
+  sockaddr_in sa;
+  SPADE_RETURN_NOT_OK(FillAddr(*addr, &sa));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  Status st = SetNonBlocking(fd);
+  if (st.ok() && ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    st = Errno("bind " + addr->ToString());
+  }
+  if (st.ok() && ::listen(fd, backlog) < 0) st = Errno("listen");
+  if (st.ok() && addr->port == 0) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      st = Errno("getsockname");
+    } else {
+      addr->port = ntohs(bound.sin_port);
+    }
+  }
+  if (!st.ok()) {
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const HostPort& addr, double timeout_ms) {
+  sockaddr_in sa;
+  SPADE_RETURN_NOT_OK(FillAddr(addr, &sa));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  // Non-blocking connect so the timeout is enforceable, then back to
+  // blocking: callers do their own poll-guarded reads/writes.
+  Status st = SetNonBlocking(fd);
+  if (st.ok() &&
+      ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    if (errno == EINPROGRESS) {
+      Result<bool> ready = PollOne(fd, POLLOUT, timeout_ms);
+      if (!ready.ok()) {
+        st = ready.status();
+      } else if (!*ready) {
+        st = Status::DeadlineExceeded("connect " + addr.ToString() +
+                                      " timed out");
+      } else {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          st = Status::Internal("connect " + addr.ToString() + ": " +
+                                std::strerror(err));
+        }
+      }
+    } else {
+      st = Errno("connect " + addr.ToString());
+    }
+  }
+  if (st.ok()) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  if (!st.ok()) {
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<size_t> SendSome(int fd, const char* data, size_t size) {
+#if defined(MSG_NOSIGNAL)
+  constexpr int kFlags = MSG_NOSIGNAL;
+#else
+  constexpr int kFlags = 0;  // ScopedIgnoreSigpipe is the backstop
+#endif
+  for (;;) {
+    const ssize_t n = ::send(fd, data, size, kFlags);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("send");
+  }
+}
+
+Status SendAll(int fd, const char* data, size_t size, double timeout_ms) {
+  size_t sent = 0;
+  while (sent < size) {
+    Result<bool> ready = PollOne(fd, POLLOUT, timeout_ms);
+    SPADE_RETURN_NOT_OK(ready.status());
+    if (!*ready) return Status::DeadlineExceeded("send timed out");
+    Result<size_t> n = SendSome(fd, data + sent, size - sent);
+    SPADE_RETURN_NOT_OK(n.status());
+    sent += *n;
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, char* data, size_t size, double timeout_ms) {
+  Result<bool> ready = PollOne(fd, POLLIN, timeout_ms);
+  SPADE_RETURN_NOT_OK(ready.status());
+  if (!*ready) return Status::DeadlineExceeded("recv timed out");
+  for (;;) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+ScopedIgnoreSigpipe::ScopedIgnoreSigpipe() {
+  static_assert(sizeof(saved_) >= sizeof(struct sigaction),
+                "saved_ too small for struct sigaction");
+  struct sigaction ignore;
+  std::memset(&ignore, 0, sizeof(ignore));
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  installed_ =
+      ::sigaction(SIGPIPE, &ignore,
+                  reinterpret_cast<struct sigaction*>(saved_)) == 0;
+}
+
+ScopedIgnoreSigpipe::~ScopedIgnoreSigpipe() {
+  if (installed_) {
+    ::sigaction(SIGPIPE, reinterpret_cast<struct sigaction*>(saved_), nullptr);
+  }
+}
+
+#else  // !SPADE_NET_POSIX
+
+bool Supported() { return false; }
+
+namespace {
+Status Unsupported() {
+  return Status::Internal("TCP networking requires a POSIX platform");
+}
+}  // namespace
+
+Status SetNonBlocking(int) { return Unsupported(); }
+void CloseFd(int) {}
+Result<int> ListenTcp(HostPort*, int) { return Unsupported(); }
+Result<int> ConnectTcp(const HostPort&, double) { return Unsupported(); }
+Result<size_t> SendSome(int, const char*, size_t) { return Unsupported(); }
+Status SendAll(int, const char*, size_t, double) { return Unsupported(); }
+Result<size_t> RecvSome(int, char*, size_t, double) { return Unsupported(); }
+ScopedIgnoreSigpipe::ScopedIgnoreSigpipe() {}
+ScopedIgnoreSigpipe::~ScopedIgnoreSigpipe() {}
+
+#endif  // SPADE_NET_POSIX
+
+}  // namespace net
+}  // namespace spade

@@ -1,0 +1,92 @@
+#ifndef SPADE_NET_NET_UTIL_H_
+#define SPADE_NET_NET_UTIL_H_
+
+/// \file net_util.h
+/// \brief Small POSIX socket helpers shared by the TCP front end
+/// (net::TcpServer), the retrying client (net::LineClient) and the tools.
+///
+/// Everything here returns Status instead of throwing and is a thin,
+/// EINTR-safe wrapper over the raw syscalls; on non-POSIX platforms the
+/// functions compile to graceful "unsupported" errors so the library still
+/// links (the same discipline snapshot.cc uses for mmap).
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPADE_NET_POSIX 1
+#endif
+
+namespace spade {
+namespace net {
+
+/// True when this build can open sockets at all (POSIX platforms).
+bool Supported();
+
+/// A parsed "HOST:PORT" endpoint. Bare "PORT" means loopback.
+struct HostPort {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+/// Parses "HOST:PORT" or "PORT" (loopback). Port 0 is allowed (the listener
+/// binds an ephemeral port and reports it).
+Status ParseHostPort(const std::string& spec, HostPort* out);
+
+/// Opens a non-blocking, close-on-exec listening socket bound to `addr`
+/// (SO_REUSEADDR set, numeric host only — the server never does DNS).
+/// On success returns the fd and rewrites addr->port with the actually
+/// bound port when 0 was requested.
+Result<int> ListenTcp(HostPort* addr, int backlog);
+
+/// Blocking connect with a wall-clock timeout; the returned fd is in
+/// blocking mode (callers use Poll-guarded I/O for timeouts).
+Result<int> ConnectTcp(const HostPort& addr, double timeout_ms);
+
+Status SetNonBlocking(int fd);
+
+/// send() that never raises SIGPIPE (MSG_NOSIGNAL where available; the
+/// scoped process-wide suppression below is the portable backstop).
+/// Returns bytes written, 0 on EAGAIN, or a Status for a hard error.
+Result<size_t> SendSome(int fd, const char* data, size_t size);
+
+/// Blocking send of the whole buffer, with a poll-based per-call timeout.
+Status SendAll(int fd, const char* data, size_t size, double timeout_ms);
+
+/// Blocking read of up to `size` bytes with a poll-based timeout. Returns
+/// the byte count (0 = orderly peer shutdown). A timeout is a
+/// DeadlineExceeded status, a reset peer an Internal one.
+Result<size_t> RecvSome(int fd, char* data, size_t size, double timeout_ms);
+
+void CloseFd(int fd);
+
+/// Ignores SIGPIPE process-wide for its lifetime, restoring the previous
+/// disposition on destruction. A client closing its socket mid-write must
+/// surface as EPIPE on that one connection — never kill the process. Both
+/// front-end entry points (TcpServer::Run, spade_client) hold one of these
+/// in addition to using MSG_NOSIGNAL, which macOS lacks.
+class ScopedIgnoreSigpipe {
+ public:
+  ScopedIgnoreSigpipe();
+  ~ScopedIgnoreSigpipe();
+
+  ScopedIgnoreSigpipe(const ScopedIgnoreSigpipe&) = delete;
+  ScopedIgnoreSigpipe& operator=(const ScopedIgnoreSigpipe&) = delete;
+
+ private:
+  bool installed_ = false;
+#if defined(SPADE_NET_POSIX)
+  // Opaque storage for the saved struct sigaction (kept out of the header
+  // to avoid leaking <csignal> everywhere).
+  alignas(16) unsigned char saved_[160];
+#endif
+};
+
+}  // namespace net
+}  // namespace spade
+
+#endif  // SPADE_NET_NET_UTIL_H_

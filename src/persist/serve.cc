@@ -132,12 +132,26 @@ std::string PrefixBlock(uint64_t id, const std::string& body) {
 
 }  // namespace
 
+std::string FormatResponseBlock(uint64_t id, const std::string& request,
+                                const std::string& body, bool echo) {
+  std::string block;
+  if (echo) block = PrefixBlock(id, "> " + request + "\n");
+  block += PrefixBlock(id, body);
+  return block;
+}
+
+std::string OversizedLineBody(size_t line_bytes, size_t limit) {
+  return "error: request line too long (" + std::to_string(line_bytes) +
+         " bytes, limit " + std::to_string(limit) + ")\n";
+}
+
 InsightServer::InsightServer(const Spade* spade, ServeOptions options)
     : spade_(spade), options_(options) {}
 
 std::string InsightServer::HandleLine(const std::string& line,
                                       TaskScheduler* scheduler,
-                                      bool* is_error, bool* truncated) const {
+                                      CancelToken* cancel, bool* is_error,
+                                      bool* truncated) const {
   *is_error = false;
   *truncated = false;
   auto error = [&](const std::string& msg) {
@@ -185,6 +199,14 @@ std::string InsightServer::HandleLine(const std::string& line,
     const std::string msg = ApplyToken(tokens[i], &req);
     if (!msg.empty()) return error(msg);
   }
+  // The server-imposed deadline is a default AND a cap: an explicit
+  // timeout= below it (including 0, "already expired") is honored as-is.
+  if (options_.request_deadline_ms > 0 &&
+      (!req.deadline_ms.has_value() ||
+       *req.deadline_ms > options_.request_deadline_ms)) {
+    req.deadline_ms = options_.request_deadline_ms;
+  }
+  req.cancel = cancel;
   Result<ExploreOutcome> result = spade_->Explore(req, scheduler);
   if (!result.ok()) return error(result.status().message());
 
@@ -257,10 +279,10 @@ ServeStats InsightServer::Serve(std::istream& in, std::ostream& out) {
     // guard bounds per-request memory against malformed or hostile input.
     if (options_.max_line_bytes > 0 && trimmed.size() > options_.max_line_bytes) {
       std::lock_guard<std::mutex> lock(mu);
-      slots[id - 1] = std::make_unique<std::string>(PrefixBlock(
-          id, "error: request line too long (" +
-                  std::to_string(trimmed.size()) + " bytes, limit " +
-                  std::to_string(options_.max_line_bytes) + ")\n"));
+      slots[id - 1] = std::make_unique<std::string>(FormatResponseBlock(
+          id, /*request=*/"",
+          OversizedLineBody(trimmed.size(), options_.max_line_bytes),
+          /*echo=*/false));
       ++stats.num_requests;
       ++stats.num_errors;
       flush_ready();
@@ -271,12 +293,10 @@ ServeStats InsightServer::Serve(std::istream& in, std::ostream& out) {
                &flush_ready] {
       bool is_error = false;
       bool truncated = false;
-      std::string body = HandleLine(request, &scheduler, &is_error, &truncated);
-      std::string block;
-      if (options_.echo) {
-        block = PrefixBlock(id, "> " + request + "\n");
-      }
-      block += PrefixBlock(id, body);
+      std::string body = HandleLine(request, &scheduler, /*cancel=*/nullptr,
+                                    &is_error, &truncated);
+      std::string block =
+          FormatResponseBlock(id, request, body, options_.echo);
       std::lock_guard<std::mutex> lock(mu);
       slots[id - 1] = std::make_unique<std::string>(std::move(block));
       ++stats.num_requests;

@@ -7,12 +7,15 @@
 
 #include "src/core/spade.h"
 #include "src/exec/thread_pool.h"
+#include "src/util/cancel.h"
 #include "src/util/status.h"
 
 namespace spade {
 namespace persist {
 
-/// Serve-loop knobs.
+/// Serve-loop knobs, shared by the pipe front end (Serve below) and the TCP
+/// front end (net::TcpServer), which answer the same request grammar through
+/// the same HandleLine core.
 struct ServeOptions {
   /// Worker threads shared by all in-flight requests: 0 = hardware
   /// concurrency, 1 = serial.
@@ -24,8 +27,13 @@ struct ServeOptions {
   bool echo = false;
   /// Longest request line accepted; longer lines get an `error:` response
   /// without being parsed (a malformed or hostile client cannot make the
-  /// server buffer unboundedly per request).
+  /// server buffer unboundedly per request). 0 = unlimited.
   size_t max_line_bytes = 64 * 1024;
+  /// Server-imposed per-request deadline in ms: when > 0, an explore request
+  /// without an explicit timeout= gets this deadline, and a request asking
+  /// for more is clamped down to it (one runaway request cannot hold a
+  /// worker forever). 0 = requests run untimed unless they ask otherwise.
+  double request_deadline_ms = 0;
 };
 
 /// What a serve session processed.
@@ -67,18 +75,37 @@ class InsightServer {
   /// response still counts as processed).
   ServeStats Serve(std::istream& in, std::ostream& out);
 
- private:
-  /// Evaluate one request line into a response block (no trailing newline
-  /// handling beyond line granularity; no `#<id>` prefixes yet). Never
+  /// The shared request core: evaluate one request line into a response
+  /// block (no trailing newline handling beyond line granularity; no `#<id>`
+  /// prefixes yet). Both front ends — the pipe loop above and the TCP server
+  /// in src/net — call exactly this, so for the same request sequence the
+  /// two modes produce identical response bytes by construction. Never
   /// throws: evaluation failures — injected faults and allocation failure
   /// included — come back as an `error:` block so one bad request cannot
-  /// take the session down.
+  /// take the session down. `cancel` (nullable, borrowed) joins any
+  /// per-request timeout=: the TCP front end passes its drain token so a
+  /// shutting-down server can cut in-flight requests over to truncated
+  /// replies once the drain deadline passes.
   std::string HandleLine(const std::string& line, TaskScheduler* scheduler,
-                         bool* is_error, bool* truncated) const;
+                         CancelToken* cancel, bool* is_error,
+                         bool* truncated) const;
 
+  const ServeOptions& options() const { return options_; }
+
+ private:
   const Spade* spade_;
   ServeOptions options_;
 };
+
+/// Render one finished response: every line of `body` prefixed with
+/// "#<id> ", preceded (when `echo`) by the echoed request line in the same
+/// framing. The single block-formatting path for both front ends.
+std::string FormatResponseBlock(uint64_t id, const std::string& request,
+                                const std::string& body, bool echo);
+
+/// The `error:` body answering a request line that exceeded
+/// ServeOptions::max_line_bytes (answered without being parsed or echoed).
+std::string OversizedLineBody(size_t line_bytes, size_t limit);
 
 }  // namespace persist
 }  // namespace spade

@@ -244,3 +244,25 @@ std::vector<std::string> KnownNames() { return {}; }
 }  // namespace spade
 
 #endif  // SPADE_FAILPOINTS
+
+namespace spade {
+namespace fail {
+
+std::vector<std::string> AllSiteNames() {
+  // Every SPADE_FAILPOINT / SPADE_FAILPOINT_STATUS site in src/, sorted.
+  // FailpointTest.AllSiteNamesCoversEveryRegisteredSite fails if it drifts.
+  return {
+      "core.lattice.slice",   "core.measure.load",
+      "core.translate",       "exec.parallel_for",
+      "exec.taskgroup.task",  "ingest.chunk",
+      "ingest.scatter",       "ingest.seal",
+      "persist.load.attach",  "persist.load.open",
+      "persist.save.finish",  "persist.save.open",
+      "persist.save.rename",  "persist.save.segment",
+      "serve.accept",         "serve.read",
+      "serve.request",        "serve.write",
+  };
+}
+
+}  // namespace fail
+}  // namespace spade

@@ -69,6 +69,12 @@ void Reset();
 /// (A site registers on first execution of its code path.)
 std::vector<std::string> KnownNames();
 
+/// The canonical list of every failpoint site compiled into the codebase,
+/// sorted. Unlike KnownNames() this does not depend on which code paths have
+/// executed — it backs `spade_cli --list-failpoints`. Kept in sync by
+/// FailpointTest.AllSiteNamesCoversEveryRegisteredSite.
+std::vector<std::string> AllSiteNames();
+
 }  // namespace fail
 }  // namespace spade
 

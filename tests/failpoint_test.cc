@@ -135,6 +135,28 @@ TEST_F(FailpointTest, FullPipelineRegistersTheExpectedSites) {
   std::remove(snap.c_str());
 }
 
+TEST_F(FailpointTest, AllSiteNamesCoversEveryRegisteredSite) {
+  // AllSiteNames() is the static catalog behind `spade_cli
+  // --list-failpoints`; it exists in every build, is sorted and duplicate
+  // free, and must be a superset of whatever actually registered at
+  // runtime. (FullPipelineRegistersTheExpectedSites above exercises most
+  // code paths first when the suite runs in order; this holds regardless.)
+  const std::vector<std::string> all = fail::AllSiteNames();
+  ASSERT_FALSE(all.empty());
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  for (const char* site :
+       {"serve.accept", "serve.read", "serve.write", "serve.request"}) {
+    EXPECT_TRUE(std::find(all.begin(), all.end(), site) != all.end())
+        << "network failpoint missing from the catalog: " << site;
+  }
+  for (const std::string& name : fail::KnownNames()) {
+    EXPECT_TRUE(std::find(all.begin(), all.end(), name) != all.end())
+        << "site registered at runtime but missing from AllSiteNames(): "
+        << name << " — add it to the catalog in failpoint.cc";
+  }
+}
+
 TEST_F(FailpointTest, OnlineFailpointsReturnErrorStatus) {
   if (!fail::Enabled()) GTEST_SKIP() << "failpoints compiled out";
   for (const char* name : {"exec.parallel_for", "core.lattice.slice",

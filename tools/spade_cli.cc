@@ -42,6 +42,26 @@
 //                        running one online pass; see src/persist/serve.h
 //                        for the request grammar
 //   --serve-requests F   read serve requests from F instead of stdin
+//   --listen HOST:PORT   serve the same request grammar over TCP instead of
+//                        stdin/stdout (implies --serve; port 0 = ephemeral,
+//                        the bound address is printed to stderr as
+//                        "listening on HOST:PORT"). SIGTERM/SIGINT drain
+//                        gracefully; see src/net/tcp_server.h
+//   --max-connections N  TCP: connections beyond N are answered `busy` and
+//                        closed at accept                      (default 64)
+//   --max-inflight N     TCP: global cap on concurrently evaluating
+//                        requests; beyond it requests are shed with a
+//                        `#<id> busy` reply   (default 0 = 2x thread count)
+//   --request-timeout-ms MS
+//                        serve modes: default AND cap for per-request
+//                        timeout= deadlines               (default 0 = none)
+//   --idle-timeout-ms MS TCP: close connections with no progress and nothing
+//                        in flight for MS              (default 300000; 0 = never)
+//   --drain-ms MS        TCP: graceful-drain deadline after SIGTERM/SIGINT;
+//                        in-flight requests are cancelled to truncated
+//                        replies past it, hard stop at 2x MS  (default 2000)
+//   --list-failpoints    print every fault-injection site name and exit
+//                        (failpoint builds only; see src/util/failpoint.h)
 //   --json FILE          write the insights as JSON
 //   --csv FILE           write the flattened insights as CSV
 //   --quiet              suppress the rendered insight charts
@@ -58,10 +78,12 @@
 #include "src/core/present.h"
 #include "src/core/spade.h"
 #include "src/ingest/chunk_source.h"
+#include "src/net/tcp_server.h"
 #include "src/persist/serve.h"
 #include "src/rdf/csv2rdf.h"
 #include "src/rdf/ntriples.h"
 #include "src/rdf/turtle.h"
+#include "src/util/failpoint.h"
 #include "src/util/string_util.h"
 #include "src/util/timer.h"
 
@@ -84,6 +106,10 @@ int Usage() {
                "                 [--json FILE] [--csv FILE]\n"
                "                 [--quiet] [--save-store FILE] "
                "[--no-verify-snapshot] [--serve] [--serve-requests FILE]\n"
+               "                 [--listen HOST:PORT] [--max-connections N] "
+               "[--max-inflight N] [--request-timeout-ms MS]\n"
+               "                 [--idle-timeout-ms MS] [--drain-ms MS] "
+               "[--list-failpoints]\n"
                "       spade_cli --load-store FILE [options]\n";
   return 1;
 }
@@ -99,6 +125,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool serve = false;
   std::string serve_requests;
+  std::string listen_spec;
+  spade::net::TcpServerOptions net_options;
+  double request_timeout_ms = 0;
 
   // The data file is optional when a snapshot is loaded instead.
   std::string data_path;
@@ -228,6 +257,57 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       serve_requests = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      listen_spec = v;
+      serve = true;
+    } else if (arg == "--max-connections") {
+      const char* v = next();
+      int64_t n;
+      if (v == nullptr || !spade::ParseInt64(v, &n) || n <= 0) {
+        return Fail("--max-connections needs a positive integer");
+      }
+      net_options.max_connections = static_cast<size_t>(n);
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      int64_t n;
+      if (v == nullptr || !spade::ParseInt64(v, &n) || n < 0) {
+        return Fail("--max-inflight needs an integer >= 0 (0 = auto)");
+      }
+      net_options.max_inflight = static_cast<size_t>(n);
+    } else if (arg == "--request-timeout-ms") {
+      const char* v = next();
+      double ms;
+      if (v == nullptr || !spade::ParseDouble(v, &ms) || ms < 0) {
+        return Fail("--request-timeout-ms needs milliseconds >= 0 (0 = none)");
+      }
+      request_timeout_ms = ms;
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = next();
+      double ms;
+      if (v == nullptr || !spade::ParseDouble(v, &ms) || ms < 0) {
+        return Fail("--idle-timeout-ms needs milliseconds >= 0 (0 = never)");
+      }
+      net_options.idle_timeout_ms = ms;
+    } else if (arg == "--drain-ms") {
+      const char* v = next();
+      double ms;
+      if (v == nullptr || !spade::ParseDouble(v, &ms) || ms <= 0) {
+        return Fail("--drain-ms needs milliseconds > 0");
+      }
+      net_options.drain_deadline_ms = ms;
+    } else if (arg == "--list-failpoints") {
+#if defined(SPADE_FAILPOINTS)
+      for (const std::string& name : spade::fail::AllSiteNames()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+#else
+      return Fail(
+          "failpoints are compiled out of this build "
+          "(configure with -DSPADE_FAILPOINTS=ON to list and arm them)");
+#endif
     } else if (arg == "--json") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -318,6 +398,36 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail("fact-set selection: " + st.ToString());
     spade::persist::ServeOptions sopt;
     sopt.num_threads = options.num_threads;
+    sopt.request_deadline_ms = request_timeout_ms;
+
+    // TCP front end: same request core, hardened for many remote clients.
+    if (!listen_spec.empty()) {
+      st = spade::net::ParseHostPort(listen_spec, &net_options.listen);
+      if (!st.ok()) return Fail("--listen: " + st.ToString());
+      net_options.serve = sopt;
+      spade::net::TcpServer server(&spade, net_options);
+      st = server.Start();
+      if (!st.ok()) return Fail("listen: " + st.ToString());
+      // Scripts parse this exact line to discover an ephemeral port.
+      std::cerr << "listening on " << net_options.listen.host << ":"
+                << server.port() << "\n";
+      const spade::net::TcpServeStats stats = server.Run();
+      std::cerr << "served " << stats.serve.num_requests << " request"
+                << (stats.serve.num_requests == 1 ? "" : "s") << " ("
+                << stats.serve.num_errors << " error"
+                << (stats.serve.num_errors == 1 ? "" : "s") << ", "
+                << stats.serve.num_truncated << " truncated) over "
+                << stats.num_connections << " connection"
+                << (stats.num_connections == 1 ? "" : "s") << " in "
+                << spade::FormatDouble(stats.serve.wall_ms, 1) << " ms; shed "
+                << stats.num_connections_shed << " connections + "
+                << stats.num_requests_shed << " requests, "
+                << stats.num_io_errors << " I/O errors, "
+                << stats.num_idle_closed << " idle-closed; drain "
+                << (stats.drained_clean ? "clean" : "HARD-STOPPED") << "\n";
+      return stats.drained_clean ? 0 : 1;
+    }
+
     spade::persist::InsightServer server(&spade, sopt);
     spade::persist::ServeStats stats;
     if (!serve_requests.empty()) {

@@ -1,0 +1,150 @@
+// spade_client — drive a spade_cli --listen server from the shell.
+//
+//   spade_client HOST:PORT [options] [REQUEST...]
+//
+//   HOST:PORT            the address the server printed ("listening on ...")
+//   REQUEST...           request lines to send (each further positional
+//                        argument is one request); with none given, requests
+//                        are read from stdin, one per line
+//   --attempts N         tries per request, first included     (default 8)
+//   --connect-timeout-ms MS                                    (default 5000)
+//   --io-timeout-ms MS   per-read/write timeout inside a block (default 30000)
+//   --backoff-ms MS      base retry backoff (exponential, full jitter,
+//                        capped at 100x base)                  (default 25)
+//   --seed N             jitter seed                           (default 1)
+//   --quiet              suppress the per-session stats line on stderr
+//
+// The client speaks the serve line protocol (see src/persist/serve.h), one
+// request at a time, and owns the retry half of the server's load-shedding
+// contract: `busy` replies, refused connects and connections dying
+// mid-response are retried with jittered exponential backoff; `error:`
+// replies are the request's own fault and are printed, not retried.
+//
+// Exit code 0 when every request got a reply (error: replies included),
+// 1 when any request exhausted its retries or the arguments were bad.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/net/line_client.h"
+#include "src/net/net_util.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "spade_client: " << message << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage: spade_client HOST:PORT [--attempts N] "
+               "[--connect-timeout-ms MS] [--io-timeout-ms MS]\n"
+               "                    [--backoff-ms MS] [--seed N] [--quiet] "
+               "[REQUEST...]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (!spade::net::Supported()) {
+    return Fail("TCP networking is unsupported on this platform");
+  }
+
+  spade::net::LineClientOptions options;
+  spade::Status st = spade::net::ParseHostPort(argv[1], &options.server);
+  if (!st.ok()) return Fail(st.ToString());
+
+  std::vector<std::string> requests;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--attempts") {
+      const char* v = next();
+      int64_t n;
+      if (v == nullptr || !spade::ParseInt64(v, &n) || n <= 0) {
+        return Fail("--attempts needs a positive integer");
+      }
+      options.max_attempts = static_cast<size_t>(n);
+    } else if (arg == "--connect-timeout-ms") {
+      const char* v = next();
+      double ms;
+      if (v == nullptr || !spade::ParseDouble(v, &ms) || ms <= 0) {
+        return Fail("--connect-timeout-ms needs milliseconds > 0");
+      }
+      options.connect_timeout_ms = ms;
+    } else if (arg == "--io-timeout-ms") {
+      const char* v = next();
+      double ms;
+      if (v == nullptr || !spade::ParseDouble(v, &ms) || ms <= 0) {
+        return Fail("--io-timeout-ms needs milliseconds > 0");
+      }
+      options.io_timeout_ms = ms;
+    } else if (arg == "--backoff-ms") {
+      const char* v = next();
+      double ms;
+      if (v == nullptr || !spade::ParseDouble(v, &ms) || ms <= 0) {
+        return Fail("--backoff-ms needs milliseconds > 0");
+      }
+      options.backoff_base_ms = ms;
+      options.backoff_max_ms = ms * 100;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      int64_t n;
+      if (v == nullptr || !spade::ParseInt64(v, &n) || n < 0) {
+        return Fail("--seed needs an integer >= 0");
+      }
+      options.seed = static_cast<uint64_t>(n);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown option '" + arg + "'");
+    } else {
+      requests.push_back(arg);
+    }
+  }
+
+  // SIGPIPE must never kill the client either: a server dying mid-send is a
+  // retryable transport fault.
+  spade::net::ScopedIgnoreSigpipe ignore_sigpipe;
+  spade::net::LineClient client(options);
+
+  auto run_one = [&](const std::string& line) -> bool {
+    const std::string_view trimmed = spade::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') return true;
+    spade::Result<std::string> reply = client.Request(std::string(trimmed));
+    if (!reply.ok()) {
+      std::cerr << "spade_client: " << reply.status().ToString() << "\n";
+      return false;
+    }
+    std::cout << *reply;
+    std::cout.flush();
+    return true;
+  };
+
+  bool ok = true;
+  if (!requests.empty()) {
+    for (const std::string& line : requests) ok = run_one(line) && ok;
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) ok = run_one(line) && ok;
+  }
+
+  const spade::net::LineClientStats& stats = client.stats();
+  if (!quiet) {
+    std::cerr << "spade_client: " << stats.num_requests << " request"
+              << (stats.num_requests == 1 ? "" : "s") << ", "
+              << stats.num_retries << " retr"
+              << (stats.num_retries == 1 ? "y" : "ies") << ", "
+              << stats.num_busy << " busy, " << stats.num_reconnects
+              << " connect" << (stats.num_reconnects == 1 ? "" : "s") << "\n";
+  }
+  return ok ? 0 : 1;
+}
