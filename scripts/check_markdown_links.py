@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Check that intra-repo markdown links resolve.
+"""Check that intra-repo markdown links resolve and doc counts are current.
 
 Scans the given markdown files (default: every tracked *.md plus
 .github/**.md) for inline links/images `[text](target)` and reference
@@ -8,8 +8,12 @@ on disk. External links (scheme://, mailto:) are ignored; `#anchor`-only
 links are checked against the headings of the same file, and
 `file.md#anchor` links against the headings of the target file.
 
+Also cross-checks every "N gtest suites" claim against the number of
+tests/*_test.cc files actually in the tree, so adding a test suite without
+updating the docs fails the CI docs job.
+
 Usage: scripts/check_markdown_links.py [FILE.md ...]
-Exit code 0 when every link resolves, 1 otherwise (each failure printed).
+Exit code 0 when everything checks out, 1 otherwise (each failure printed).
 """
 
 import os
@@ -67,6 +71,26 @@ def check_file(md: str) -> list:
     return errors
 
 
+SUITE_COUNT_RE = re.compile(r"(\d+)\s+gtest\s+suites?")
+
+
+def check_suite_counts(md: str, repo_root: str) -> list:
+    """Every 'N gtest suites' claim must equal the tests/*_test.cc count."""
+    import glob
+    actual = len(glob.glob(os.path.join(repo_root, "tests", "*_test.cc")))
+    if actual == 0:  # not run from the repo root; nothing to verify against
+        return []
+    errors = []
+    with open(md, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for claim in SUITE_COUNT_RE.findall(line):
+                if int(claim) != actual:
+                    errors.append(
+                        f"{md}:{lineno}: says {claim} gtest suites, but "
+                        f"tests/ has {actual} *_test.cc files")
+    return errors
+
+
 def main(argv):
     files = argv[1:]
     if not files:
@@ -80,6 +104,7 @@ def main(argv):
             errors.append(f"{md}: file not found")
             continue
         errors.extend(check_file(md))
+        errors.extend(check_suite_counts(md, os.getcwd()))
     for error in errors:
         print(error, file=sys.stderr)
     print(f"checked {len(files)} markdown file(s): "

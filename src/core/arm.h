@@ -74,6 +74,20 @@ class Arm {
   std::vector<Ranked> TopK(size_t k, InterestingnessKind kind,
                            size_t min_groups = 2) const;
 
+  /// Rewrite every entry's key through `fn`, preserving entry order, and
+  /// rebuild the key index. The incremental-maintenance cache uses this to
+  /// retag a retained CFS shard after a delta changed the CFS's id and the
+  /// store's attribute ids (the shard's data is unchanged — only the key
+  /// coordinates moved). `fn` must be injective over the stored keys.
+  template <typename Fn>
+  void RemapKeys(Fn&& fn) {
+    index_.clear();
+    for (Handle h = 0; h < entries_.size(); ++h) {
+      entries_[h].key = fn(entries_[h].key);
+      index_.emplace(entries_[h].key, h);
+    }
+  }
+
   /// Move every entry of `shard` into this ARM, leaving `shard` empty.
   ///
   /// The parallel pipeline gives each CFS its own ARM shard (AggregateKey

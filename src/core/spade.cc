@@ -28,6 +28,11 @@ Spade::~Spade() = default;
 
 Status Spade::RunOffline() {
   if (!options_.load_store.empty()) return LoadStore(options_.load_store);
+  SPADE_RETURN_NOT_OK(BuildOfflineSequential());
+  return MaybeSaveStore();
+}
+
+Status Spade::BuildOfflineSequential() {
   Timer offline_timer;
   Timer timer;
   if (options_.saturate) {
@@ -38,6 +43,7 @@ Status Spade::RunOffline() {
   report_.num_triples = graph_->NumTriples();
 
   summary_ = StructuralSummary::Build(*graph_);
+  summary_dirty_ = false;
   report_.timings.summary_ms = timer.ElapsedMillis();
   timer.Restart();
 
@@ -67,7 +73,7 @@ Status Spade::RunOffline() {
   report_.timings.offline_wall_ms = offline_timer.ElapsedMillis();
 
   offline_done_ = true;
-  return MaybeSaveStore();
+  return Status::OK();
 }
 
 Status Spade::RunOffline(TripleChunkSource* source) {
@@ -110,6 +116,7 @@ Status Spade::RunOffline(TripleChunkSource* source) {
       [this, &summary_ms] {
         Timer t;
         summary_ = StructuralSummary::Build(*graph_);
+        summary_dirty_ = false;
         summary_ms = t.ElapsedMillis();
       },
       &report_.ingest));
@@ -149,6 +156,7 @@ Status Spade::LoadStore(const std::string& path) {
   std::vector<CandidateFactSet> loaded_sets;
   SPADE_RETURN_NOT_OK(reader->Load(graph_, &db_, &summary_, &offline_stats_,
                                    &loaded_sets, &meta));
+  summary_dirty_ = false;
   snapshot_ = std::move(reader);  // keep the mapping alive for the attachments
   report_.num_triples = static_cast<size_t>(meta.num_triples);
   report_.num_direct_properties =
@@ -178,6 +186,7 @@ Status Spade::SaveStore(const std::string& path) const {
   meta.cfs_options = options_.cfs;
   const std::vector<CandidateFactSet>* sets =
       fact_sets_ready_ ? &fact_sets_ : nullptr;
+  EnsureSummary();  // snapshots persist the summary; refresh a deferred one
   return persist::SaveSnapshot(*db_, summary_, offline_stats_, sets, meta,
                                path);
 }
@@ -190,12 +199,21 @@ Status Spade::MaybeSaveStore() {
   return SaveStore(options_.save_store);
 }
 
+void Spade::EnsureSummary() const {
+  if (!summary_dirty_) return;
+  summary_ = StructuralSummary::Build(*graph_);
+  summary_dirty_ = false;
+}
+
 Status Spade::PrepareFactSets() {
   if (!offline_done_) {
     return Status::Internal("RunOffline() must complete before fact-set selection");
   }
   if (fact_sets_ready_) return Status::OK();
   Timer timer;
+  // Only summary-based selection reads the summary; type/property-based
+  // selection after a delta must not pay for the rebuild.
+  if (options_.cfs.summary_based) EnsureSummary();
   fact_sets_ = SelectCandidateFactSets(*graph_, &summary_, options_.cfs);
   report_.num_cfs = fact_sets_.size();
   report_.timings.cfs_selection_ms = timer.ElapsedMillis();
@@ -357,6 +375,95 @@ Result<Spade::CfsBatchOutcome> Spade::EvaluateCfsBatch(
   return out;
 }
 
+Result<Spade::CfsBatchOutcome> Spade::EvaluateAllCfsCached(
+    size_t num_shards, const CancelCheck& cancel, TaskScheduler* scheduler) {
+  const uint32_t num_cfs = static_cast<uint32_t>(fact_sets_.size());
+  const bool use_cache = options_.enable_incremental;
+  // Partition the selection: a CFS with a valid cache entry (same name,
+  // same member list — ApplyDelta already dropped anything whose attributes
+  // changed) absorbs its retained shard; everything else evaluates fresh.
+  std::vector<uint32_t> fresh;
+  std::vector<const CfsCacheEntry*> cached(num_cfs, nullptr);
+  fresh.reserve(num_cfs);
+  for (uint32_t id = 0; id < num_cfs; ++id) {
+    if (use_cache) {
+      auto it = online_cache_.find(fact_sets_[id].name);
+      if (it != online_cache_.end() &&
+          it->second.members == fact_sets_[id].members) {
+        cached[id] = &it->second;
+        continue;
+      }
+    }
+    fresh.push_back(id);
+  }
+
+  std::vector<Arm> shards(fresh.size(), Arm(options_.max_stored_groups));
+  std::vector<SpadeReport> partials(fresh.size());
+  std::vector<CfsRunState> states(fresh.size(), CfsRunState::kSkipped);
+  try {
+    scheduler->ParallelFor(
+        fresh.size(),
+        [&](size_t i) {
+          states[i] = RunOnlineCfs(fresh[i], num_shards, options_, &cancel,
+                                   &shards[i], scheduler, &partials[i]);
+        },
+        &cancel);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("online evaluation failed: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("online evaluation failed: unknown exception");
+  }
+
+  // Commit walk over ALL cfs_ids in ascending order — cached and fresh
+  // shards interleave exactly where the serial run would have produced
+  // them, so the absorbed entry order (and therefore every downstream
+  // ranking tie-break) is bit-identical to a full re-evaluation.
+  CfsBatchOutcome out;
+  size_t fi = 0;
+  for (uint32_t id = 0; id < num_cfs; ++id) {
+    if (cached[id] != nullptr) {
+      // A retained shard is a complete deterministic group stream for this
+      // CFS: it commits exactly like a fresh kCompleted shard.
+      MergeCfsReport(cached[id]->partial, &report_);
+      Arm copy = cached[id]->shard;
+      arm_->Absorb(std::move(copy));
+      ++report_.num_cfs_reused;
+      ++out.num_completed;
+      continue;
+    }
+    const size_t i = fi++;
+    if (states[i] == CfsRunState::kCompleted ||
+        states[i] == CfsRunState::kTruncated) {
+      MergeCfsReport(partials[i], &report_);
+      if (use_cache && states[i] == CfsRunState::kCompleted) {
+        // Cache the pre-absorb shard (a copy: Absorb consumes) so a later
+        // run can replay it without re-evaluating.
+        CfsCacheEntry entry;
+        entry.members = fact_sets_[id].members;
+        entry.shard = shards[i];
+        entry.partial = partials[i];
+        online_cache_[fact_sets_[id].name] = std::move(entry);
+      }
+      arm_->Absorb(std::move(shards[i]));
+      if (states[i] == CfsRunState::kCompleted) {
+        ++out.num_completed;
+        continue;
+      }
+      out.truncated = true;
+      out.reason = CancelReason::kBudget;
+      return out;
+    }
+    // kAborted / kSkipped: cut here (same canonical-prefix rule as
+    // EvaluateCfsBatch); a timing-dependent partial shard is never cached.
+    out.truncated = true;
+    out.reason = cancel.reason() != CancelReason::kNone ? cancel.reason()
+                                                        : CancelReason::kCancelled;
+    return out;
+  }
+  return out;
+}
+
 Result<std::vector<Insight>> Spade::RunOnline() {
   if (!offline_done_) {
     return Status::Internal("RunOffline() must complete before RunOnline()");
@@ -388,7 +495,6 @@ Result<std::vector<Insight>> Spade::RunOnline() {
                                         options_.enable_earlystop,
                                         options_.num_shards, num_threads);
   report_.num_shards_used = num_shards;
-  uint32_t num_cfs = static_cast<uint32_t>(fact_sets_.size());
 
   // One code path for both modes: a null pool makes the scheduler run every
   // CFS inline in order. Outer parallelism is across CFSs; within a CFS, the
@@ -411,10 +517,7 @@ Result<std::vector<Insight>> Spade::RunOnline() {
                           : Deadline::Never();
   CancelCheck cancel(token, deadline);
 
-  std::vector<uint32_t> ids(num_cfs);
-  for (uint32_t i = 0; i < num_cfs; ++i) ids[i] = i;
-  auto batch = EvaluateCfsBatch(ids, num_shards, options_, cancel, &scheduler,
-                                arm_.get(), &report_);
+  auto batch = EvaluateAllCfsCached(num_shards, cancel, &scheduler);
   SPADE_RETURN_NOT_OK(batch.status());
   report_.truncated = batch->truncated;
   report_.cancel_reason = batch->reason;

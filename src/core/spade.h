@@ -1,6 +1,7 @@
 #ifndef SPADE_CORE_SPADE_H_
 #define SPADE_CORE_SPADE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -93,6 +94,27 @@ struct SpadeOptions {
   /// thread makes the run stop cooperatively, same truncation contract as
   /// the deadline. (Explore() takes its token per request instead.)
   CancelToken* cancel = nullptr;
+  /// Incremental maintenance: retain each CFS's online result (its full ARM
+  /// shard + report deltas) across RunOnline() calls and reuse it for CFSs
+  /// no delta has touched. ApplyDelta() invalidates exactly the CFSs whose
+  /// member lists or supported attributes changed, so the next RunOnline()
+  /// re-evaluates only those — results stay bit-identical to a full re-run
+  /// (proved by the differential harness in tests/delta_test.cc). Costs one
+  /// retained shard per clean CFS.
+  bool enable_incremental = false;
+};
+
+/// What one ApplyDelta() batch did (the serve mode's `apply` verb reports
+/// these counts verbatim; all deterministic, no timings except apply_ms).
+struct DeltaReport {
+  size_t num_added = 0;          ///< net-new triples
+  size_t num_removed = 0;        ///< net-removed triples
+  size_t noop_adds = 0;          ///< added triples that were already present
+  size_t noop_retracts = 0;      ///< retractions that removed nothing
+  size_t num_attrs_changed = 0;  ///< attribute tables created/modified/dropped
+  size_t num_cfs = 0;            ///< fact sets selected after the delta
+  size_t num_cfs_reused = 0;     ///< cache entries still valid (clean CFSs)
+  double apply_ms = 0;           ///< wall-clock of the whole apply
 };
 
 /// Wall-clock per pipeline step (Figure 11's stacked bars).
@@ -182,6 +204,9 @@ struct SpadeReport {
   size_t num_cfs_completed = 0;
   /// Groups refused by the bitmap budget (counted, never silently dropped).
   size_t num_groups_skipped = 0;
+  /// CFSs answered from the incremental cache instead of re-evaluation
+  /// (SpadeOptions::enable_incremental; always 0 otherwise).
+  size_t num_cfs_reused = 0;
 };
 
 /// One returned insight: a top-k aggregate with its provenance.
@@ -263,6 +288,39 @@ class Spade {
   Result<ExploreOutcome> Explore(const ExploreRequest& request,
                                  TaskScheduler* scheduler) const;
 
+  /// Apply one mutation batch to the live pipeline. `adds` / `retracts` are
+  /// triple chunk sources (either may be null) whose terms are interned in
+  /// this pipeline's graph, same contract as the ingest path. Batch
+  /// semantics: final set = (current \ retracts) ∪ adds; no-ops (adding a
+  /// present triple, retracting an absent one) are counted, not errors.
+  ///
+  /// The mutated state is staged beside the live one (new permutations, new
+  /// attribute tables merged base+delta, new statistics) and committed with
+  /// nothing but noexcept swaps, so any staging failure — including the
+  /// `delta.apply` failpoint — leaves the pipeline exactly as it was. After
+  /// the commit the structural summary and CFS selection are rebuilt and the
+  /// incremental cache is revalidated: entries whose member lists and
+  /// supported attributes are untouched survive (retagged to the new ids),
+  /// everything else is dropped for re-evaluation. Online results/counters
+  /// are reset; run RunOnline() again for fresh insights. Requires
+  /// RunOffline() first; not supported with RDFS saturation.
+  Status ApplyDelta(TripleChunkSource* adds, TripleChunkSource* retracts,
+                    DeltaReport* out = nullptr);
+
+  /// Reseal the accumulated state: re-intern the current triple set in
+  /// canonical order into a fresh dictionary (dropping retired terms) and
+  /// rebuild the store with the sequential offline pass. The result is
+  /// byte-identical to a fresh sequential build of the final triple set
+  /// (the compaction oracle in tests/delta_test.cc), and releases any
+  /// borrowed snapshot mapping. Drops the incremental cache (id assignment
+  /// may shift). Requires RunOffline() first; not with RDFS saturation.
+  Status Compact();
+
+  /// Mutation batches applied since construction.
+  size_t num_deltas_applied() const { return num_deltas_applied_; }
+  /// Currently valid per-CFS cache entries (incremental mode).
+  size_t num_cached_cfs() const { return online_cache_.size(); }
+
   /// Persist the complete offline state (plus the CFS selection, when
   /// prepared) to `path`. Requires RunOffline() first. RunOffline() calls
   /// this automatically when SpadeOptions::save_store is set.
@@ -271,10 +329,19 @@ class Spade {
   const SpadeReport& report() const { return report_; }
   const AttributeStore& store() const { return *db_; }
   AttributeStore* mutable_store() { return db_.get(); }
+  /// The graph this pipeline analyzes (delta sources intern into its dict).
+  Graph* mutable_graph() { return graph_; }
   const std::vector<CandidateFactSet>& fact_sets() const { return fact_sets_; }
   const Arm& arm() const { return *arm_; }
   const std::vector<AttrStats>& offline_stats() const { return offline_stats_; }
-  const StructuralSummary& summary() const { return summary_; }
+  /// The structural summary of the current graph. After ApplyDelta the
+  /// rebuild is deferred (nothing on the delta path reads it unless CFS
+  /// selection is summary-based); this accessor rebuilds on demand. Not safe
+  /// concurrently with explores — call from mutation/setup paths only.
+  const StructuralSummary& summary() const {
+    EnsureSummary();
+    return summary_;
+  }
 
   /// Render an MDA as a SPARQL 1.1 aggregate query over the original graph.
   /// Derived dimensions that SPARQL cannot express as a property path
@@ -323,6 +390,37 @@ class Spade {
                                            TaskScheduler* scheduler, Arm* arm,
                                            SpadeReport* report) const;
 
+  /// One retained per-CFS online result (SpadeOptions::enable_incremental):
+  /// the CFS's full pre-absorb ARM shard plus its partial report, keyed by
+  /// CFS name in online_cache_. Valid while the CFS's member list and every
+  /// attribute with support in it are unchanged; ApplyDelta() revalidates
+  /// and retags entries, Compact() drops them all.
+  struct CfsCacheEntry {
+    std::vector<TermId> members;
+    Arm shard{0};
+    SpadeReport partial;
+  };
+
+  /// The sequential offline pass over graph_ (summary, direct tables,
+  /// statistics, derivations). RunOffline() wraps it; Compact() reruns it
+  /// over the canonically rebuilt graph.
+  Status BuildOfflineSequential();
+
+  /// Drop arm_ and every online-phase report field; offline fields and the
+  /// incremental cache stay. ApplyDelta()/Compact() call this so the next
+  /// RunOnline() accumulates from zero.
+  void ResetOnlineState();
+
+  /// RunOnline()'s steps 2-4 with the incremental cache: evaluate only CFSs
+  /// without a valid cache entry, then walk every cfs_id in ascending order,
+  /// absorbing cached shards (copies) and fresh shards under the same
+  /// canonical-prefix commit rule as EvaluateCfsBatch. Completed fresh CFSs
+  /// are cached (pre-absorb copies) when incremental mode is on; with it
+  /// off this degenerates to the plain batch evaluation.
+  Result<CfsBatchOutcome> EvaluateAllCfsCached(size_t num_shards,
+                                               const CancelCheck& cancel,
+                                               TaskScheduler* scheduler);
+
   /// Turn a ranking into presentable insights (provenance + SPARQL).
   std::vector<Insight> BuildInsights(std::vector<Arm::Ranked> ranked) const;
 
@@ -331,16 +429,25 @@ class Spade {
   /// SaveStore(options_.save_store) if configured, else a no-op.
   Status MaybeSaveStore();
 
+  /// Rebuild summary_ if a delta invalidated it (lazy: a mutation batch
+  /// only pays for the O(num_triples) summary walk when something actually
+  /// reads the summary afterwards).
+  void EnsureSummary() const;
+
   Graph* graph_;
   SpadeOptions options_;
   std::unique_ptr<AttributeStore> db_;
-  StructuralSummary summary_;
+  mutable StructuralSummary summary_;
+  mutable bool summary_dirty_ = false;
   std::vector<AttrStats> offline_stats_;
   std::vector<CandidateFactSet> fact_sets_;
   std::unique_ptr<Arm> arm_;
   SpadeReport report_;
   bool offline_done_ = false;
   bool fact_sets_ready_ = false;
+  /// Per-CFS online results retained for reuse (enable_incremental).
+  std::map<std::string, CfsCacheEntry> online_cache_;
+  size_t num_deltas_applied_ = 0;
   /// Owns the mmap behind a loaded store; must outlive graph_/db_/summary_
   /// contents, which borrow from it.
   std::unique_ptr<persist::SnapshotReader> snapshot_;

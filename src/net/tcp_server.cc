@@ -171,6 +171,12 @@ TcpServer::TcpServer(const Spade* spade, TcpServerOptions options)
       core_(spade, options_.serve),
       impl_(std::make_unique<Impl>()) {}
 
+TcpServer::TcpServer(Spade* spade, TcpServerOptions options)
+    : spade_(spade),
+      options_(std::move(options)),
+      core_(spade, options_.serve),
+      impl_(std::make_unique<Impl>()) {}
+
 TcpServer::~TcpServer() = default;
 
 Status TcpServer::Start() {
@@ -682,6 +688,12 @@ struct TcpServer::Impl {
 };
 
 TcpServer::TcpServer(const Spade* spade, TcpServerOptions options)
+    : spade_(spade),
+      options_(std::move(options)),
+      core_(spade, options_.serve),
+      impl_(std::make_unique<Impl>()) {}
+
+TcpServer::TcpServer(Spade* spade, TcpServerOptions options)
     : spade_(spade),
       options_(std::move(options)),
       core_(spade, options_.serve),

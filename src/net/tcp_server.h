@@ -94,8 +94,15 @@ struct TcpServeStats {
 class TcpServer {
  public:
   /// `spade` must have completed RunOffline() and PrepareFactSets() and must
-  /// outlive the server.
+  /// outlive the server. A server built over a const pipeline is read-only:
+  /// `apply` / `compact` requests answer with an error.
   TcpServer(const Spade* spade, TcpServerOptions options);
+
+  /// Mutable pipeline: `apply` / `compact` requests are accepted (unless
+  /// ServeOptions::read_only). See persist::InsightServer for the locking
+  /// contract.
+  TcpServer(Spade* spade, TcpServerOptions options);
+
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;

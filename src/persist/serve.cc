@@ -1,13 +1,16 @@
 #include "src/persist/serve.h"
 
+#include <fstream>
 #include <istream>
 #include <memory>
 #include <mutex>
 #include <new>
 #include <ostream>
+#include <shared_mutex>
 #include <sstream>
 #include <vector>
 
+#include "src/ingest/chunk_source.h"
 #include "src/util/failpoint.h"
 #include "src/util/string_util.h"
 #include "src/util/timer.h"
@@ -148,6 +151,9 @@ std::string OversizedLineBody(size_t line_bytes, size_t limit) {
 InsightServer::InsightServer(const Spade* spade, ServeOptions options)
     : spade_(spade), options_(options) {}
 
+InsightServer::InsightServer(Spade* spade, ServeOptions options)
+    : spade_(spade), mutable_spade_(spade), options_(options) {}
+
 std::string InsightServer::HandleLine(const std::string& line,
                                       TaskScheduler* scheduler,
                                       CancelToken* cancel, bool* is_error,
@@ -166,6 +172,85 @@ std::string InsightServer::HandleLine(const std::string& line,
   const std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return error("empty request");
   const std::string& cmd = tokens[0];
+
+  if (cmd == "apply" || cmd == "compact") {
+    if (mutable_spade_ == nullptr || options_.read_only) {
+      return error("server is read-only ('" + cmd + "' needs a mutable server"
+                   " started without --read-only)");
+    }
+    // Writer lock: in-flight read requests finish first, later ones see the
+    // post-mutation pipeline. Deterministic, timing-free responses.
+    std::unique_lock<std::shared_mutex> write_lock(state_mu_);
+    if (cmd == "compact") {
+      if (tokens.size() > 1) return error("compact takes no arguments");
+      Status st = mutable_spade_->Compact();
+      if (!st.ok()) return error(st.message());
+      std::ostringstream out;
+      out << "ok triples=" << mutable_spade_->report().num_triples
+          << " attrs=" << mutable_spade_->store().num_attributes()
+          << " cfs=" << mutable_spade_->fact_sets().size() << "\n";
+      out << "end\n";
+      return out.str();
+    }
+    std::string add_path;
+    std::string retract_path;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      const size_t eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        return error("expected key=value, got '" + tokens[i] + "'");
+      }
+      const std::string key = tokens[i].substr(0, eq);
+      const std::string value = tokens[i].substr(eq + 1);
+      if (key == "add") {
+        add_path = value;
+      } else if (key == "retract") {
+        retract_path = value;
+      } else {
+        return error("unknown key '" + key +
+                     "' (apply [add=FILE] [retract=FILE])");
+      }
+    }
+    if (add_path.empty() && retract_path.empty()) {
+      return error(
+          "apply needs add=FILE and/or retract=FILE (server-local N-Triples)");
+    }
+    // Server-local paths, like --save-store and the request scripts: the
+    // serve mode is an operator tool, the operator stages the delta files.
+    std::ifstream add_in;
+    std::ifstream retract_in;
+    std::unique_ptr<NTriplesChunkSource> add_src;
+    std::unique_ptr<NTriplesChunkSource> retract_src;
+    Graph* graph = mutable_spade_->mutable_graph();
+    if (!add_path.empty()) {
+      add_in.open(add_path);
+      if (!add_in) return error("cannot open add file '" + add_path + "'");
+      add_src = std::make_unique<NTriplesChunkSource>(add_in, graph);
+    }
+    if (!retract_path.empty()) {
+      retract_in.open(retract_path);
+      if (!retract_in) {
+        return error("cannot open retract file '" + retract_path + "'");
+      }
+      retract_src = std::make_unique<NTriplesChunkSource>(retract_in, graph);
+    }
+    DeltaReport delta;
+    Status st =
+        mutable_spade_->ApplyDelta(add_src.get(), retract_src.get(), &delta);
+    if (!st.ok()) return error(st.message());
+    std::ostringstream out;
+    out << "ok added=" << delta.num_added << " removed=" << delta.num_removed
+        << " noop_adds=" << delta.noop_adds
+        << " noop_retracts=" << delta.noop_retracts
+        << " attrs_changed=" << delta.num_attrs_changed
+        << " cfs=" << delta.num_cfs << " cfs_reused=" << delta.num_cfs_reused
+        << "\n";
+    out << "end\n";
+    return out.str();
+  }
+
+  // Read requests share the pipeline under a reader lock; only taken here at
+  // request granularity (nested evaluation tasks never touch it).
+  std::shared_lock<std::shared_mutex> read_lock(state_mu_);
 
   if (cmd == "list") {
     const auto& sets = spade_->fact_sets();
@@ -192,7 +277,8 @@ std::string InsightServer::HandleLine(const std::string& line,
   }
 
   if (cmd != "explore") {
-    return error("unknown command '" + cmd + "' (try explore, list, stats, quit)");
+    return error("unknown command '" + cmd +
+                 "' (try explore, list, stats, apply, compact, quit)");
   }
   ExploreRequest req;
   for (size_t i = 1; i < tokens.size(); ++i) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <shared_mutex>
 #include <string>
 
 #include "src/core/spade.h"
@@ -34,6 +35,10 @@ struct ServeOptions {
   /// for more is clamped down to it (one runaway request cannot hold a
   /// worker forever). 0 = requests run untimed unless they ask otherwise.
   double request_deadline_ms = 0;
+  /// Refuse `apply` / `compact` even when the server was constructed with a
+  /// mutable pipeline (--read-only). Servers built over a const pipeline
+  /// are implicitly read-only regardless.
+  bool read_only = false;
 };
 
 /// What a serve session processed.
@@ -59,6 +64,14 @@ struct ServeStats {
 ///          `<rank> <score> <cfs_name> <description>` then `end`
 ///   list    -> `ok <n>` then `<name> <size>` per fact set, then `end`
 ///   stats   -> `ok` then dataset counters, then `end`
+///   apply [add=FILE] [retract=FILE]
+///       -> mutate the graph from server-local N-Triples files (mutable
+///          servers only): `ok added=... removed=... noop_adds=...
+///          noop_retracts=... attrs_changed=... cfs=... cfs_reused=...`
+///          then `end`. Runs exclusively: in-flight explores finish first,
+///          later ones see the post-delta state.
+///   compact -> reseal the store (Spade::Compact); `ok triples=... attrs=...
+///          cfs=...` then `end`. Mutable servers only.
 ///
 /// Requests are evaluated concurrently on one scheduler (Spade::Explore is
 /// const and request-local), but responses are buffered and flushed strictly
@@ -67,8 +80,15 @@ struct ServeStats {
 class InsightServer {
  public:
   /// `spade` must have completed RunOffline() and PrepareFactSets() and must
-  /// outlive the server.
+  /// outlive the server. A server built this way is read-only: `apply` and
+  /// `compact` answer with an error.
   InsightServer(const Spade* spade, ServeOptions options);
+
+  /// Mutable pipeline: `apply` / `compact` requests are accepted (unless
+  /// ServeOptions::read_only). Mutations run under a writer lock excluding
+  /// every read request, so concurrent explores always see a consistent
+  /// pipeline — never a half-applied delta.
+  InsightServer(Spade* spade, ServeOptions options);
 
   /// Read requests from `in` until EOF or "quit", writing response blocks to
   /// `out`. Returns the session stats (a request that produces an `error:`
@@ -94,7 +114,14 @@ class InsightServer {
 
  private:
   const Spade* spade_;
+  /// Non-null iff constructed with a mutable pipeline.
+  Spade* mutable_spade_ = nullptr;
   ServeOptions options_;
+  /// Readers (explore/list/stats) vs writers (apply/compact). Only taken at
+  /// HandleLine granularity — nested evaluation tasks never touch it, so a
+  /// blocked writer cannot deadlock an explore's fan-out (the exploring
+  /// thread participates in its own ParallelFor).
+  mutable std::shared_mutex state_mu_;
 };
 
 /// Render one finished response: every line of `body` prefixed with

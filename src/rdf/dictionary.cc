@@ -4,6 +4,49 @@
 
 namespace spade {
 
+Dictionary::Dictionary(Dictionary&& other)
+    : terms_(std::move(other.terms_)),
+      index_(std::move(other.index_)),
+      key_storage_(std::move(other.key_storage_)),
+      key_scratch_(std::move(other.key_scratch_)),
+      indexed_(other.indexed_),
+      records_(other.records_),
+      arena_(other.arena_),
+      term_cache_(std::move(other.term_cache_)),
+      xsd_integer_(other.xsd_integer_),
+      xsd_double_(other.xsd_double_) {
+  other.records_ = Span<ArenaRecord>();
+  other.arena_ = Span<char>();
+  other.indexed_ = true;
+  other.xsd_integer_ = kInvalidTerm;
+  other.xsd_double_ = kInvalidTerm;
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) {
+  if (this == &other) return *this;
+  terms_ = std::move(other.terms_);
+  index_ = std::move(other.index_);
+  key_storage_ = std::move(other.key_storage_);
+  key_scratch_ = std::move(other.key_scratch_);
+  indexed_ = other.indexed_;
+  records_ = other.records_;
+  arena_ = other.arena_;
+  {
+    // term_cache_ is guarded in the read path; the destination keeps its own
+    // mutex and just takes the cached terms.
+    std::lock_guard<std::mutex> lock(other.cache_mutex_);
+    term_cache_ = std::move(other.term_cache_);
+  }
+  xsd_integer_ = other.xsd_integer_;
+  xsd_double_ = other.xsd_double_;
+  other.records_ = Span<ArenaRecord>();
+  other.arena_ = Span<char>();
+  other.indexed_ = true;
+  other.xsd_integer_ = kInvalidTerm;
+  other.xsd_double_ = kInvalidTerm;
+  return *this;
+}
+
 void Dictionary::AppendKey(TermKind kind, std::string_view lexical,
                            TermId datatype, std::string_view language,
                            std::string* out) {

@@ -39,6 +39,17 @@ class Dictionary {
  public:
   Dictionary() { terms_.emplace_back(); }  // slot 0 = invalid
 
+  /// Movable: compaction builds a canonical replacement graph and moves it
+  /// (dictionary included) over the live one. The intern index keys are
+  /// string_views into deque-backed storage whose element addresses survive
+  /// the move; the term-cache mutex is not movable, so the destination gets
+  /// a fresh one (moves require external synchronization anyway, like every
+  /// other mutation).
+  Dictionary(Dictionary&& other);
+  Dictionary& operator=(Dictionary&& other);
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
   /// Intern a term, returning its (possibly pre-existing) id.
   /// Not thread-safe (external synchronization, as for any mutation).
   TermId Intern(const Term& term);

@@ -83,6 +83,64 @@ void Graph::AttachTriples(Span<Triple> spo, Span<Triple> pos, Span<Triple> osp,
   rdf_type_ = rdf_type;
 }
 
+void Graph::StageDelta(std::vector<Triple> adds, std::vector<Triple> retracts,
+                       GraphDelta* out) const {
+  EnsureFrozen();
+  auto sort_unique = [](std::vector<Triple>* v) {
+    std::sort(v->begin(), v->end(), OrderSPO());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  sort_unique(&adds);
+  sort_unique(&retracts);
+  Span<Triple> cur = spo_view();
+  // Adds win over retractions of the same triple within one batch.
+  std::vector<Triple> net_retracts;
+  net_retracts.reserve(retracts.size());
+  std::set_difference(retracts.begin(), retracts.end(), adds.begin(),
+                      adds.end(), std::back_inserter(net_retracts), OrderSPO());
+  out->removed.clear();
+  std::set_intersection(net_retracts.begin(), net_retracts.end(), cur.begin(),
+                        cur.end(), std::back_inserter(out->removed),
+                        OrderSPO());
+  out->added.clear();
+  std::set_difference(adds.begin(), adds.end(), cur.begin(), cur.end(),
+                      std::back_inserter(out->added), OrderSPO());
+  out->noop_adds = adds.size() - out->added.size();
+  out->noop_retracts = retracts.size() - out->removed.size();
+  // Each staged permutation is (base \ removed) merged with added, with the
+  // (small) delta re-sorted per order. The subtraction and merge both
+  // preserve sortedness and uniqueness, so the result is exactly what
+  // Freeze() would build for the mutated triple set.
+  auto stage_perm = [&](Span<Triple> base, auto order,
+                        std::vector<Triple>* dst) {
+    std::vector<Triple> rem = out->removed;
+    std::vector<Triple> add = out->added;
+    std::sort(rem.begin(), rem.end(), order);
+    std::sort(add.begin(), add.end(), order);
+    std::vector<Triple> kept;
+    kept.reserve(base.size() - rem.size());
+    std::set_difference(base.begin(), base.end(), rem.begin(), rem.end(),
+                        std::back_inserter(kept), order);
+    dst->clear();
+    dst->reserve(kept.size() + add.size());
+    std::merge(kept.begin(), kept.end(), add.begin(), add.end(),
+               std::back_inserter(*dst), order);
+  };
+  stage_perm(spo_view(), OrderSPO(), &out->spo);
+  stage_perm(pos_view(), OrderPOS(), &out->pos);
+  stage_perm(osp_view(), OrderOSP(), &out->osp);
+}
+
+void Graph::CommitDelta(GraphDelta&& staged) noexcept {
+  spo_.swap(staged.spo);
+  pos_.swap(staged.pos);
+  osp_.swap(staged.osp);
+  pending_.clear();
+  bspo_ = bpos_ = bosp_ = Span<Triple>();
+  borrowed_ = false;
+  dirty_ = false;
+}
+
 void Graph::EnsureFrozen() const { const_cast<Graph*>(this)->Freeze(); }
 
 size_t Graph::NumTriples() const {

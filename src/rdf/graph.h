@@ -10,6 +10,24 @@
 
 namespace spade {
 
+/// \brief Staged net effect of one mutation batch (see Graph::StageDelta).
+///
+/// Batch semantics: the final triple set is `(current \ retracts) ∪ adds`,
+/// so a triple retracted and re-added in the same batch ends up present.
+/// `added`/`removed` hold only the *net* changes relative to the current
+/// graph; retractions of absent triples and adds of present triples are
+/// counted as no-ops.
+struct GraphDelta {
+  std::vector<Triple> added;    ///< net-new triples (absent before), SPO order
+  std::vector<Triple> removed;  ///< net-removed (present before), SPO order
+  size_t noop_adds = 0;         ///< added triples that were already present
+  size_t noop_retracts = 0;     ///< retractions that removed nothing
+  /// The three permutations of the post-delta triple set, ready to commit.
+  std::vector<Triple> spo;
+  std::vector<Triple> pos;
+  std::vector<Triple> osp;
+};
+
 /// \brief In-memory RDF graph: a dictionary plus an indexed triple set.
 ///
 /// This is the storage substrate every other module builds on (the paper uses
@@ -54,6 +72,21 @@ class Graph {
 
   /// True if the triple indexes are borrowed from external memory.
   bool borrowed() const { return borrowed_; }
+
+  /// Compute the net effect of applying `adds` and `retracts` as one batch
+  /// (semantics in GraphDelta's doc) without modifying the graph. The staged
+  /// permutations are built by subtracting/merging the net delta against the
+  /// current sorted permutations — O(T + d log d) for T triples and a delta
+  /// of d — and are guaranteed identical to what Freeze() would produce for
+  /// the mutated triple set. Commit with CommitDelta().
+  void StageDelta(std::vector<Triple> adds, std::vector<Triple> retracts,
+                  GraphDelta* out) const;
+
+  /// Install permutations staged by StageDelta() on this graph. Only swaps
+  /// (noexcept), so callers can stage fallibly and commit atomically. A
+  /// borrowed graph becomes owned; the backing snapshot mapping is no longer
+  /// referenced by the triple indexes (the dictionary may still borrow it).
+  void CommitDelta(GraphDelta&& staged) noexcept;
 
   size_t NumTriples() const;
 

@@ -1,0 +1,127 @@
+#ifndef SPADE_STORE_DELTA_H_
+#define SPADE_STORE_DELTA_H_
+
+/// \file delta.h
+/// \brief Store-level delta maintenance (the ROADMAP's "Incremental
+/// maintenance for dynamic graphs" direction).
+///
+/// One mutation batch reaches the store as a GraphDelta (net added / removed
+/// triples, see src/rdf/graph.h). This module turns that into per-attribute
+/// work:
+///
+///  - GroupDeltaByProperty splits the net triple delta into per-property row
+///    deltas (sorted unique (subject, object) pairs). rdf:type triples are
+///    reported as a flag instead — they change CFS membership, not any
+///    attribute table.
+///  - MergeTableWithDelta merges one property's row delta into its sealed
+///    base table, producing a new sealed table identical to a fresh Seal()
+///    of the mutated row multiset: rows are unique per property (triple <->
+///    row is a bijection), both inputs are sorted, and subtraction + merge
+///    preserve order and uniqueness, so the merged row sequence equals the
+///    sorted unique sequence a fresh build would sort out of the graph.
+///
+/// It also hosts the canonicalization helpers shared by Spade::Compact() and
+/// the compaction oracle test: a term-level (representation-independent)
+/// rendering of a graph's triples, plus a builder that re-interns them in one
+/// canonical order. Two graphs holding the same logical triple set
+/// canonicalize to byte-identical dictionaries and triple indexes — which is
+/// what makes "compaction output == fresh sequential build" well-defined
+/// even though a long-lived dictionary accumulates retired terms.
+
+#include <string>
+#include <vector>
+
+#include "src/rdf/graph.h"
+#include "src/store/attribute_store.h"
+
+namespace spade {
+
+/// Net row delta of one property's attribute table.
+struct PropertyDelta {
+  TermId property = kInvalidTerm;
+  /// Net-new rows, sorted by (subject, object), unique.
+  std::vector<AttributeTable::Row> adds;
+  /// Net-removed rows (each present in the base), sorted, unique.
+  std::vector<AttributeTable::Row> removes;
+};
+
+/// GroupDeltaByProperty output.
+struct TripleDeltaByProperty {
+  /// Per-property deltas in ascending property-id order.
+  std::vector<PropertyDelta> properties;
+  /// True if any rdf:type triple was added or removed (CFS membership may
+  /// have changed even though no attribute table did).
+  bool type_changed = false;
+};
+
+/// Split net triple deltas (SPO order, as GraphDelta carries them) into
+/// per-property row deltas.
+TripleDeltaByProperty GroupDeltaByProperty(const std::vector<Triple>& added,
+                                           const std::vector<Triple>& removed,
+                                           TermId rdf_type);
+
+/// Merge one property's row delta into its sealed base table (null base =
+/// the property is new in this delta). The returned table is sealed, owns
+/// its columns, and carries origin/property but no name — the caller names
+/// it when registering, so collision suffixes are recomputed exactly as a
+/// fresh build would.
+AttributeTable MergeTableWithDelta(const AttributeTable* base,
+                                   const PropertyDelta& delta);
+
+/// True if two sealed tables hold identical CSR columns.
+bool SameColumns(const AttributeTable& a, const AttributeTable& b);
+
+// --- Canonicalization (compaction + its oracle test). ----------------------
+
+/// A term rendered free of its dictionary id: compares by value.
+struct CanonTerm {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;
+  std::string language;
+  std::string datatype;  ///< datatype IRI lexical form ("" = none)
+
+  friend bool operator==(const CanonTerm& a, const CanonTerm& b) {
+    return a.kind == b.kind && a.lexical == b.lexical &&
+           a.language == b.language && a.datatype == b.datatype;
+  }
+  friend bool operator<(const CanonTerm& a, const CanonTerm& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.lexical != b.lexical) return a.lexical < b.lexical;
+    if (a.datatype != b.datatype) return a.datatype < b.datatype;
+    return a.language < b.language;
+  }
+};
+
+/// A triple of value-compared terms.
+struct CanonTriple {
+  CanonTerm s, p, o;
+
+  friend bool operator==(const CanonTriple& a, const CanonTriple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator<(const CanonTriple& a, const CanonTriple& b) {
+    if (!(a.s == b.s)) return a.s < b.s;
+    if (!(a.p == b.p)) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+/// Render one term by value.
+CanonTerm RenderTerm(const Dictionary& dict, TermId id);
+
+/// The graph's triples rendered term-level, sorted canonically, unique.
+std::vector<CanonTriple> ExtractCanonicalTriples(const Graph& graph);
+
+/// Intern one rendered term into `graph`'s dictionary (a literal's datatype
+/// IRI is interned first, as every build path does).
+TermId InternCanonTerm(Graph* graph, const CanonTerm& term);
+
+/// Build `out` (which must be freshly constructed) from canonically sorted
+/// triples, interning terms in walk order and freezing. Two calls with equal
+/// input produce byte-identical graphs: the dictionary's intern sequence is
+/// the first-occurrence order of the canonical walk.
+void BuildCanonicalGraph(const std::vector<CanonTriple>& sorted, Graph* out);
+
+}  // namespace spade
+
+#endif  // SPADE_STORE_DELTA_H_

@@ -253,7 +253,8 @@ std::vector<std::string> AllSiteNames() {
   // FailpointTest.AllSiteNamesCoversEveryRegisteredSite fails if it drifts.
   return {
       "core.lattice.slice",   "core.measure.load",
-      "core.translate",       "exec.parallel_for",
+      "core.translate",       "delta.apply",
+      "delta.compact",        "exec.parallel_for",
       "exec.taskgroup.task",  "ingest.chunk",
       "ingest.scatter",       "ingest.seal",
       "persist.load.attach",  "persist.load.open",

@@ -42,6 +42,11 @@
 //                        running one online pass; see src/persist/serve.h
 //                        for the request grammar
 //   --serve-requests F   read serve requests from F instead of stdin
+//   --incremental        cache per-CFS online results across `apply`
+//                        mutation batches; CFSs untouched by a delta are
+//                        reused instead of re-evaluated (serve modes)
+//   --read-only          serve modes: refuse the `apply` / `compact`
+//                        mutation verbs
 //   --listen HOST:PORT   serve the same request grammar over TCP instead of
 //                        stdin/stdout (implies --serve; port 0 = ephemeral,
 //                        the bound address is printed to stderr as
@@ -106,10 +111,11 @@ int Usage() {
                "                 [--json FILE] [--csv FILE]\n"
                "                 [--quiet] [--save-store FILE] "
                "[--no-verify-snapshot] [--serve] [--serve-requests FILE]\n"
-               "                 [--listen HOST:PORT] [--max-connections N] "
-               "[--max-inflight N] [--request-timeout-ms MS]\n"
-               "                 [--idle-timeout-ms MS] [--drain-ms MS] "
-               "[--list-failpoints]\n"
+               "                 [--incremental] [--read-only] "
+               "[--listen HOST:PORT] [--max-connections N]\n"
+               "                 [--max-inflight N] [--request-timeout-ms MS] "
+               "[--idle-timeout-ms MS] [--drain-ms MS]\n"
+               "                 [--list-failpoints]\n"
                "       spade_cli --load-store FILE [options]\n";
   return 1;
 }
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
   std::string json_path, csv_path;
   bool quiet = false;
   bool serve = false;
+  bool read_only = false;
   std::string serve_requests;
   std::string listen_spec;
   spade::net::TcpServerOptions net_options;
@@ -257,6 +264,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       serve_requests = v;
+    } else if (arg == "--incremental") {
+      options.enable_incremental = true;
+    } else if (arg == "--read-only") {
+      read_only = true;
     } else if (arg == "--listen") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -399,6 +410,7 @@ int main(int argc, char** argv) {
     spade::persist::ServeOptions sopt;
     sopt.num_threads = options.num_threads;
     sopt.request_deadline_ms = request_timeout_ms;
+    sopt.read_only = read_only;
 
     // TCP front end: same request core, hardened for many remote clients.
     if (!listen_spec.empty()) {
